@@ -1,0 +1,323 @@
+//! Algorithm 1: the linearizable active set.
+//!
+//! An announcements array of `C` slots (plus a permanent sentinel slot `C`
+//! that resolves the pseudocode's off-by-one corner case, see DESIGN.md
+//! §1.4). Each slot holds an `owner` word (the member item, or 0) and a
+//! `set` word (a pointer to an immutable snapshot list of the members at
+//! this slot and above). `insert` claims the first ownerless slot by CAS
+//! and *climbs*: at every slot from its own down to 0, twice, it recomputes
+//! `set(j) := set(j+1) ∪ owner(j)` and installs the result with CAS, so
+//! membership information propagates to slot 0 where `getSet` reads it.
+//!
+//! Snapshot lists are cons cells in the shared arena. Every climb
+//! installation allocates a **fresh** head node — installed pointers never
+//! repeat — so a climb CAS can only succeed if the slot is unchanged since
+//! it was read; stale climbers can never overwrite newer snapshots (the
+//! pointer-reuse ABA that a literal reading of the pseudocode would allow).
+
+use wfl_runtime::{Addr, Ctx, Heap};
+
+/// Handle to an active set object in the shared heap.
+///
+/// The handle is plain data (`Copy`) and can be freely shared; all state
+/// lives in the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActiveSet {
+    base: Addr,
+    capacity: u32,
+}
+
+/// List node: `[elem, next]`. `elem == 0` marks a copy-of-empty head node.
+const NODE_WORDS: usize = 2;
+const SLOT_WORDS: u32 = 2;
+
+impl ActiveSet {
+    /// Number of heap words an active set with `capacity` slots occupies.
+    pub fn words(capacity: usize) -> usize {
+        (capacity + 1) * SLOT_WORDS as usize
+    }
+
+    /// Creates an active set with room for `capacity` concurrent members
+    /// (the paper sizes this at the contention bound `κ`, or at the number
+    /// of processes `P` for the unknown-bounds variant). Harness setup.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn create_root(heap: &Heap, capacity: usize) -> ActiveSet {
+        assert!(capacity > 0, "active set capacity must be positive");
+        let base = heap.alloc_root(Self::words(capacity));
+        // All words zero: every owner empty, every snapshot pointer empty,
+        // including the sentinel slot `capacity`.
+        ActiveSet { base, capacity: capacity as u32 }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    #[inline]
+    fn owner_addr(&self, slot: u32) -> Addr {
+        self.base.off(slot * SLOT_WORDS)
+    }
+
+    #[inline]
+    fn set_addr(&self, slot: u32) -> Addr {
+        self.base.off(slot * SLOT_WORDS + 1)
+    }
+
+    /// Inserts `item` (nonzero), returning the slot index to pass to
+    /// [`ActiveSet::remove`]. Takes `O(k)` steps where `k` bounds the
+    /// concurrent members plus in-flight inserts.
+    ///
+    /// # Panics
+    /// Panics if `item` is zero or no slot is free (point contention
+    /// exceeded the configured capacity — a misconfigured `κ`).
+    pub fn insert(&self, ctx: &Ctx<'_>, item: u64) -> usize {
+        assert!(item != 0, "item 0 is reserved for empty slots");
+        for i in 0..self.capacity {
+            if ctx.read(self.owner_addr(i)) == 0 && ctx.cas_bool(self.owner_addr(i), 0, item) {
+                self.climb(ctx, i);
+                return i as usize;
+            }
+        }
+        panic!(
+            "active set of capacity {} is full: point contention exceeded the configured bound",
+            self.capacity
+        );
+    }
+
+    /// Removes the item previously inserted at `slot`.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range.
+    pub fn remove(&self, ctx: &Ctx<'_>, slot: usize) {
+        assert!(slot < self.capacity as usize, "slot {slot} out of range");
+        ctx.write(self.owner_addr(slot as u32), 0);
+        self.climb(ctx, slot as u32);
+    }
+
+    /// Reads the current membership snapshot into `out` (deduplicated,
+    /// unordered). The snapshot pointer read is a single step; walking
+    /// costs `O(k)`.
+    pub fn get_set(&self, ctx: &Ctx<'_>, out: &mut Vec<u64>) {
+        out.clear();
+        let mut node = ctx.read(self.set_addr(0));
+        while node != 0 {
+            let a = Addr::from_word(node);
+            let elem = ctx.read(a);
+            if elem != 0 && !out.contains(&elem) {
+                out.push(elem);
+            }
+            node = ctx.read(a.off(1));
+        }
+    }
+
+    /// Uncounted inspection of the current slot owners (harness,
+    /// controllers, and debugging; not part of the algorithm).
+    pub fn peek_owners(&self, heap: &Heap) -> Vec<u64> {
+        (0..self.capacity)
+            .map(|i| heap.peek(self.owner_addr(i)))
+            .filter(|&o| o != 0)
+            .collect()
+    }
+
+    /// Propagates ownership changes from `slot` down to slot 0 (two passes
+    /// per level, as in Algorithm 1).
+    fn climb(&self, ctx: &Ctx<'_>, slot: u32) {
+        for j in (0..=slot).rev() {
+            for _pass in 0..2 {
+                let cur = ctx.read(self.set_addr(j));
+                // Slot j+1 is either a real slot or the permanent sentinel.
+                let above = ctx.read(self.set_addr(j + 1));
+                let owner = ctx.read(self.owner_addr(j));
+                // Build a FRESH head so installed pointers never repeat.
+                let new = if owner != 0 {
+                    cons(ctx, owner, above)
+                } else if above != 0 {
+                    // Copy the head of `above` (sharing its immutable tail).
+                    let a = Addr::from_word(above);
+                    let elem = ctx.read(a);
+                    let next = ctx.read(a.off(1));
+                    cons(ctx, elem, next)
+                } else {
+                    // Empty result: a fresh empty-marker node.
+                    cons(ctx, 0, 0)
+                };
+                ctx.cas_bool(self.set_addr(j), cur, new);
+            }
+        }
+    }
+}
+
+/// Allocates an immutable list node.
+fn cons(ctx: &Ctx<'_>, elem: u64, next: u64) -> u64 {
+    let n = ctx.alloc(NODE_WORDS);
+    ctx.write(n, elem);
+    ctx.write(n.off(1), next);
+    n.to_word()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfl_runtime::schedule::{RoundRobin, SeededRandom};
+    use wfl_runtime::sim::SimBuilder;
+
+    fn with_one_proc(capacity: usize, body: impl FnOnce(&Ctx<'_>, ActiveSet) + Send) -> Heap {
+        let heap = Heap::new(1 << 16);
+        let set = ActiveSet::create_root(&heap, capacity);
+        let report = SimBuilder::new(&heap, 1).spawn(move |ctx: &Ctx| body(ctx, set)).run();
+        report.assert_clean();
+        heap
+    }
+
+    #[test]
+    fn insert_then_getset_sees_item() {
+        with_one_proc(4, |ctx, set| {
+            set.insert(ctx, 42);
+            let mut out = Vec::new();
+            set.get_set(ctx, &mut out);
+            assert_eq!(out, vec![42]);
+        });
+    }
+
+    #[test]
+    fn remove_clears_membership() {
+        with_one_proc(4, |ctx, set| {
+            let s = set.insert(ctx, 42);
+            set.remove(ctx, s);
+            let mut out = Vec::new();
+            set.get_set(ctx, &mut out);
+            assert!(out.is_empty(), "got {out:?}");
+        });
+    }
+
+    #[test]
+    fn multiple_members_all_visible() {
+        with_one_proc(8, |ctx, set| {
+            for item in [5u64, 6, 7] {
+                set.insert(ctx, item);
+            }
+            let mut out = Vec::new();
+            set.get_set(ctx, &mut out);
+            out.sort_unstable();
+            assert_eq!(out, vec![5, 6, 7]);
+        });
+    }
+
+    #[test]
+    fn slots_are_reused_after_remove() {
+        with_one_proc(2, |ctx, set| {
+            // Capacity 2 suffices for 100 sequential insert/remove pairs.
+            for i in 0..100u64 {
+                let s = set.insert(ctx, i + 1);
+                assert_eq!(s, 0, "sequential inserts reuse slot 0");
+                set.remove(ctx, s);
+            }
+        });
+    }
+
+    #[test]
+    fn interleaved_insert_remove_pairs() {
+        with_one_proc(4, |ctx, set| {
+            let s1 = set.insert(ctx, 1);
+            let s2 = set.insert(ctx, 2);
+            assert_ne!(s1, s2);
+            set.remove(ctx, s1);
+            let s3 = set.insert(ctx, 3);
+            let mut out = Vec::new();
+            set.get_set(ctx, &mut out);
+            out.sort_unstable();
+            assert_eq!(out, vec![2, 3]);
+            set.remove(ctx, s2);
+            set.remove(ctx, s3);
+        });
+    }
+
+    #[test]
+    fn concurrent_inserts_get_distinct_slots_and_all_become_visible() {
+        for seed in 0..25 {
+            let heap = Heap::new(1 << 16);
+            let set = ActiveSet::create_root(&heap, 8);
+            let slots = heap.alloc_root(4);
+            let report = SimBuilder::new(&heap, 4)
+                .schedule(SeededRandom::new(4, seed))
+                .spawn_all(|pid| {
+                    move |ctx: &Ctx| {
+                        let s = set.insert(ctx, pid as u64 + 1);
+                        ctx.write(slots.off(pid as u32), s as u64 + 1);
+                    }
+                })
+                .run();
+            report.assert_clean();
+            // Distinct slots.
+            let mut claimed: Vec<u64> = (0..4).map(|i| heap.peek(slots.off(i))).collect();
+            claimed.sort_unstable();
+            claimed.dedup();
+            assert_eq!(claimed.len(), 4, "seed {seed}: duplicate slots {claimed:?}");
+            // After quiescence, slot 0's snapshot contains all four.
+            let snapshot_probe = SimBuilder::new(&heap, 1)
+                .spawn(move |ctx: &Ctx| {
+                    let mut out = Vec::new();
+                    set.get_set(ctx, &mut out);
+                    out.sort_unstable();
+                    assert_eq!(out, vec![1, 2, 3, 4], "completed inserts must be visible");
+                })
+                .run();
+            snapshot_probe.assert_clean();
+        }
+    }
+
+    #[test]
+    fn insert_steps_are_bounded_by_capacity_factor() {
+        // Theorem 5.2: O(κ) steps per operation (κ = capacity here).
+        for &cap in &[2usize, 4, 8, 16] {
+            let heap = Heap::new(1 << 18);
+            let set = ActiveSet::create_root(&heap, cap);
+            let report = SimBuilder::new(&heap, 1)
+                .schedule(RoundRobin::new(1))
+                .spawn(move |ctx: &Ctx| {
+                    let s = set.insert(ctx, 9);
+                    set.remove(ctx, s);
+                })
+                .run();
+            report.assert_clean();
+            let steps = report.steps[0];
+            // insert+remove with empty set: climb from slot 0 both times.
+            // Must not scale with capacity when the set is near-empty.
+            assert!(steps < 80, "cap {cap}: insert+remove took {steps} steps");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn zero_item_rejected() {
+        let heap = Heap::new(1 << 10);
+        let set = ActiveSet::create_root(&heap, 2);
+        let report = SimBuilder::new(&heap, 1)
+            .spawn(move |ctx: &Ctx| {
+                set.insert(ctx, 0);
+            })
+            .run();
+        // insert panics inside the body; surface it.
+        if let Some((_pid, msg)) = report.panics.first() {
+            panic!("{}", msg);
+        }
+    }
+
+    #[test]
+    fn overflow_reports_misconfigured_contention() {
+        let heap = Heap::new(1 << 12);
+        let set = ActiveSet::create_root(&heap, 2);
+        let report = SimBuilder::new(&heap, 1)
+            .spawn(move |ctx: &Ctx| {
+                set.insert(ctx, 1);
+                set.insert(ctx, 2);
+                set.insert(ctx, 3); // third concurrent member: over capacity
+            })
+            .run();
+        assert_eq!(report.panics.len(), 1);
+        assert!(report.panics[0].1.contains("point contention"));
+    }
+}

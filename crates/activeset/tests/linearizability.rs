@@ -1,0 +1,111 @@
+//! Linearizability validation of Algorithm 1 (the active set) against the
+//! sequential spec, across many adversarial schedules.
+//!
+//! The paper proves linearizability in its full version; here we validate
+//! the implementation behaviorally: record complete concurrent histories
+//! in the deterministic simulator and run the Wing–Gong checker.
+
+use wfl_activeset::ActiveSet;
+use wfl_lincheck::specs::{ActiveSetSpec, AS_GETSET, AS_INSERT, AS_REMOVE};
+use wfl_lincheck::{assert_linearizable, check_linearizable};
+use wfl_runtime::schedule::{Bursty, SeededRandom, Weighted};
+use wfl_runtime::sim::SimBuilder;
+use wfl_runtime::{Ctx, Heap};
+
+/// Runs `nprocs` processes doing insert/remove cycles (with distinct items
+/// per round) and one observer doing getSets; checks the recorded history.
+fn run_and_check(nprocs: usize, rounds: usize, schedule_seed: u64, schedule_kind: usize) {
+    let heap = Heap::new(1 << 20);
+    let set = ActiveSet::create_root(&heap, nprocs + 1);
+    let mut builder = SimBuilder::new(&heap, nprocs + 1).seed(schedule_seed);
+    builder = match schedule_kind {
+        0 => builder.schedule(SeededRandom::new(nprocs + 1, schedule_seed)),
+        1 => builder.schedule(Bursty::new(nprocs + 1, 12, schedule_seed)),
+        _ => builder.schedule(Weighted::new(
+            &(0..nprocs as u64 + 1).map(|i| 1 + i * 3).collect::<Vec<_>>(),
+            schedule_seed,
+        )),
+    };
+    let report = builder
+        .spawn_all(|pid| {
+            move |ctx: &Ctx| {
+                if pid < nprocs {
+                    for round in 0..rounds {
+                        // Unique item per (process, round); nonzero.
+                        let item = 1 + (pid * rounds + round) as u64;
+                        ctx.invoke(AS_INSERT, item, 0);
+                        let slot = set.insert(ctx, item);
+                        ctx.respond(0, vec![]);
+                        ctx.invoke(AS_REMOVE, item, 0);
+                        set.remove(ctx, slot);
+                        ctx.respond(0, vec![]);
+                    }
+                } else {
+                    let mut out = Vec::new();
+                    for _ in 0..2 * rounds {
+                        ctx.invoke(AS_GETSET, 0, 0);
+                        set.get_set(ctx, &mut out);
+                        ctx.respond(0, out.clone());
+                    }
+                }
+            }
+        })
+        .run();
+    report.assert_clean();
+    assert!(
+        report.history.len() <= 40,
+        "history too large for the checker; shrink the test"
+    );
+    assert_linearizable(&report.history, &ActiveSetSpec);
+}
+
+#[test]
+fn linearizable_under_random_schedules() {
+    for seed in 0..40 {
+        run_and_check(2, 3, seed, 0);
+    }
+}
+
+#[test]
+fn linearizable_under_bursty_schedules() {
+    for seed in 0..25 {
+        run_and_check(3, 2, 1000 + seed, 1);
+    }
+}
+
+#[test]
+fn linearizable_under_skewed_schedules() {
+    for seed in 0..25 {
+        run_and_check(3, 2, 2000 + seed, 2);
+    }
+}
+
+#[test]
+fn checker_would_catch_a_broken_set() {
+    // Sanity check that the harness has teeth: a deliberately broken
+    // history (getSet missing a completed insert) must be rejected.
+    use wfl_runtime::{Event, History};
+    let h = History::from_parts(vec![
+        vec![Event {
+            pid: 0,
+            op: AS_INSERT,
+            a: 9,
+            b: 0,
+            result: 0,
+            result_set: vec![],
+            invoke: 0,
+            response: 1,
+        }],
+        vec![Event {
+            pid: 1,
+            op: AS_GETSET,
+            a: 0,
+            b: 0,
+            result: 0,
+            result_set: vec![],
+            invoke: 2,
+            response: 3,
+        }],
+    ]);
+    assert!(!check_linearizable(&h, &ActiveSetSpec).is_ok());
+}

@@ -1,0 +1,79 @@
+//! The common interface the experiment harness uses to drive any of the
+//! lock algorithms (the paper's and the baselines).
+
+use wfl_core::{try_locks, try_locks_unknown, LockConfig, LockSpace, TryLockRequest, UnknownConfig};
+use wfl_idem::{Registry, TagSource};
+use wfl_runtime::Ctx;
+
+/// Outcome of one attempt under any algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttemptOutcome {
+    /// Whether the critical section ran.
+    pub won: bool,
+    /// Own steps consumed by the attempt.
+    pub steps: u64,
+}
+
+/// A multi-lock algorithm driven by the shared harness.
+///
+/// Implementations hold references to their setup-time state (lock words or
+/// active sets, the thunk registry, configuration); `attempt` must be safe
+/// to call from many processes concurrently.
+pub trait LockAlgo: Sync {
+    /// A short name for tables ("wfl", "tsp", "blocking", "naive").
+    fn name(&self) -> &'static str;
+
+    /// Executes one tryLock attempt: acquire `req.locks`, run `req.thunk`,
+    /// release. `won == false` means the critical section did not run (for
+    /// algorithms that cannot fail, `won` is always true).
+    fn attempt(&self, ctx: &Ctx<'_>, tags: &mut TagSource, req: &TryLockRequest<'_>) -> AttemptOutcome;
+
+    /// Whether a crashed process can block others forever (used by the
+    /// harness to pick crash-tolerant expectations in E8).
+    fn blocks_under_crash(&self) -> bool {
+        false
+    }
+}
+
+/// The paper's known-bounds algorithm (§6) behind the harness interface.
+pub struct WflKnown<'a> {
+    /// The lock space (active sets sized `κ`).
+    pub space: &'a LockSpace,
+    /// The thunk registry.
+    pub registry: &'a Registry,
+    /// Bounds and delay constants.
+    pub cfg: LockConfig,
+}
+
+impl LockAlgo for WflKnown<'_> {
+    fn name(&self) -> &'static str {
+        "wfl"
+    }
+
+    fn attempt(&self, ctx: &Ctx<'_>, tags: &mut TagSource, req: &TryLockRequest<'_>) -> AttemptOutcome {
+        let m = try_locks(ctx, self.space, self.registry, &self.cfg, tags, *req);
+        AttemptOutcome { won: m.won, steps: m.steps }
+    }
+}
+
+/// The paper's unknown-bounds algorithm (§6.2) behind the harness
+/// interface.
+pub struct WflUnknown<'a> {
+    /// The lock space (active sets sized `P`).
+    pub space: &'a LockSpace,
+    /// The thunk registry.
+    pub registry: &'a Registry,
+    /// Ablation switches.
+    pub cfg: UnknownConfig,
+}
+
+impl LockAlgo for WflUnknown<'_> {
+    fn name(&self) -> &'static str {
+        "wfl-unknown"
+    }
+
+    fn attempt(&self, ctx: &Ctx<'_>, tags: &mut TagSource, req: &TryLockRequest<'_>) -> AttemptOutcome {
+        let m = try_locks_unknown(ctx, self.space, self.registry, &self.cfg, tags, *req);
+        AttemptOutcome { won: m.won, steps: m.steps }
+    }
+}

@@ -1,0 +1,158 @@
+//! The no-helping tryLock baseline: CAS each lock in ascending order;
+//! on the first conflict, release everything acquired and fail.
+//!
+//! Per-attempt steps are bounded (like the paper's algorithm) but there is
+//! no helping: a process that crashes between acquiring and releasing
+//! leaves its locks claimed forever, after which every attempt touching
+//! them fails — the motivating failure the paper's idempotent helping
+//! removes. There is also no fairness bound: under contention, attempts
+//! can fail at arbitrarily high rates (livelock).
+
+use crate::api::{AttemptOutcome, LockAlgo};
+use wfl_core::TryLockRequest;
+use wfl_idem::{Frame, Registry, TagSource};
+use wfl_runtime::{Addr, Ctx, Heap};
+
+/// No-helping tryLock over an array of CAS lock words.
+pub struct NaiveTryLock<'a> {
+    /// The thunk registry.
+    pub registry: &'a Registry,
+    locks: Addr,
+    nlocks: usize,
+}
+
+impl<'a> NaiveTryLock<'a> {
+    /// Creates the lock words (harness setup).
+    pub fn create_root(heap: &Heap, registry: &'a Registry, nlocks: usize) -> NaiveTryLock<'a> {
+        assert!(nlocks > 0);
+        NaiveTryLock { registry, locks: heap.alloc_root(nlocks), nlocks }
+    }
+
+    fn lock_word(&self, id: u32) -> Addr {
+        assert!((id as usize) < self.nlocks, "unknown lock id {id}");
+        self.locks.off(id)
+    }
+}
+
+impl LockAlgo for NaiveTryLock<'_> {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn blocks_under_crash(&self) -> bool {
+        // Attempts stay bounded, but locks become permanently unavailable:
+        // progress (not steps) is what blocks.
+        true
+    }
+
+    fn attempt(&self, ctx: &Ctx<'_>, tags: &mut TagSource, req: &TryLockRequest<'_>) -> AttemptOutcome {
+        let start = ctx.steps();
+        let me = ctx.pid() as u64 + 1;
+        let mut order: Vec<u32> = req.locks.iter().map(|l| l.0).collect();
+        order.sort_unstable();
+        for (i, &id) in order.iter().enumerate() {
+            if !ctx.cas_bool(self.lock_word(id), 0, me) {
+                // Conflict: back out everything acquired so far.
+                for &rid in order[..i].iter().rev() {
+                    ctx.write(self.lock_word(rid), 0);
+                }
+                return AttemptOutcome { won: false, steps: ctx.steps() - start };
+            }
+        }
+        let frame = Frame::create(ctx, self.registry, req.thunk, tags.next_base(), req.args);
+        frame.run_raw(ctx, self.registry);
+        for &id in order.iter().rev() {
+            ctx.write(self.lock_word(id), 0);
+        }
+        AttemptOutcome { won: true, steps: ctx.steps() - start }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfl_core::LockId;
+    use wfl_idem::{cell, IdemRun, Thunk};
+    use wfl_runtime::schedule::SeededRandom;
+    use wfl_runtime::sim::SimBuilder;
+
+    struct Incr;
+    impl Thunk for Incr {
+        fn run(&self, run: &mut IdemRun<'_, '_>) {
+            let c = Addr::from_word(run.arg(0));
+            let v = run.read(c);
+            run.write(c, v + 1);
+        }
+        fn max_ops(&self) -> usize {
+            2
+        }
+    }
+
+    #[test]
+    fn wins_are_counted_exactly_and_failures_leave_no_trace() {
+        for seed in 0..10 {
+            let mut registry = Registry::new();
+            let incr = registry.register(Incr);
+            let heap = Heap::new(1 << 20);
+            let algo = NaiveTryLock::create_root(&heap, &registry, 3);
+            let counter = heap.alloc_root(1);
+            let wins = heap.alloc_root(4);
+            let algo_ref = &algo;
+            let report = SimBuilder::new(&heap, 4)
+                .schedule(SeededRandom::new(4, seed))
+                .max_steps(10_000_000)
+                .spawn_all(|pid| {
+                    move |ctx: &Ctx| {
+                        let mut tags = TagSource::new(pid);
+                        let mut w = 0u64;
+                        for round in 0..6 {
+                            let locks =
+                                [LockId(((pid + round) % 3) as u32), LockId(((pid + round + 1) % 3) as u32)];
+                            let req = TryLockRequest {
+                                locks: &locks,
+                                thunk: incr,
+                                args: &[counter.to_word()],
+                            };
+                            if algo_ref.attempt(ctx, &mut tags, &req).won {
+                                w += 1;
+                            }
+                        }
+                        ctx.write(wins.off(pid as u32), w);
+                    }
+                })
+                .run();
+            report.assert_clean();
+            let total: u64 = (0..4).map(|i| heap.peek(wins.off(i))).sum();
+            assert_eq!(cell::value(heap.peek(counter)) as u64, total, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn locks_are_free_after_any_outcome() {
+        let mut registry = Registry::new();
+        let incr = registry.register(Incr);
+        let heap = Heap::new(1 << 16);
+        let algo = NaiveTryLock::create_root(&heap, &registry, 2);
+        let counter = heap.alloc_root(1);
+        let algo_ref = &algo;
+        let report = SimBuilder::new(&heap, 2)
+            .schedule(SeededRandom::new(2, 5))
+            .spawn_all(|pid| {
+                move |ctx: &Ctx| {
+                    let mut tags = TagSource::new(pid);
+                    for _ in 0..4 {
+                        let locks = [LockId(0), LockId(1)];
+                        let req =
+                            TryLockRequest { locks: &locks, thunk: incr, args: &[counter.to_word()] };
+                        algo_ref.attempt(ctx, &mut tags, &req);
+                    }
+                }
+            })
+            .run();
+        report.assert_clean();
+        // Both lock words must be free at quiescence (failed attempts
+        // backed out, successful ones released).
+        assert_eq!(heap.peek(Addr(1)), 0);
+        assert_eq!(heap.peek(Addr(2)), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! B2 — wall-clock cost of active set operations (insert/remove/getSet)
+//! at varying capacity, single-threaded on the real driver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfl_activeset::ActiveSet;
+use wfl_runtime::{real::run_threads, Ctx, Heap};
+
+fn bench_activeset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("activeset_insert_remove");
+    for capacity in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(capacity), &capacity, |b, &cap| {
+            b.iter(|| {
+                let heap = Heap::new(1 << 24);
+                let set = ActiveSet::create_root(&heap, cap);
+                let report = run_threads(&heap, 1, 1, None, |_pid| {
+                    move |ctx: &Ctx<'_>| {
+                        let mut buf = Vec::new();
+                        for i in 0..500u64 {
+                            let slot = set.insert(ctx, i + 1);
+                            set.get_set(ctx, &mut buf);
+                            set.remove(ctx, slot);
+                        }
+                    }
+                });
+                report.assert_clean();
+                heap.used()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_activeset);
+criterion_main!(benches);

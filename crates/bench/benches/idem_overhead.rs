@@ -1,0 +1,54 @@
+//! B3 — wall-clock overhead of idempotent execution vs raw execution of
+//! the same thunk (Theorem 4.2's constant factor, in nanoseconds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfl_idem::{Frame, IdemRun, Registry, TagSource, Thunk};
+use wfl_runtime::{real::run_threads, Addr, Ctx, Heap};
+
+struct ManyWrites(usize);
+impl Thunk for ManyWrites {
+    fn run(&self, run: &mut IdemRun<'_, '_>) {
+        let base = Addr::from_word(run.arg(0));
+        for i in 0..self.0 {
+            run.write(base.off(i as u32), i as u32);
+        }
+    }
+    fn max_ops(&self) -> usize {
+        self.0
+    }
+}
+
+fn bench_idem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thunk_execution");
+    for &k in &[16usize, 64] {
+        for mode in ["raw", "idem"] {
+            group.bench_with_input(BenchmarkId::new(mode, k), &k, |b, &k| {
+                b.iter(|| {
+                    let mut registry = Registry::new();
+                    let id = registry.register(ManyWrites(k));
+                    let heap = Heap::new(1 << 22);
+                    let base = heap.alloc_root(k);
+                    let mut tags = TagSource::new(0);
+                    let frame =
+                        Frame::create_root(&heap, &registry, id, tags.next_base(), &[base.to_word()]);
+                    let reg = &registry;
+                    let report = run_threads(&heap, 1, 1, None, |_pid| {
+                        move |ctx: &Ctx<'_>| {
+                            if mode == "raw" {
+                                frame.run_raw(ctx, reg);
+                            } else {
+                                frame.help(ctx, reg);
+                            }
+                        }
+                    });
+                    report.assert_clean();
+                    heap.used()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_idem);
+criterion_main!(benches);

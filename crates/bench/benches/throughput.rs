@@ -1,0 +1,53 @@
+//! B4 — wall-clock throughput of the philosophers workload under the
+//! real-threads driver, paper's algorithm vs baselines (delays disabled:
+//! the delay padding is a simulator-model cost, not a wall-clock one).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfl_baselines::{LockAlgo, NaiveTryLock, TspLock, WflKnown};
+use wfl_core::{LockConfig, LockSpace};
+use wfl_idem::{Registry, TagSource};
+use wfl_runtime::{real::run_threads, Ctx, Heap};
+use wfl_workloads::philosophers::Table;
+
+fn bench_philosophers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("philosophers_real_threads");
+    group.sample_size(10);
+    for algo_name in ["wfl", "tsp", "naive"] {
+        group.bench_with_input(BenchmarkId::new(algo_name, 4), &algo_name, |b, &name| {
+            b.iter(|| {
+                let n = 4;
+                let mut registry = Registry::new();
+                let heap = Heap::new(1 << 24);
+                let table = Table::create_root(&heap, &mut registry, n);
+                let space = LockSpace::create_root(&heap, n, n);
+                let wfl = WflKnown {
+                    space: &space,
+                    registry: &registry,
+                    cfg: LockConfig::new(n, 2, 2).without_delays(),
+                };
+                let tsp = TspLock::create_root(&heap, &registry, n);
+                let naive = NaiveTryLock::create_root(&heap, &registry, n);
+                let algo: &dyn LockAlgo = match name {
+                    "wfl" => &wfl,
+                    "tsp" => &tsp,
+                    _ => &naive,
+                };
+                let table_ref = &table;
+                let report = run_threads(&heap, n, 7, None, |pid| {
+                    move |ctx: &Ctx<'_>| {
+                        let mut tags = TagSource::new(pid);
+                        for _ in 0..200 {
+                            table_ref.attempt_eat(ctx, algo, &mut tags, pid);
+                        }
+                    }
+                });
+                report.assert_clean();
+                heap.used()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_philosophers);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! B1 — wall-clock cost of the uncontended tryLock hot path (descriptor
+//! creation, helping scan, multiInsert, run, multiRemove), real-threads
+//! driver, delays disabled.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfl_core::{try_locks, LockConfig, LockId, LockSpace, TryLockRequest};
+use wfl_idem::{IdemRun, Registry, TagSource, Thunk};
+use wfl_runtime::{real::run_threads, Addr, Ctx, Heap};
+
+struct Touch;
+impl Thunk for Touch {
+    fn run(&self, run: &mut IdemRun<'_, '_>) {
+        let c = Addr::from_word(run.arg(0));
+        let v = run.read(c);
+        run.write(c, v + 1);
+    }
+    fn max_ops(&self) -> usize {
+        2
+    }
+}
+
+fn bench_trylock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uncontended_trylock");
+    for &l in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
+            b.iter(|| {
+                let mut registry = Registry::new();
+                let touch = registry.register(Touch);
+                let heap = Heap::new(1 << 24);
+                let space = LockSpace::create_root(&heap, l, 2);
+                let counter = heap.alloc_root(1);
+                let cfg = LockConfig::new(2, l, 2).without_delays();
+                let (space_ref, reg_ref, cfg_ref) = (&space, &registry, &cfg);
+                let locks: Vec<LockId> = (0..l as u32).map(LockId).collect();
+                let report = run_threads(&heap, 1, 1, None, |_pid| {
+                    let locks = locks.clone();
+                    move |ctx: &Ctx<'_>| {
+                        let mut tags = TagSource::new(0);
+                        for _ in 0..500 {
+                            let req = TryLockRequest {
+                                locks: &locks,
+                                thunk: touch,
+                                args: &[counter.to_word()],
+                            };
+                            let m = try_locks(ctx, space_ref, reg_ref, cfg_ref, &mut tags, req);
+                            assert!(m.won);
+                        }
+                    }
+                });
+                report.assert_clean();
+                heap.used()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trylock);
+criterion_main!(benches);

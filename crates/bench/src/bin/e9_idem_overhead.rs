@@ -1,0 +1,93 @@
+//! E9 — Theorem 4.2: the idempotence construction has constant-factor
+//! overhead per operation.
+//!
+//! A thunk of k writes is executed (a) raw and (b) through the idempotent
+//! log, solo; the table shows steps and the ratio, which must be flat in
+//! k (constant factor), plus the helped case (4 concurrent helpers) where
+//! the *combined* work is shared.
+
+use wfl_bench::{header, row, verdict};
+use wfl_idem::{cell, Frame, IdemRun, Registry, TagSource, Thunk};
+use wfl_runtime::schedule::SeededRandom;
+use wfl_runtime::sim::SimBuilder;
+use wfl_runtime::{Addr, Ctx, Heap};
+
+struct ManyWrites(usize);
+impl Thunk for ManyWrites {
+    fn run(&self, run: &mut IdemRun<'_, '_>) {
+        let base = Addr::from_word(run.arg(0));
+        for i in 0..self.0 {
+            run.write(base.off(i as u32), i as u32 + 1);
+        }
+    }
+    fn max_ops(&self) -> usize {
+        self.0
+    }
+}
+
+fn steps_for(k: usize, raw: bool) -> u64 {
+    let mut registry = Registry::new();
+    let id = registry.register(ManyWrites(k));
+    let heap = Heap::new(1 << 20);
+    let base = heap.alloc_root(k);
+    let mut tags = TagSource::new(0);
+    let frame = Frame::create_root(&heap, &registry, id, tags.next_base(), &[base.to_word()]);
+    let reg = &registry;
+    let report = SimBuilder::new(&heap, 1)
+        .spawn(move |ctx: &Ctx| {
+            if raw {
+                frame.run_raw(ctx, reg);
+            } else {
+                frame.help(ctx, reg);
+            }
+        })
+        .run();
+    report.assert_clean();
+    for i in 0..k {
+        assert_eq!(cell::value(heap.peek(base.off(i as u32))), i as u32 + 1);
+    }
+    report.steps[0]
+}
+
+fn helped_steps(k: usize, helpers: usize) -> u64 {
+    let mut registry = Registry::new();
+    let id = registry.register(ManyWrites(k));
+    let heap = Heap::new(1 << 22);
+    let base = heap.alloc_root(k);
+    let mut tags = TagSource::new(0);
+    let frame = Frame::create_root(&heap, &registry, id, tags.next_base(), &[base.to_word()]);
+    let reg = &registry;
+    let report = SimBuilder::new(&heap, helpers)
+        .schedule(SeededRandom::new(helpers, k as u64))
+        .spawn_all(|_pid| move |ctx: &Ctx| frame.help(ctx, reg))
+        .run();
+    report.assert_clean();
+    report.steps.iter().sum()
+}
+
+fn main() {
+    println!("# E9: idempotence overhead (Theorem 4.2: constant factor)");
+    header(&["k ops", "raw steps", "idem steps (solo)", "ratio", "combined steps (4 helpers)"]);
+    let mut ratios = Vec::new();
+    for &k in &[1usize, 4, 16, 64, 128] {
+        let raw = steps_for(k, true);
+        let idem = steps_for(k, false);
+        let helped = helped_steps(k, 4);
+        let ratio = idem as f64 / raw as f64;
+        ratios.push(ratio);
+        row(&[
+            k.to_string(),
+            raw.to_string(),
+            idem.to_string(),
+            format!("{ratio:.2}"),
+            helped.to_string(),
+        ]);
+    }
+    println!();
+    let spread = ratios.iter().cloned().fold(f64::MIN, f64::max)
+        / ratios.iter().cloned().fold(f64::MAX, f64::min);
+    println!(
+        "overhead ratio spread across k: {spread:.2}x — flat ratio = constant factor ... {}",
+        verdict(spread < 2.0)
+    );
+}

@@ -1,0 +1,54 @@
+//! Shared utilities for the experiment binaries (E1–E12).
+//!
+//! Each binary regenerates one theorem-validation table; see `DESIGN.md`
+//! §2 for the experiment index and `EXPERIMENTS.md` for recorded results.
+
+use wfl_runtime::stats::Bernoulli;
+
+/// Prints a markdown table header.
+pub fn header(cols: &[&str]) {
+    println!("| {} |", cols.join(" | "));
+    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// Prints a markdown table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Formats a success estimate as `rate (lower-bound)` using the Wilson
+/// 99% lower bound.
+pub fn fmt_success(b: &Bernoulli) -> String {
+    format!("{:.3} (lb {:.3})", b.rate(), b.wilson_lower(2.58))
+}
+
+/// Verdict marker for bound checks.
+pub fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "ok"
+    } else {
+        "VIOLATED"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_success_shows_rate_and_bound() {
+        let mut b = Bernoulli::default();
+        for i in 0..100 {
+            b.record(i % 2 == 0);
+        }
+        let s = fmt_success(&b);
+        assert!(s.starts_with("0.500"));
+        assert!(s.contains("lb"));
+    }
+
+    #[test]
+    fn verdict_strings() {
+        assert_eq!(verdict(true), "ok");
+        assert_eq!(verdict(false), "VIOLATED");
+    }
+}

@@ -1,0 +1,101 @@
+//! Lock algorithm configuration: the paper's bounds `κ`, `L`, `T` and the
+//! delay constants.
+
+/// Configuration of the known-bounds lock algorithm (§6).
+///
+/// The delays derive from the bounds exactly as in the paper:
+/// `T0 = c0·κ²·L²·T` own steps from attempt start to the reveal step, and
+/// `T1 = c1·κ·L·T` own steps from the reveal step to the end of the
+/// attempt. `c0`/`c1` must be large enough that the actual work fits under
+/// the delay targets (a violation is reported in the attempt metrics as a
+/// *delay overrun* rather than silently breaking fairness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockConfig {
+    /// `κ`: maximum point contention on any single lock.
+    pub kappa: usize,
+    /// `L`: maximum number of locks per tryLock attempt.
+    pub l_max: usize,
+    /// `T`: maximum number of shared operations in a critical section.
+    pub t_max: usize,
+    /// Constant for the pre-reveal delay `T0`.
+    pub c0: u64,
+    /// Constant for the post-reveal delay `T1`.
+    pub c1: u64,
+    /// Paper delays enabled (disable only for the E11 ablation).
+    pub delays: bool,
+    /// Pre-insert helping phase enabled (disable only for the E12
+    /// ablation).
+    pub helping: bool,
+}
+
+impl LockConfig {
+    /// A configuration with the default delay constants.
+    ///
+    /// # Panics
+    /// Panics if any bound is zero.
+    pub fn new(kappa: usize, l_max: usize, t_max: usize) -> LockConfig {
+        assert!(kappa > 0 && l_max > 0 && t_max > 0, "bounds must be positive");
+        LockConfig { kappa, l_max, t_max, c0: 40, c1: 40, delays: true, helping: true }
+    }
+
+    /// The fixed number of own steps from attempt start to the reveal step
+    /// (`T0 = c0·κ²·L²·T`).
+    pub fn t0(&self) -> u64 {
+        self.c0 * (self.kappa * self.kappa * self.l_max * self.l_max * self.t_max) as u64
+    }
+
+    /// The fixed number of own steps from the reveal step to the end of
+    /// the attempt (`T1 = c1·κ·L·T`).
+    pub fn t1(&self) -> u64 {
+        self.c1 * (self.kappa * self.l_max * self.t_max) as u64
+    }
+
+    /// The paper's per-attempt step bound `O(κ²L²T)` with these constants:
+    /// every attempt takes exactly `T0 + T1` own steps when delays are
+    /// enabled (and at most that plus a constant for the final reads).
+    pub fn step_bound(&self) -> u64 {
+        self.t0() + self.t1()
+    }
+
+    /// Disables the fixed delays (E11 ablation). The algorithm remains
+    /// safe (mutual exclusion holds) but the fairness bound is forfeited.
+    pub fn without_delays(mut self) -> LockConfig {
+        self.delays = false;
+        self
+    }
+
+    /// Disables the pre-insert helping phase (E12 ablation). Mutual
+    /// exclusion still holds but both the fairness argument and the
+    /// bounded-steps-under-stall property are forfeited.
+    pub fn without_helping(mut self) -> LockConfig {
+        self.helping = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_formulas_match_paper() {
+        let cfg = LockConfig::new(3, 2, 5);
+        assert_eq!(cfg.t0(), cfg.c0 * 9 * 4 * 5);
+        assert_eq!(cfg.t1(), cfg.c1 * 3 * 2 * 5);
+        assert_eq!(cfg.step_bound(), cfg.t0() + cfg.t1());
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let cfg = LockConfig::new(2, 2, 2);
+        assert!(cfg.delays && cfg.helping);
+        assert!(!cfg.without_delays().delays);
+        assert!(!cfg.without_helping().helping);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bound_rejected() {
+        LockConfig::new(0, 1, 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Per-attempt and per-operation metrics reported by the lock algorithm.
+
+/// Outcome and cost of one tryLock attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttemptMetrics {
+    /// Whether the attempt acquired all its locks (and its thunk ran).
+    pub won: bool,
+    /// Own steps consumed by the attempt, start to finish.
+    pub steps: u64,
+    /// Descriptors helped during the pre-insert helping phase.
+    pub helped: u64,
+    /// True if the attempt's real work exceeded the `T0` delay target
+    /// before the reveal step (the configured `c0` is too small for the
+    /// workload; fairness guarantees are then void).
+    pub delay_overrun: bool,
+}
+
+/// Outcome and cost of a retry-until-success lock acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryMetrics {
+    /// Attempts used (≥ 1); the final one succeeded.
+    pub attempts: u64,
+    /// Total own steps across all attempts.
+    pub steps: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_are_plain_data() {
+        let a = AttemptMetrics { won: true, steps: 10, helped: 2, delay_overrun: false };
+        let b = a;
+        assert_eq!(a, b);
+        let r = RetryMetrics { attempts: 3, steps: 50 };
+        assert_eq!(r.attempts, 3);
+    }
+}

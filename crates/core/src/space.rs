@@ -1,0 +1,66 @@
+//! The lock space: the system of locks, each represented by an active set.
+
+use crate::descriptor::LockId;
+use wfl_activeset::ActiveSet;
+use wfl_runtime::Heap;
+
+/// A fixed collection of locks created at setup time. Each lock is an
+/// active set (§6: "each lock is represented by an active set object that
+/// is part of a single multi active set object").
+#[derive(Debug)]
+pub struct LockSpace {
+    locks: Vec<ActiveSet>,
+}
+
+impl LockSpace {
+    /// Creates `nlocks` locks whose active sets each hold up to `capacity`
+    /// concurrent attempts: the contention bound `κ` for the known-bounds
+    /// algorithm (§6), or the process count `P` for the unknown-bounds
+    /// variant (§6.2).
+    ///
+    /// # Panics
+    /// Panics if `nlocks` or `capacity` is zero.
+    pub fn create_root(heap: &Heap, nlocks: usize, capacity: usize) -> LockSpace {
+        assert!(nlocks > 0, "need at least one lock");
+        let locks = (0..nlocks).map(|_| ActiveSet::create_root(heap, capacity)).collect();
+        LockSpace { locks }
+    }
+
+    /// Number of locks.
+    pub fn len(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Whether the space has no locks (never true for a created space).
+    pub fn is_empty(&self) -> bool {
+        self.locks.is_empty()
+    }
+
+    /// The active set representing `lock`.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn set(&self, lock: LockId) -> &ActiveSet {
+        &self.locks[lock.0 as usize]
+    }
+
+    /// All lock ids, for workload generators.
+    pub fn ids(&self) -> impl Iterator<Item = LockId> + '_ {
+        (0..self.locks.len() as u32).map(LockId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_index() {
+        let heap = Heap::new(1 << 12);
+        let space = LockSpace::create_root(&heap, 3, 4);
+        assert_eq!(space.len(), 3);
+        assert!(!space.is_empty());
+        assert_eq!(space.ids().count(), 3);
+        assert_eq!(space.set(LockId(2)).capacity(), 4);
+    }
+}

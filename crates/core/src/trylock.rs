@@ -1,0 +1,278 @@
+//! Algorithm 3: the fast and fair randomized wait-free tryLock.
+//!
+//! A tryLock attempt, in the order of the paper's pseudocode:
+//!
+//! 1. create a descriptor (status `active`, priority unset);
+//! 2. **helping phase**: for each of its locks, read the (flag-filtered)
+//!    active set and `run` every revealed competitor to completion — any
+//!    attempt whose priority the player adversary could have seen before
+//!    starting us is forced to finish without competing against us;
+//! 3. **multiInsert** the descriptor into its locks' active sets; raising
+//!    the flag is the *reveal step*: stall until exactly `T0` own steps
+//!    have elapsed since the attempt started, then write a fresh uniformly
+//!    random priority — so the reveal time is a fixed function of the
+//!    start time, denying the adversary any priority-dependent timing;
+//! 4. `run(p)`: compete — compare priorities against every active
+//!    competitor on every lock, eliminating the lower side; then `decide`
+//!    (CAS `active → won`) and celebrate;
+//! 5. **multiRemove**, and stall until `T0 + T1` own steps so the end of
+//!    the attempt is also a fixed function of its start.
+//!
+//! `run` is also the *helping function*: any process can run it on any
+//! revealed descriptor, which is what makes the lock wait-free — a stalled
+//! winner's critical section is completed by its competitors
+//! (idempotently, via `wfl-idem`).
+
+use crate::config::LockConfig;
+use crate::descriptor::{
+    make_priority, Desc, LockId, PRIO_TBD, PRIO_UNSET, ST_ACTIVE, ST_LOST, ST_WON,
+};
+use crate::metrics::AttemptMetrics;
+use crate::space::LockSpace;
+use std::cell::Cell;
+use wfl_activeset::{get_members_by, multi_insert, multi_remove, ActiveSet, Flag};
+use wfl_idem::{Frame, Registry, TagSource, ThunkId};
+use wfl_runtime::{Addr, Ctx};
+
+/// A tryLock request: the lock set and the critical section to run on
+/// success.
+#[derive(Debug, Clone, Copy)]
+pub struct TryLockRequest<'a> {
+    /// Locks to acquire (distinct, at most the configured `L`).
+    pub locks: &'a [LockId],
+    /// The registered critical-section thunk.
+    pub thunk: ThunkId,
+    /// Arguments for the thunk frame.
+    pub args: &'a [u64],
+}
+
+/// The multi-active-set flag strategy of the known-bounds algorithm: the
+/// priority word is the flag; raising it is the reveal step, with the
+/// paper's `T0` delay folded in.
+struct RevealFlag {
+    /// Stall target (absolute own steps) before revealing; `None` when
+    /// delays are ablated.
+    reveal_at: Option<u64>,
+    /// Unique serial for tie-free priorities.
+    tag_base: u32,
+    /// Set if real work overran the delay target (fairness void).
+    overrun: Cell<bool>,
+}
+
+impl Flag for RevealFlag {
+    fn clear(&self, ctx: &Ctx<'_>, item: u64) {
+        ctx.write(Desc::from_item(item).prio_addr(), PRIO_UNSET);
+    }
+
+    fn set(&self, ctx: &Ctx<'_>, item: u64) {
+        if let Some(target) = self.reveal_at {
+            if ctx.steps() > target {
+                self.overrun.set(true);
+            }
+            ctx.stall_until_steps(target);
+        }
+        let r = ctx.rand_u64();
+        ctx.write(Desc::from_item(item).prio_addr(), make_priority(r, self.tag_base));
+    }
+
+    fn get(&self, ctx: &Ctx<'_>, item: u64) -> bool {
+        Desc::from_item(item).priority(ctx) > PRIO_TBD
+    }
+}
+
+/// Reads the flag-filtered membership of a lock's active set: the
+/// descriptors whose priority is revealed.
+pub(crate) fn revealed_members(ctx: &Ctx<'_>, set: &ActiveSet, out: &mut Vec<u64>) {
+    get_members_by(ctx, |ctx, item| Desc::from_item(item).priority(ctx) > PRIO_TBD, set, out);
+}
+
+/// `eliminate(p)`: one-shot transition `active → lost`. Idempotent under
+/// arbitrary helper races (monotonic CAS).
+#[inline]
+pub(crate) fn eliminate(ctx: &Ctx<'_>, p: Desc) {
+    ctx.cas_bool(p.status_addr(), ST_ACTIVE, ST_LOST);
+}
+
+/// `decide(p)`: one-shot transition `active → won`; succeeds iff `p` was
+/// never eliminated.
+#[inline]
+pub(crate) fn decide(ctx: &Ctx<'_>, p: Desc) {
+    ctx.cas_bool(p.status_addr(), ST_ACTIVE, ST_WON);
+}
+
+/// `celebrateIfWon(p)`: if `p` has won, run its thunk (idempotently; any
+/// number of helpers may do this concurrently).
+#[inline]
+pub(crate) fn celebrate_if_won(ctx: &Ctx<'_>, registry: &Registry, p: Desc) {
+    if p.status(ctx) == ST_WON {
+        wfl_runtime::trace::emit(|| format!("t={} pid={} celebrate({:?}) begin", ctx.now(), ctx.pid(), p.0));
+        p.frame(ctx).help(ctx, registry);
+        wfl_runtime::trace::emit(|| format!("t={} pid={} celebrate({:?}) end", ctx.now(), ctx.pid(), p.0));
+    }
+}
+
+/// The `run` function of Algorithm 3 — both the competition step and the
+/// helping function. Compares `p`'s priority with every active competitor
+/// on every lock in `p`'s lock set, eliminating the lower side; then
+/// decides `p` and celebrates.
+///
+/// For §6.2 descriptors (those carrying a frozen snapshot), the member
+/// lists come from the snapshot instead of querying the active sets, and a
+/// competitor whose priority is still TBD causes `p` to self-eliminate
+/// (the conservative reconstruction documented in DESIGN.md §1.5).
+pub(crate) fn run_desc(ctx: &Ctx<'_>, space: &LockSpace, registry: &Registry, p: Desc) {
+    wfl_runtime::trace::emit(|| format!("t={} pid={} run_desc({:?}) begin", ctx.now(), ctx.pid(), p.0));
+    let nlocks = p.nlocks(ctx);
+    let snap = p.snapshot(ctx);
+    let mut members: Vec<u64> = Vec::new();
+    let mut snap_off = 0u32;
+    for li in 0..nlocks {
+        if snap.is_null() {
+            let lock = p.lock(ctx, li);
+            revealed_members(ctx, space.set(lock), &mut members);
+        } else {
+            // §6.2: read the frozen per-lock snapshot from the heap.
+            members.clear();
+            let count = ctx.read(snap.off(snap_off)) as u32;
+            for k in 0..count {
+                members.push(ctx.read(snap.off(snap_off + 1 + k)));
+            }
+            snap_off += 1 + count;
+        }
+        wfl_runtime::trace::emit(|| format!("t={} pid={} run_desc({:?}) lock#{} members={:?} p.status={}", ctx.now(), ctx.pid(), p.0, li, members, ctx.heap().peek(p.status_addr())));
+        if p.status(ctx) == ST_ACTIVE {
+            for &m in &members {
+                let q = Desc::from_item(m);
+                if q.status(ctx) == ST_ACTIVE {
+                    let pq = q.priority(ctx);
+                    let pp = p.priority(ctx);
+                    if pq == PRIO_TBD {
+                        // §6.2 conservative rule: unknown competitor
+                        // priority — p loses the comparison.
+                        if q != p {
+                            eliminate(ctx, p);
+                        }
+                    } else if pp > PRIO_TBD && pq > PRIO_TBD {
+                        wfl_runtime::trace::emit(|| format!("t={} pid={} compare p={:?}({:x}) q={:?}({:x}) -> eliminate {:?}", ctx.now(), ctx.pid(), p.0, pp, q.0, pq, if pp > pq { q.0 } else { p.0 }));
+                        if pp > pq {
+                            eliminate(ctx, q);
+                        } else if q != p {
+                            eliminate(ctx, p);
+                        }
+                    }
+                }
+                celebrate_if_won(ctx, registry, q);
+            }
+        }
+    }
+    decide(ctx, p);
+    wfl_runtime::trace::emit(|| format!("t={} pid={} decide({:?}) -> status={}", ctx.now(), ctx.pid(), p.0, ctx.heap().peek(p.status_addr())));
+    celebrate_if_won(ctx, registry, p);
+    wfl_runtime::trace::emit(|| format!("t={} pid={} run_desc({:?}) end status={}", ctx.now(), ctx.pid(), p.0, ctx.heap().peek(p.status_addr())));
+}
+
+/// Executes one tryLock attempt (the known-bounds algorithm of §6).
+///
+/// Returns the attempt's outcome and step cost. On success, the thunk has
+/// been run (by this process or a helper) before the call returns; on
+/// failure, no run of the thunk ever happens (Definition 4.3).
+///
+/// # Panics
+/// Panics if the request violates the configuration: more than
+/// `cfg.l_max` locks, duplicate locks, an empty lock set, or a thunk
+/// declaring more than `cfg.t_max` operations.
+pub fn try_locks(
+    ctx: &Ctx<'_>,
+    space: &LockSpace,
+    registry: &Registry,
+    cfg: &LockConfig,
+    tags: &mut TagSource,
+    req: TryLockRequest<'_>,
+) -> AttemptMetrics {
+    validate(space, registry, cfg.l_max, cfg.t_max, &req);
+    let start = ctx.steps();
+    let tag_base = tags.next_base();
+
+    // Descriptor + thunk frame (private until inserted).
+    let frame = Frame::create(ctx, registry, req.thunk, tag_base, req.args);
+    let p = Desc::create(ctx, req.locks, frame);
+    wfl_runtime::trace::emit(|| format!("t={} pid={} start attempt {:?} frame={:?}", ctx.now(), ctx.pid(), p.0, frame.0));
+
+    // Helping phase: clear the field of every already-revealed competitor.
+    let mut helped = 0u64;
+    if cfg.helping {
+        let mut members = Vec::new();
+        for &l in req.locks {
+            revealed_members(ctx, space.set(l), &mut members);
+            for &m in &members {
+                run_desc(ctx, space, registry, Desc::from_item(m));
+                helped += 1;
+            }
+        }
+    }
+
+    // multiInsert; the flag raise is the reveal step with the T0 delay.
+    let sets: Vec<ActiveSet> = req.locks.iter().map(|&l| *space.set(l)).collect();
+    let flag = RevealFlag {
+        reveal_at: cfg.delays.then(|| start + cfg.t0()),
+        tag_base,
+        overrun: Cell::new(false),
+    };
+    let slots = multi_insert(ctx, &flag, p.item(), &sets);
+    wfl_runtime::trace::emit(|| format!("t={} pid={} revealed {:?} prio={:x}", ctx.now(), ctx.pid(), p.0, ctx.heap().peek(p.prio_addr())));
+
+    // Compete.
+    run_desc(ctx, space, registry, p);
+
+    // Clean up, then pad to the fixed attempt length.
+    multi_remove(ctx, &flag, p.item(), &sets, &slots);
+    if cfg.delays {
+        if ctx.steps() > start + cfg.t0() + cfg.t1() {
+            flag.overrun.set(true);
+        }
+        ctx.stall_until_steps(start + cfg.t0() + cfg.t1());
+    }
+
+    AttemptMetrics {
+        won: p.status(ctx) == ST_WON,
+        steps: ctx.steps() - start,
+        helped,
+        delay_overrun: flag.overrun.get(),
+    }
+}
+
+pub(crate) fn validate(
+    space: &LockSpace,
+    registry: &Registry,
+    l_max: usize,
+    t_max: usize,
+    req: &TryLockRequest<'_>,
+) {
+    assert!(!req.locks.is_empty(), "a tryLock needs at least one lock");
+    assert!(
+        req.locks.len() <= l_max,
+        "{} locks exceeds the configured L = {}",
+        req.locks.len(),
+        l_max
+    );
+    for (i, l) in req.locks.iter().enumerate() {
+        assert!((l.0 as usize) < space.len(), "unknown lock id {}", l.0);
+        assert!(
+            !req.locks[..i].contains(l),
+            "duplicate lock id {} in the lock set",
+            l.0
+        );
+    }
+    let ops = registry.get(req.thunk).max_ops();
+    assert!(ops <= t_max, "thunk declares {ops} ops, exceeding the configured T = {t_max}");
+}
+
+/// Uncounted inspection helper for tests: whether a descriptor won.
+pub fn peek_won(heap: &wfl_runtime::Heap, p: Desc) -> bool {
+    p.peek_status(heap) == ST_WON
+}
+
+/// Address of a word inside the snapshot region (used by `unknown.rs`).
+pub(crate) fn snap_word(snap: Addr, off: u32) -> Addr {
+    snap.off(off)
+}

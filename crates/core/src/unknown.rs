@@ -1,0 +1,177 @@
+//! The unknown-bounds variant (§6.2): wait-free locks without knowing `κ`,
+//! `L` or `T`.
+//!
+//! Differences from the known-bounds algorithm, following the paper's
+//! sketch (the full pseudocode is only in the arXiv full version; the
+//! reconstruction choices are documented in DESIGN.md §1.5):
+//!
+//! * Active sets are sized at the process count `P` instead of `κ` (the
+//!   caller does this when creating the [`crate::space::LockSpace`]).
+//! * The reveal step splits in two. The **participation reveal** writes
+//!   the TBD marker after the multiInsert; the **priority reveal** happens
+//!   only after the attempt has (a) queried all its locks' active sets and
+//!   (b) frozen those memberships into a heap snapshot published through
+//!   the descriptor. After the priority is revealed the active sets are
+//!   never queried again on behalf of this attempt — `run` uses the frozen
+//!   snapshot — so the adversary learns the priority only after it can no
+//!   longer shape the attempt's competitor set.
+//! * Fixed delays are replaced by the **doubling trick**: before each
+//!   reveal (and at the end of the attempt) the process stalls until its
+//!   own-step count since the attempt start reaches the next power of two,
+//!   so the adversary can steer the reveal time among only `log(κLT)`
+//!   values — the source of the `log` factor in Theorem 6.10.
+//! * A competitor whose priority is still TBD at comparison time cannot be
+//!   compared; the attempt conservatively self-eliminates (wait-free, and
+//!   mutual exclusion is preserved; fairness cost measured in E6).
+
+use crate::descriptor::{make_priority, Desc, PRIO_TBD, PRIO_UNSET, ST_WON};
+use crate::metrics::AttemptMetrics;
+use crate::space::LockSpace;
+use crate::trylock::{run_desc, validate, TryLockRequest};
+use wfl_activeset::{get_members_by, multi_insert, multi_remove, ActiveSet, Flag};
+use wfl_idem::{Frame, Registry, TagSource};
+use wfl_runtime::Ctx;
+
+/// Configuration of the unknown-bounds algorithm: only the ablation
+/// switches remain — there are no bounds to configure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownConfig {
+    /// Doubling delays enabled (disable only for ablations).
+    pub delays: bool,
+    /// Pre-insert helping phase enabled (disable only for ablations).
+    pub helping: bool,
+    /// Upper bound on locks per attempt accepted by validation (a sanity
+    /// limit, not an algorithm parameter; defaults to the lock count).
+    pub l_limit: usize,
+}
+
+impl UnknownConfig {
+    /// Default configuration.
+    pub fn new() -> UnknownConfig {
+        UnknownConfig { delays: true, helping: true, l_limit: usize::MAX }
+    }
+}
+
+impl Default for UnknownConfig {
+    fn default() -> Self {
+        UnknownConfig::new()
+    }
+}
+
+/// Flag strategy for §6.2: raising the flag writes the TBD marker (the
+/// participation reveal), with the doubling delay folded in.
+struct TbdFlag {
+    start: u64,
+    delays: bool,
+}
+
+impl Flag for TbdFlag {
+    fn clear(&self, ctx: &Ctx<'_>, item: u64) {
+        ctx.write(Desc::from_item(item).prio_addr(), PRIO_UNSET);
+    }
+
+    fn set(&self, ctx: &Ctx<'_>, item: u64) {
+        if self.delays {
+            stall_to_pow2(ctx, self.start);
+        }
+        ctx.write(Desc::from_item(item).prio_addr(), PRIO_TBD);
+    }
+
+    fn get(&self, ctx: &Ctx<'_>, item: u64) -> bool {
+        Desc::from_item(item).priority(ctx) != PRIO_UNSET
+    }
+}
+
+/// Stalls until own steps since `start` reach the next power of two.
+fn stall_to_pow2(ctx: &Ctx<'_>, start: u64) {
+    let elapsed = (ctx.steps() - start).max(1);
+    ctx.stall_until_steps(start + elapsed.next_power_of_two());
+}
+
+/// Executes one tryLock attempt without knowing `κ`, `L` or `T`
+/// (Theorem 6.10). Semantics match [`crate::trylock::try_locks`]; the
+/// success probability carries an extra `1/log(κLT)` factor.
+///
+/// # Panics
+/// Panics on invalid requests (unknown/duplicate/empty lock sets).
+pub fn try_locks_unknown(
+    ctx: &Ctx<'_>,
+    space: &LockSpace,
+    registry: &Registry,
+    cfg: &UnknownConfig,
+    tags: &mut TagSource,
+    req: TryLockRequest<'_>,
+) -> AttemptMetrics {
+    validate(space, registry, cfg.l_limit.min(space.len()), usize::MAX, &req);
+    let start = ctx.steps();
+    let tag_base = tags.next_base();
+
+    let frame = Frame::create(ctx, registry, req.thunk, tag_base, req.args);
+    let p = Desc::create(ctx, req.locks, frame);
+
+    // Helping phase: run every already-revealed competitor to completion.
+    let mut helped = 0u64;
+    if cfg.helping {
+        let mut members = Vec::new();
+        for &l in req.locks {
+            crate::trylock::revealed_members(ctx, space.set(l), &mut members);
+            for &m in &members {
+                run_desc(ctx, space, registry, Desc::from_item(m));
+                helped += 1;
+            }
+        }
+    }
+
+    // multiInsert; the flag raise is the PARTICIPATION reveal (TBD).
+    let sets: Vec<ActiveSet> = req.locks.iter().map(|&l| *space.set(l)).collect();
+    let flag = TbdFlag { start, delays: cfg.delays };
+    let slots = multi_insert(ctx, &flag, p.item(), &sets);
+
+    // Freeze the competitor sets: query every lock once (including TBD
+    // participants) and publish the snapshot through the descriptor.
+    let mut frozen: Vec<Vec<u64>> = Vec::with_capacity(sets.len());
+    let mut members = Vec::new();
+    for set in &sets {
+        get_members_by(
+            ctx,
+            |ctx, item| Desc::from_item(item).priority(ctx) != PRIO_UNSET,
+            set,
+            &mut members,
+        );
+        frozen.push(members.clone());
+    }
+    let snap_words: usize = frozen.iter().map(|f| 1 + f.len()).sum();
+    let snap = ctx.alloc(snap_words.max(1));
+    let mut off = 0u32;
+    for f in &frozen {
+        ctx.write(crate::trylock::snap_word(snap, off), f.len() as u64);
+        for (k, &m) in f.iter().enumerate() {
+            ctx.write(crate::trylock::snap_word(snap, off + 1 + k as u32), m);
+        }
+        off += 1 + f.len() as u32;
+    }
+    p.set_snapshot(ctx, snap);
+
+    // PRIORITY reveal, behind a second doubling delay.
+    if cfg.delays {
+        stall_to_pow2(ctx, start);
+    }
+    let r = ctx.rand_u64();
+    ctx.write(p.prio_addr(), make_priority(r, tag_base));
+
+    // Compete over the frozen snapshot.
+    run_desc(ctx, space, registry, p);
+
+    // Clean up; pad the attempt end to a power-of-two length.
+    multi_remove(ctx, &flag, p.item(), &sets, &slots);
+    if cfg.delays {
+        stall_to_pow2(ctx, start);
+    }
+
+    AttemptMetrics {
+        won: p.status(ctx) == ST_WON,
+        steps: ctx.steps() - start,
+        helped,
+        delay_overrun: false,
+    }
+}

@@ -1,0 +1,75 @@
+//! Regression test for the idempotent-write double-apply bug.
+//!
+//! Found by deterministic adversarial simulation (seed 106, bursty
+//! schedule): a stale helper of an earlier critical section read its log
+//! slot as EMPTY, slept across the slot's completion AND a later critical
+//! section's increment, then woke, re-read the *current* cell and
+//! re-applied the old write — regressing the counter by one. A
+//! check-then-apply write protocol cannot prevent this (the re-read makes
+//! the CAS expectation fresh); the fix routes writes through the agreed
+//! witness protocol, whose apply CAS expects a value that can never recur.
+//!
+//! This test pins the exact failing execution plus a wide sweep of bursty
+//! schedules (the schedule family that exposes long helper sleeps).
+
+use wfl_core::{try_locks, LockConfig, LockId, LockSpace, TryLockRequest};
+use wfl_idem::{cell, IdemRun, Registry, TagSource, Thunk};
+use wfl_runtime::schedule::Bursty;
+use wfl_runtime::sim::SimBuilder;
+use wfl_runtime::{Addr, Ctx, Heap};
+
+struct Incr;
+impl Thunk for Incr {
+    fn run(&self, run: &mut IdemRun<'_, '_>) {
+        let c = Addr::from_word(run.arg(0));
+        let v = run.read(c);
+        run.write(c, v + 1);
+    }
+    fn max_ops(&self) -> usize {
+        2
+    }
+}
+
+fn run_seed(seed: u64) -> (u64, u64) {
+    let mut registry = Registry::new();
+    let incr = registry.register(Incr);
+    let heap = Heap::new(1 << 22);
+    let space = LockSpace::create_root(&heap, 1, 4);
+    let counter = heap.alloc_root(1);
+    let outcomes = heap.alloc_root(20);
+    let cfg = LockConfig::new(4, 1, 2).without_delays();
+    let (space_ref, reg_ref, cfg_ref) = (&space, &registry, &cfg);
+    let report = SimBuilder::new(&heap, 4)
+        .seed(seed)
+        .max_steps(200_000_000)
+        .schedule(Bursty::new(4, 40, seed))
+        .spawn_all(|pid| {
+            move |ctx: &Ctx| {
+                let mut tags = TagSource::new(pid);
+                for round in 0..5 {
+                    let args = [counter.to_word()];
+                    let req = TryLockRequest { locks: &[LockId(0)], thunk: incr, args: &args };
+                    let m = try_locks(ctx, space_ref, reg_ref, cfg_ref, &mut tags, req);
+                    ctx.write(outcomes.off((pid * 5 + round) as u32), m.won as u64);
+                }
+            }
+        })
+        .run();
+    report.assert_clean();
+    let wins: u64 = (0..20).map(|i| heap.peek(outcomes.off(i))).sum();
+    (cell::value(heap.peek(counter)) as u64, wins)
+}
+
+#[test]
+fn seed_106_no_lost_update() {
+    let (counter, wins) = run_seed(106);
+    assert_eq!(counter, wins, "the seed-106 double-apply regression is back");
+}
+
+#[test]
+fn bursty_schedule_sweep_no_lost_updates() {
+    for seed in 0..60 {
+        let (counter, wins) = run_seed(seed);
+        assert_eq!(counter, wins, "seed {seed}: lost or phantom update under bursty schedule");
+    }
+}

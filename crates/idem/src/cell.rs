@@ -1,0 +1,73 @@
+//! Tagged cells: the memory representation for idempotent writes and CAS.
+//!
+//! A tagged cell is one heap word packing a 32-bit value with a 30-bit tag
+//! identifying the (attempt, operation) that last mutated it:
+//!
+//! ```text
+//! bit 63 62 61........32 31.........0
+//!      0  0 |   tag 30b  |  value 32b |
+//! ```
+//!
+//! Because every tagged mutation installs a tag that is unique across the
+//! heap's lifetime, a cell never holds the same word twice, so a full-word
+//! CAS from an observed state can succeed at most once — the at-most-once
+//! half of idempotent writes, with no ABA possible. The two top bits are
+//! kept zero so a cell word always fits in a log slot's 62-bit payload.
+
+/// Maximum tag (30 bits).
+pub const TAG_MAX: u32 = (1 << 30) - 1;
+
+/// Packs a tag and value into a cell word.
+///
+/// # Panics
+/// Panics (debug) if the tag exceeds 30 bits.
+#[inline]
+pub fn pack(tag: u32, value: u32) -> u64 {
+    debug_assert!(tag <= TAG_MAX, "tag {tag:#x} exceeds 30 bits");
+    ((tag as u64) << 32) | value as u64
+}
+
+/// The 32-bit value stored in a cell word.
+#[inline]
+pub fn value(word: u64) -> u32 {
+    word as u32
+}
+
+/// The 30-bit tag stored in a cell word (0 = never mutated by a tagged
+/// operation).
+#[inline]
+pub fn tag(word: u64) -> u32 {
+    ((word >> 32) & TAG_MAX as u64) as u32
+}
+
+/// Initializes a cell word with an untagged value (tag 0), for harness
+/// setup of initial memory contents.
+#[inline]
+pub fn untagged(value: u32) -> u64 {
+    value as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        let w = pack(0x3abc_def0 & TAG_MAX, 0x1234_5678);
+        assert_eq!(value(w), 0x1234_5678);
+        assert_eq!(tag(w), 0x3abc_def0 & TAG_MAX);
+    }
+
+    #[test]
+    fn top_two_bits_stay_clear() {
+        let w = pack(TAG_MAX, u32::MAX);
+        assert_eq!(w >> 62, 0, "cell word must fit a 62-bit log payload");
+    }
+
+    #[test]
+    fn untagged_has_zero_tag() {
+        let w = untagged(99);
+        assert_eq!(tag(w), 0);
+        assert_eq!(value(w), 99);
+    }
+}

@@ -1,0 +1,120 @@
+//! Allocation of unique operation tags.
+//!
+//! A tag (30 bits) identifies one shared-memory operation of one thunk
+//! attempt: `pid (10 bits) | attempt counter (12 bits) | op index (8 bits)`.
+//! Uniqueness is what makes tagged writes apply at most once (no cell state
+//! ever repeats, so no ABA); it is guaranteed *per heap lifetime* without
+//! any shared coordination: each process draws attempt serials from its own
+//! counter. After a quiescent [`wfl_runtime::Heap::reset_to`] the counters
+//! may be rewound (the harness does this), because no helper from before
+//! the reset can still be poised to apply a stale operation.
+
+/// Maximum processes whose pids fit the tag layout.
+pub const MAX_PIDS: usize = 1 << 10;
+/// Maximum attempts per process per heap lifetime.
+pub const MAX_ATTEMPTS: u32 = 1 << 12;
+/// Maximum shared operations per thunk.
+pub const MAX_OPS: usize = 1 << 8;
+
+/// A per-process source of unique attempt tag bases.
+#[derive(Debug, Clone)]
+pub struct TagSource {
+    pid: u32,
+    counter: u32,
+}
+
+impl TagSource {
+    /// Creates the tag source for process `pid`.
+    ///
+    /// # Panics
+    /// Panics if `pid >= MAX_PIDS`.
+    pub fn new(pid: usize) -> TagSource {
+        assert!(pid < MAX_PIDS, "pid {pid} exceeds tag space ({MAX_PIDS} pids)");
+        TagSource { pid: pid as u32, counter: 0 }
+    }
+
+    /// Returns a fresh attempt tag base. Op tags are `base | op_index`.
+    ///
+    /// # Panics
+    /// Panics if the process exceeds [`MAX_ATTEMPTS`] attempts without a
+    /// heap reset (the experiment harness resets well before this).
+    pub fn next_base(&mut self) -> u32 {
+        self.counter += 1;
+        assert!(
+            self.counter < MAX_ATTEMPTS,
+            "tag space exhausted for pid {}: reset the heap between batches",
+            self.pid
+        );
+        (self.pid << 20) | (self.counter << 8)
+    }
+
+    /// Rewinds the counter after a quiescent heap reset.
+    pub fn reset(&mut self) {
+        self.counter = 0;
+    }
+}
+
+/// Combines an attempt tag base with an operation index.
+///
+/// # Panics
+/// Panics (debug) if `op >= MAX_OPS`.
+#[inline]
+pub fn op_tag(base: u32, op: usize) -> u32 {
+    debug_assert!(op < MAX_OPS, "op index {op} exceeds {MAX_OPS}");
+    base | op as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn bases_are_unique_within_and_across_pids() {
+        let mut seen = HashSet::new();
+        for pid in [0usize, 1, 5, MAX_PIDS - 1] {
+            let mut src = TagSource::new(pid);
+            for _ in 0..100 {
+                assert!(seen.insert(src.next_base()), "duplicate tag base");
+            }
+        }
+    }
+
+    #[test]
+    fn op_tags_are_unique_per_attempt() {
+        let mut src = TagSource::new(3);
+        let base = src.next_base();
+        let mut seen = HashSet::new();
+        for op in 0..MAX_OPS {
+            assert!(seen.insert(op_tag(base, op)));
+        }
+    }
+
+    #[test]
+    fn tags_are_nonzero_and_fit_30_bits() {
+        let mut src = TagSource::new(0);
+        let base = src.next_base();
+        assert!(op_tag(base, 0) > 0, "tag 0 is reserved for untagged cells");
+        let mut src_max = TagSource::new(MAX_PIDS - 1);
+        let mut last = 0;
+        for _ in 0..(MAX_ATTEMPTS - 1) {
+            last = src_max.next_base();
+        }
+        assert!(op_tag(last, MAX_OPS - 1) <= crate::cell::TAG_MAX);
+    }
+
+    #[test]
+    fn reset_rewinds_counter() {
+        let mut src = TagSource::new(1);
+        let first = src.next_base();
+        src.next_base();
+        src.reset();
+        assert_eq!(src.next_base(), first);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds tag space")]
+    fn pid_out_of_range_panics() {
+        TagSource::new(MAX_PIDS);
+    }
+}

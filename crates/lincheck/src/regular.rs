@@ -1,0 +1,234 @@
+//! Set-regularity checking for the multi active set (Algorithm 2).
+//!
+//! The paper requires the multi active set to satisfy *set regularity*
+//! (§5.2): every `multiInsert`/`multiRemove` appears to take effect
+//! atomically at some point within its interval; a `getSet` invoked after
+//! that point sees the effect, one that responds before it does not, and
+//! one that overlaps it may see either. Unlike linearizability, two
+//! overlapping `getSet`s may disagree about overlapping updates.
+//!
+//! The checker below is an *interval-based violation detector*: it verifies,
+//! per item, the two conditions that set regularity makes mandatory:
+//!
+//! 1. **No phantoms**: if a `getSet` `G` reports `x ∈ S`, then some
+//!    `insert(x)` was invoked before `G` responded, and it is not the case
+//!    that a `remove(x)` responded before `G` was invoked with no later
+//!    `insert(x)` invoked before `G` responded.
+//! 2. **No lost members**: if a `getSet` `G` reports `x ∉ S`, then it is
+//!    not the case that some `insert(x)` responded before `G` was invoked
+//!    while no `remove(x)` was invoked before `G` responded.
+//!
+//! These conditions are *necessary* for set regularity, so any reported
+//! violation is real; the detector is sound (it may accept some histories a
+//! full existential-point search would reject, which suffices for testing).
+
+use wfl_runtime::{Event, History};
+
+/// Multi-active-set op code: `insert(item=a)` into set `b` (interval = the
+/// covering multiInsert's interval).
+pub const MS_INSERT: u32 = 20;
+/// Multi-active-set op code: `remove(item=a)` from set `b`.
+pub const MS_REMOVE: u32 = 21;
+/// Multi-active-set op code: `getSet(set=b) -> result_set`.
+pub const MS_GETSET: u32 = 22;
+
+/// A detected set-regularity violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegularityViolation {
+    /// Index of the offending `getSet` event in the history.
+    pub getset_index: usize,
+    /// The item whose reported membership is impossible.
+    pub item: u64,
+    /// Human-readable explanation.
+    pub reason: String,
+}
+
+/// Checks set regularity of a multi-active-set history (see module docs).
+/// Events with other opcodes are ignored. Returns all violations found.
+pub fn check_set_regularity(history: &History) -> Vec<RegularityViolation> {
+    let evs = &history.events;
+    let mut violations = Vec::new();
+
+    for (gi, g) in evs.iter().enumerate() {
+        if g.op != MS_GETSET {
+            continue;
+        }
+        let set_id = g.b;
+        // Check every item with insert/remove activity on this set, plus
+        // every item the getSet itself reported (to catch phantoms that
+        // were never inserted anywhere).
+        let mut items: Vec<u64> = evs
+            .iter()
+            .filter(|e| (e.op == MS_INSERT || e.op == MS_REMOVE) && e.b == set_id)
+            .map(|e| e.a)
+            .chain(g.result_set.iter().copied())
+            .collect();
+        items.sort_unstable();
+        items.dedup();
+
+        for &x in &items {
+            let reported = g.result_set.binary_search(&x).is_ok();
+            let inserts: Vec<&Event> = evs
+                .iter()
+                .filter(|e| e.op == MS_INSERT && e.a == x && e.b == set_id)
+                .collect();
+            let removes: Vec<&Event> = evs
+                .iter()
+                .filter(|e| e.op == MS_REMOVE && e.a == x && e.b == set_id)
+                .collect();
+
+            if reported {
+                // 1a: some insert invoked before G responded.
+                let some_insert_before = inserts.iter().any(|i| i.invoke <= g.response);
+                if !some_insert_before {
+                    violations.push(RegularityViolation {
+                        getset_index: gi,
+                        item: x,
+                        reason: "reported member with no insert invoked before response".into(),
+                    });
+                    continue;
+                }
+                // 1b: not definitely removed: a remove that completed before
+                // G's invoke, with no insert invoked after that remove began
+                // and before G responded.
+                let definitely_removed = removes.iter().any(|r| {
+                    r.response < g.invoke
+                        && !inserts.iter().any(|i| i.invoke > r.invoke && i.invoke <= g.response)
+                });
+                if definitely_removed {
+                    violations.push(RegularityViolation {
+                        getset_index: gi,
+                        item: x,
+                        reason: "reported member that was removed before the getSet began".into(),
+                    });
+                }
+            } else {
+                // 2: not definitely present: an insert completed before G's
+                // invoke and no remove was invoked before G responded
+                // (after that insert began).
+                let definitely_present = inserts.iter().any(|i| {
+                    i.response < g.invoke
+                        && !removes.iter().any(|r| r.invoke > i.invoke && r.invoke <= g.response)
+                });
+                if definitely_present {
+                    violations.push(RegularityViolation {
+                        getset_index: gi,
+                        item: x,
+                        reason: "missing member that was present throughout the getSet".into(),
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Asserts that the history is set regular.
+///
+/// # Panics
+/// Panics with the violations if any are found.
+pub fn assert_set_regular(history: &History) {
+    let v = check_set_regularity(history);
+    assert!(v.is_empty(), "set-regularity violations: {v:#?}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ins(x: u64, set: u64, invoke: u64, response: u64) -> Event {
+        Event { pid: 0, op: MS_INSERT, a: x, b: set, result: 0, result_set: vec![], invoke, response }
+    }
+    fn rem(x: u64, set: u64, invoke: u64, response: u64) -> Event {
+        Event { pid: 0, op: MS_REMOVE, a: x, b: set, result: 0, result_set: vec![], invoke, response }
+    }
+    fn get(set: u64, members: Vec<u64>, invoke: u64, response: u64) -> Event {
+        let mut ms = members;
+        ms.sort_unstable();
+        Event { pid: 1, op: MS_GETSET, a: 0, b: set, result: 0, result_set: ms, invoke, response }
+    }
+
+    fn history(evs: Vec<Event>) -> History {
+        History::from_parts(vec![evs])
+    }
+
+    #[test]
+    fn sequential_insert_then_get_sees_member() {
+        let h = history(vec![ins(7, 0, 0, 1), get(0, vec![7], 2, 3)]);
+        assert!(check_set_regularity(&h).is_empty());
+    }
+
+    #[test]
+    fn missing_completed_insert_is_violation() {
+        let h = history(vec![ins(7, 0, 0, 1), get(0, vec![], 2, 3)]);
+        let v = check_set_regularity(&h);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].item, 7);
+    }
+
+    #[test]
+    fn overlapping_insert_may_be_seen_or_not() {
+        for members in [vec![], vec![7u64]] {
+            let h = history(vec![ins(7, 0, 0, 10), get(0, members.clone(), 2, 3)]);
+            assert!(check_set_regularity(&h).is_empty(), "members {members:?} legal");
+        }
+    }
+
+    #[test]
+    fn phantom_member_never_inserted_is_violation() {
+        let h = history(vec![get(0, vec![9], 0, 1)]);
+        let v = check_set_regularity(&h);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].reason.contains("no insert"));
+    }
+
+    #[test]
+    fn member_seen_after_completed_remove_is_violation() {
+        let h = history(vec![ins(7, 0, 0, 1), rem(7, 0, 2, 3), get(0, vec![7], 4, 5)]);
+        let v = check_set_regularity(&h);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].reason.contains("removed"));
+    }
+
+    #[test]
+    fn overlapping_remove_may_be_seen_or_not() {
+        for members in [vec![], vec![7u64]] {
+            let h = history(vec![ins(7, 0, 0, 1), rem(7, 0, 2, 10), get(0, members.clone(), 3, 4)]);
+            assert!(check_set_regularity(&h).is_empty(), "members {members:?} legal");
+        }
+    }
+
+    #[test]
+    fn reinsert_after_remove_allows_membership() {
+        let h = history(vec![
+            ins(7, 0, 0, 1),
+            rem(7, 0, 2, 3),
+            ins(7, 0, 4, 10), // overlaps the getSet
+            get(0, vec![7], 5, 6),
+        ]);
+        assert!(check_set_regularity(&h).is_empty());
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        // Insert into set 0 only; getSet on set 1 must not require it.
+        let h = history(vec![ins(7, 0, 0, 1), get(1, vec![], 2, 3)]);
+        assert!(check_set_regularity(&h).is_empty());
+        // And seeing it in set 1 is a phantom.
+        let h2 = history(vec![ins(7, 0, 0, 1), get(1, vec![7], 2, 3)]);
+        assert_eq!(check_set_regularity(&h2).len(), 1);
+    }
+
+    #[test]
+    fn two_overlapping_getsets_may_disagree() {
+        // a and b inserted concurrently; G1 sees only a, G2 sees only b.
+        // Legal under set regularity (the paper's own example), though not
+        // linearizable.
+        let h = History::from_parts(vec![
+            vec![ins(1, 0, 0, 10)],
+            vec![ins(2, 0, 0, 10)],
+            vec![get(0, vec![1], 2, 5), get(0, vec![2], 6, 9)],
+        ]);
+        assert!(check_set_regularity(&h).is_empty());
+    }
+}

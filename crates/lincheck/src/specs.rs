@@ -1,0 +1,160 @@
+//! Sequential specifications for the checker.
+
+use crate::Spec;
+use std::collections::BTreeSet;
+use wfl_runtime::Event;
+
+/// Register op code: `read() -> result`.
+pub const REG_READ: u32 = 0;
+/// Register op code: `write(a)`.
+pub const REG_WRITE: u32 = 1;
+/// Register op code: `cas(a -> b) -> result (1 success / 0 failure)`.
+pub const REG_CAS: u32 = 2;
+
+/// Sequential spec of a single atomic register supporting read/write/CAS.
+#[derive(Debug, Clone)]
+pub struct RegisterSpec {
+    init: u64,
+}
+
+impl RegisterSpec {
+    /// Register with the given initial value.
+    pub fn new(init: u64) -> RegisterSpec {
+        RegisterSpec { init }
+    }
+}
+
+impl Spec for RegisterSpec {
+    type State = u64;
+
+    fn initial(&self) -> u64 {
+        self.init
+    }
+
+    fn apply(&self, state: &u64, ev: &Event) -> Option<u64> {
+        match ev.op {
+            REG_READ => (ev.result == *state).then_some(*state),
+            REG_WRITE => Some(ev.a),
+            REG_CAS => {
+                let success = *state == ev.a;
+                if (ev.result != 0) != success {
+                    return None;
+                }
+                Some(if success { ev.b } else { *state })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Active set op code: `insert(a)`.
+pub const AS_INSERT: u32 = 10;
+/// Active set op code: `remove(a)`.
+pub const AS_REMOVE: u32 = 11;
+/// Active set op code: `getSet() -> result_set`.
+pub const AS_GETSET: u32 = 12;
+
+/// Sequential spec of the active set object of Afek et al. (and §5 of the
+/// paper): `insert(x)`, `remove(x)`, and `getSet()` returning exactly the
+/// elements inserted but not yet removed.
+#[derive(Debug, Clone, Default)]
+pub struct ActiveSetSpec;
+
+impl Spec for ActiveSetSpec {
+    type State = BTreeSet<u64>;
+
+    fn initial(&self) -> BTreeSet<u64> {
+        BTreeSet::new()
+    }
+
+    fn apply(&self, state: &BTreeSet<u64>, ev: &Event) -> Option<BTreeSet<u64>> {
+        let mut next = state.clone();
+        match ev.op {
+            AS_INSERT => {
+                // Processes alternate insert/remove of distinct items;
+                // re-inserting a present item is a spec violation.
+                if !next.insert(ev.a) {
+                    return None;
+                }
+                Some(next)
+            }
+            AS_REMOVE => {
+                if !next.remove(&ev.a) {
+                    return None;
+                }
+                Some(next)
+            }
+            AS_GETSET => {
+                let got: Vec<u64> = state.iter().copied().collect();
+                (got == ev.result_set).then_some(next)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_linearizable, LinResult};
+    use wfl_runtime::History;
+
+    fn ev(op: u32, a: u64, result_set: Vec<u64>, invoke: u64, response: u64) -> Event {
+        Event { pid: 0, op, a, b: 0, result: 0, result_set, invoke, response }
+    }
+
+    #[test]
+    fn active_set_sequential_history_ok() {
+        let h = History::from_parts(vec![vec![
+            ev(AS_INSERT, 7, vec![], 0, 1),
+            ev(AS_GETSET, 0, vec![7], 2, 3),
+            ev(AS_REMOVE, 7, vec![], 4, 5),
+            ev(AS_GETSET, 0, vec![], 6, 7),
+        ]]);
+        assert!(check_linearizable(&h, &ActiveSetSpec).is_ok());
+    }
+
+    #[test]
+    fn getset_missing_completed_insert_is_violation() {
+        let h = History::from_parts(vec![
+            vec![ev(AS_INSERT, 7, vec![], 0, 1)],
+            vec![Event { pid: 1, ..ev(AS_GETSET, 0, vec![], 2, 3) }],
+        ]);
+        assert_eq!(check_linearizable(&h, &ActiveSetSpec), LinResult::Violation);
+    }
+
+    #[test]
+    fn getset_may_or_may_not_see_overlapping_insert() {
+        for seen in [vec![], vec![7u64]] {
+            let h = History::from_parts(vec![
+                vec![ev(AS_INSERT, 7, vec![], 0, 10)],
+                vec![Event { pid: 1, ..ev(AS_GETSET, 0, seen.clone(), 2, 3) }],
+            ]);
+            assert!(
+                check_linearizable(&h, &ActiveSetSpec).is_ok(),
+                "result {seen:?} should be legal for an overlapping getSet"
+            );
+        }
+    }
+
+    #[test]
+    fn phantom_member_is_violation() {
+        let h = History::from_parts(vec![vec![ev(AS_GETSET, 0, vec![9], 0, 1)]]);
+        assert_eq!(check_linearizable(&h, &ActiveSetSpec), LinResult::Violation);
+    }
+
+    #[test]
+    fn double_insert_is_violation() {
+        let h = History::from_parts(vec![vec![
+            ev(AS_INSERT, 7, vec![], 0, 1),
+            ev(AS_INSERT, 7, vec![], 2, 3),
+        ]]);
+        assert_eq!(check_linearizable(&h, &ActiveSetSpec), LinResult::Violation);
+    }
+
+    #[test]
+    fn remove_of_absent_item_is_violation() {
+        let h = History::from_parts(vec![vec![ev(AS_REMOVE, 3, vec![], 0, 1)]]);
+        assert_eq!(check_linearizable(&h, &ActiveSetSpec), LinResult::Violation);
+    }
+}

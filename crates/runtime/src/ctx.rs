@@ -1,0 +1,370 @@
+//! Per-process execution context: step-counted shared-memory operations.
+//!
+//! All algorithm code in this repository is written against [`Ctx`] and runs
+//! unchanged under both drivers (real threads and the deterministic
+//! simulator). Every operation — shared reads/writes/CAS, allocation,
+//! invocation/response markers, and explicit local steps — counts exactly
+//! one *own step* of the process, matching the paper's cost model in which
+//! delays ("stall until `T0` own steps have been taken") are measured in the
+//! process's own instructions.
+
+use crate::gate::Gate;
+use crate::heap::{Addr, Heap};
+use crate::history::{Event, PendingOp};
+use crate::rng::Pcg;
+use parking_lot::Mutex;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A command sent to a process by the (adaptive) player adversary, encoded
+/// as a boxed word slice; workloads define the encoding.
+pub type Command = Box<[u64]>;
+
+/// A per-process mailbox, written by the simulator controller between steps
+/// and polled by the process as a gated step.
+pub type Mailbox = Mutex<VecDeque<Command>>;
+
+/// Per-process execution context.
+///
+/// A `Ctx` is created by a driver for exactly one process (thread) and must
+/// not be shared across threads (it is `!Sync` by construction).
+pub struct Ctx<'h> {
+    heap: &'h Heap,
+    pid: usize,
+    nprocs: usize,
+    gate: Option<&'h Gate>,
+    clock: &'h AtomicU64,
+    stop: &'h AtomicBool,
+    mailbox: Option<&'h Mailbox>,
+    steps: Cell<u64>,
+    last_now: Cell<u64>,
+    rng: RefCell<Pcg>,
+    events: RefCell<Vec<Event>>,
+    pending: RefCell<Option<PendingOp>>,
+}
+
+impl std::fmt::Debug for Ctx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("pid", &self.pid)
+            .field("steps", &self.steps.get())
+            .field("simulated", &self.gate.is_some())
+            .finish()
+    }
+}
+
+impl<'h> Ctx<'h> {
+    /// Creates a context. Drivers call this; algorithm code receives `&Ctx`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        heap: &'h Heap,
+        pid: usize,
+        nprocs: usize,
+        seed: u64,
+        gate: Option<&'h Gate>,
+        clock: &'h AtomicU64,
+        stop: &'h AtomicBool,
+        mailbox: Option<&'h Mailbox>,
+    ) -> Ctx<'h> {
+        Ctx {
+            heap,
+            pid,
+            nprocs,
+            gate,
+            clock,
+            stop,
+            mailbox,
+            steps: Cell::new(0),
+            last_now: Cell::new(0),
+            rng: RefCell::new(Pcg::new(seed, pid as u64 + 1)),
+            events: RefCell::new(Vec::new()),
+            pending: RefCell::new(None),
+        }
+    }
+
+    /// Executes `f` as one step: counts it, and in simulated mode blocks
+    /// until the oblivious scheduler grants the step.
+    #[inline]
+    fn stepped<T>(&self, f: impl FnOnce() -> T) -> T {
+        self.steps.set(self.steps.get() + 1);
+        match self.gate {
+            Some(gate) => {
+                gate.request();
+                self.last_now.set(gate.now());
+                let r = f();
+                gate.complete();
+                r
+            }
+            None => {
+                let t = self.clock.fetch_add(1, Ordering::SeqCst);
+                self.last_now.set(t);
+                f()
+            }
+        }
+    }
+
+    /// Process id in `0..nprocs`.
+    #[inline]
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// Total number of processes in the system (the paper's `P`).
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Number of own steps this process has taken so far.
+    #[inline]
+    pub fn steps(&self) -> u64 {
+        self.steps.get()
+    }
+
+    /// Global logical time of this process's most recent step.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.last_now.get()
+    }
+
+    /// The underlying heap (for address arithmetic only; going around the
+    /// step accounting in algorithm code invalidates the experiments).
+    #[inline]
+    pub fn heap(&self) -> &'h Heap {
+        self.heap
+    }
+
+    /// Whether the driver has requested cooperative shutdown. Workload
+    /// loops must poll this between attempts.
+    #[inline]
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    // ----- shared-memory operations (one step each) -----
+
+    /// Atomic read of a shared word.
+    #[inline]
+    pub fn read(&self, a: Addr) -> u64 {
+        self.stepped(|| self.heap.word(a).load(Ordering::SeqCst))
+    }
+
+    /// Atomic write of a shared word.
+    #[inline]
+    pub fn write(&self, a: Addr, v: u64) {
+        self.stepped(|| self.heap.word(a).store(v, Ordering::SeqCst))
+    }
+
+    /// Atomic compare-and-swap; returns the *previous* value. The CAS
+    /// succeeded iff the return value equals `old`.
+    #[inline]
+    pub fn cas_val(&self, a: Addr, old: u64, new: u64) -> u64 {
+        self.stepped(|| {
+            match self.heap.word(a).compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(prev) => prev,
+                Err(prev) => prev,
+            }
+        })
+    }
+
+    /// Atomic compare-and-swap; returns whether it succeeded.
+    #[inline]
+    pub fn cas_bool(&self, a: Addr, old: u64, new: u64) -> bool {
+        self.cas_val(a, old, new) == old
+    }
+
+    /// Allocates `n` words from the shared bump allocator (one step; the
+    /// model treats allocation as a constant-time primitive, see DESIGN.md).
+    #[inline]
+    pub fn alloc(&self, n: usize) -> Addr {
+        self.stepped(|| self.heap.alloc_root(n))
+    }
+
+    // ----- local operations (one step each) -----
+
+    /// A private step with no shared-memory effect. Used to implement the
+    /// paper's fixed delays.
+    #[inline]
+    pub fn local_step(&self) {
+        self.stepped(|| ())
+    }
+
+    /// Stalls (taking local steps) until this process has taken at least
+    /// `target` own steps in total. This is the paper's `Delay until ...
+    /// total steps taken` primitive; the stall length is a deterministic
+    /// function of the process's own step count, never of other processes.
+    pub fn stall_until_steps(&self, target: u64) {
+        while self.steps.get() < target {
+            self.local_step();
+        }
+    }
+
+    /// Draws 64 random bits from this process's private deterministic
+    /// stream (one local step).
+    #[inline]
+    pub fn rand_u64(&self) -> u64 {
+        self.stepped(|| self.rng.borrow_mut().next_u64())
+    }
+
+    /// Draws a uniform value in `0..bound` (one local step).
+    #[inline]
+    pub fn rand_below(&self, bound: u64) -> u64 {
+        self.stepped(|| self.rng.borrow_mut().below(bound))
+    }
+
+    /// Polls this process's mailbox for a command from the player adversary
+    /// (one step). Returns `None` when the mailbox is empty or the driver
+    /// has no mailboxes (real mode).
+    pub fn poll_mailbox(&self) -> Option<Command> {
+        self.stepped(|| self.mailbox.and_then(|m| m.lock().pop_front()))
+    }
+
+    // ----- history recording -----
+
+    /// Marks the invocation of a high-level operation (one step). Must be
+    /// matched by [`Ctx::respond`].
+    ///
+    /// # Panics
+    /// Panics if an operation is already pending on this process.
+    pub fn invoke(&self, op: u32, a: u64, b: u64) {
+        self.stepped(|| ());
+        let mut p = self.pending.borrow_mut();
+        assert!(p.is_none(), "nested invoke on process {}", self.pid);
+        *p = Some(PendingOp { op, a, b, invoke: self.last_now.get() });
+    }
+
+    /// Marks the response of the pending operation (one step), recording a
+    /// history [`Event`].
+    ///
+    /// # Panics
+    /// Panics if no operation is pending.
+    pub fn respond(&self, result: u64, mut result_set: Vec<u64>) {
+        self.stepped(|| ());
+        let p = self.pending.borrow_mut().take().expect("respond without invoke");
+        result_set.sort_unstable();
+        self.events.borrow_mut().push(Event {
+            pid: self.pid,
+            op: p.op,
+            a: p.a,
+            b: p.b,
+            result,
+            result_set,
+            invoke: p.invoke,
+            response: self.last_now.get(),
+        });
+    }
+
+    /// Drains the recorded events (drivers call this after the body runs).
+    pub(crate) fn take_events(&self) -> Vec<Event> {
+        std::mem::take(&mut self.events.borrow_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_ctx(heap: &Heap) -> (Ctx<'_>, &'static AtomicU64, &'static AtomicBool) {
+        // Leak tiny statics for test plumbing simplicity.
+        let clock: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
+        let stop: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        (Ctx::new(heap, 0, 1, 42, None, clock, stop, None), clock, stop)
+    }
+
+    #[test]
+    fn every_operation_counts_one_step() {
+        let heap = Heap::new(64);
+        let (ctx, _, _) = test_ctx(&heap);
+        let a = ctx.alloc(1);
+        assert_eq!(ctx.steps(), 1);
+        ctx.write(a, 5);
+        assert_eq!(ctx.steps(), 2);
+        assert_eq!(ctx.read(a), 5);
+        assert_eq!(ctx.steps(), 3);
+        assert!(ctx.cas_bool(a, 5, 6));
+        assert_eq!(ctx.steps(), 4);
+        ctx.local_step();
+        assert_eq!(ctx.steps(), 5);
+        ctx.rand_u64();
+        assert_eq!(ctx.steps(), 6);
+    }
+
+    #[test]
+    fn cas_val_reports_witness() {
+        let heap = Heap::new(64);
+        let (ctx, _, _) = test_ctx(&heap);
+        let a = ctx.alloc(1);
+        ctx.write(a, 10);
+        assert_eq!(ctx.cas_val(a, 10, 20), 10);
+        assert_eq!(ctx.cas_val(a, 10, 30), 20);
+        assert_eq!(ctx.read(a), 20);
+    }
+
+    #[test]
+    fn stall_until_steps_reaches_exact_target() {
+        let heap = Heap::new(16);
+        let (ctx, _, _) = test_ctx(&heap);
+        ctx.stall_until_steps(100);
+        assert_eq!(ctx.steps(), 100);
+        // Already past target: no-op.
+        ctx.stall_until_steps(50);
+        assert_eq!(ctx.steps(), 100);
+    }
+
+    #[test]
+    fn invoke_respond_records_event() {
+        let heap = Heap::new(16);
+        let (ctx, _, _) = test_ctx(&heap);
+        ctx.invoke(3, 7, 8);
+        ctx.local_step();
+        ctx.respond(1, vec![5, 2]);
+        let evs = ctx.take_events();
+        assert_eq!(evs.len(), 1);
+        let e = &evs[0];
+        assert_eq!((e.op, e.a, e.b, e.result), (3, 7, 8, 1));
+        assert_eq!(e.result_set, vec![2, 5], "result sets are sorted");
+        assert!(e.invoke < e.response);
+    }
+
+    #[test]
+    #[should_panic(expected = "respond without invoke")]
+    fn respond_without_invoke_panics() {
+        let heap = Heap::new(16);
+        let (ctx, _, _) = test_ctx(&heap);
+        ctx.respond(0, vec![]);
+    }
+
+    #[test]
+    fn real_mode_clock_advances() {
+        let heap = Heap::new(16);
+        let (ctx, clock, _) = test_ctx(&heap);
+        ctx.local_step();
+        let t1 = ctx.now();
+        ctx.local_step();
+        assert!(ctx.now() > t1);
+        assert_eq!(clock.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn stop_flag_is_visible() {
+        let heap = Heap::new(16);
+        let (ctx, _, stop) = test_ctx(&heap);
+        assert!(!ctx.stop_requested());
+        stop.store(true, Ordering::SeqCst);
+        assert!(ctx.stop_requested());
+    }
+
+    #[test]
+    fn rand_streams_are_deterministic_per_pid_and_seed() {
+        let heap = Heap::new(16);
+        let clock: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
+        let stop: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        let c1 = Ctx::new(&heap, 3, 4, 99, None, clock, stop, None);
+        let c2 = Ctx::new(&heap, 3, 4, 99, None, clock, stop, None);
+        assert_eq!(c1.rand_u64(), c2.rand_u64());
+        let c3 = Ctx::new(&heap, 2, 4, 99, None, clock, stop, None);
+        assert_ne!(c1.rand_u64(), c3.rand_u64());
+    }
+}

@@ -1,0 +1,273 @@
+//! The shared word heap: a fixed arena of `u64` words with a wait-free bump
+//! allocator.
+//!
+//! All shared data structures (lock descriptors, active-set slots, snapshot
+//! cons cells, idempotence logs) are laid out as small records of words and
+//! addressed by [`Addr`] handles (word indices). This representation lets an
+//! arbitrary number of processes concurrently read and CAS the same records
+//! — the helping pattern at the heart of the paper — without reference
+//! counting or epoch reclamation. Memory is reclaimed wholesale at quiescent
+//! points with [`Heap::reset_to`] (see `DESIGN.md` §1.1).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Index of a word in a [`Heap`]. `Addr(0)` is the reserved null address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Addr(pub u32);
+
+/// The reserved null address. Word 0 of every heap is never allocated.
+pub const NULL: Addr = Addr(0);
+
+impl Addr {
+    /// Address of the word `off` places after `self`.
+    #[inline]
+    pub fn off(self, off: u32) -> Addr {
+        Addr(self.0 + off)
+    }
+
+    /// Whether this is the null address.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Packs the address into a `u64` value (for storing pointers in cells).
+    #[inline]
+    pub fn to_word(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// Recovers an address previously packed with [`Addr::to_word`].
+    ///
+    /// # Panics
+    /// Panics if the word does not fit in 32 bits (i.e. is not a packed
+    /// address).
+    #[inline]
+    pub fn from_word(w: u64) -> Addr {
+        assert!(w <= u32::MAX as u64, "word {w:#x} is not a packed Addr");
+        Addr(w as u32)
+    }
+}
+
+/// A fixed-capacity arena of atomic `u64` words with a bump allocator.
+///
+/// The allocator is wait-free (`fetch_add`), satisfying the model's
+/// requirement that every instruction of a tryLock attempt is bounded.
+/// Allocation never reuses memory during a run; the harness reclaims
+/// transient allocations at quiescent points via [`Heap::mark`] /
+/// [`Heap::reset_to`].
+pub struct Heap {
+    words: Box<[AtomicU64]>,
+    bump: AtomicUsize,
+}
+
+impl std::fmt::Debug for Heap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Heap")
+            .field("capacity", &self.words.len())
+            .field("used", &self.bump.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Heap {
+    /// Creates a heap with `capacity` words (all zero). Word 0 is reserved
+    /// as the null address.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is 0 or exceeds `u32::MAX` words.
+    pub fn new(capacity: usize) -> Heap {
+        assert!(capacity > 0, "heap capacity must be positive");
+        assert!(
+            capacity <= u32::MAX as usize,
+            "heap capacity must fit 32-bit addressing"
+        );
+        let mut v = Vec::with_capacity(capacity);
+        v.resize_with(capacity, || AtomicU64::new(0));
+        Heap {
+            words: v.into_boxed_slice(),
+            bump: AtomicUsize::new(1), // word 0 reserved for NULL
+        }
+    }
+
+    /// Number of words in the heap.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Number of words currently allocated (including the reserved word 0).
+    #[inline]
+    pub fn used(&self) -> usize {
+        self.bump.load(Ordering::SeqCst)
+    }
+
+    /// Allocates `n` zeroed... words from the bump allocator, returning the
+    /// address of the first. Wait-free.
+    ///
+    /// The returned words are zero unless they were recycled by
+    /// [`Heap::reset_to`] without re-zeroing (the harness always re-zeroes).
+    ///
+    /// # Panics
+    /// Panics when the heap is exhausted; experiments size heaps generously
+    /// and reset between batches.
+    #[inline]
+    pub fn alloc_root(&self, n: usize) -> Addr {
+        let base = self.bump.fetch_add(n, Ordering::SeqCst);
+        assert!(
+            base + n <= self.words.len(),
+            "heap exhausted: capacity {} words, requested {} at {}",
+            self.words.len(),
+            n,
+            base
+        );
+        Addr(base as u32)
+    }
+
+    /// Reads a word without counting a step (harness/controller use only;
+    /// algorithm code must go through [`crate::Ctx::read`]).
+    #[inline]
+    pub fn peek(&self, a: Addr) -> u64 {
+        self.words[a.0 as usize].load(Ordering::SeqCst)
+    }
+
+    /// Writes a word without counting a step (harness setup only).
+    #[inline]
+    pub fn poke(&self, a: Addr, v: u64) {
+        self.words[a.0 as usize].store(v, Ordering::SeqCst);
+    }
+
+    /// Raw CAS without counting a step (harness setup only). Returns the
+    /// previous value; the CAS succeeded iff it equals `old`.
+    #[inline]
+    pub fn cas_raw(&self, a: Addr, old: u64, new: u64) -> u64 {
+        match self.words[a.0 as usize].compare_exchange(
+            old,
+            new,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(prev) => prev,
+            Err(prev) => prev,
+        }
+    }
+
+    /// Internal accessor for drivers.
+    #[inline]
+    pub(crate) fn word(&self, a: Addr) -> &AtomicU64 {
+        &self.words[a.0 as usize]
+    }
+
+    /// Returns the current allocation watermark, for later [`Heap::reset_to`].
+    pub fn mark(&self) -> usize {
+        self.bump.load(Ordering::SeqCst)
+    }
+
+    /// Rolls the allocator back to `mark` and zeroes every word allocated
+    /// after it.
+    ///
+    /// # Safety (logical)
+    /// This is only sound at *quiescent points*: no process may be running,
+    /// and no live structure below `mark` may still point above `mark`
+    /// (callers such as the active set re-initialize their snapshot pointers
+    /// after a reset). The `&mut self` receiver enforces exclusivity.
+    pub fn reset_to(&mut self, mark: usize) {
+        let used = *self.bump.get_mut();
+        assert!(mark <= used, "reset mark {mark} beyond used {used}");
+        for w in &mut self.words[mark..used] {
+            *w.get_mut() = 0;
+        }
+        *self.bump.get_mut() = mark;
+    }
+
+    /// A 64-bit FNV-1a hash of the allocated portion of the heap. Used by
+    /// tests to assert that simulated executions are deterministic.
+    pub fn fingerprint(&self) -> u64 {
+        let used = self.used();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for w in &self.words[..used] {
+            let v = w.load(Ordering::SeqCst);
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_disjoint_and_null_reserved() {
+        let heap = Heap::new(64);
+        let a = heap.alloc_root(4);
+        let b = heap.alloc_root(4);
+        assert!(!a.is_null());
+        assert_eq!(a.0, 1, "first allocation starts after the null word");
+        assert_eq!(b.0, a.0 + 4);
+    }
+
+    #[test]
+    fn peek_poke_roundtrip() {
+        let heap = Heap::new(16);
+        let a = heap.alloc_root(1);
+        heap.poke(a, 0xdead_beef);
+        assert_eq!(heap.peek(a), 0xdead_beef);
+    }
+
+    #[test]
+    fn cas_raw_reports_previous_value() {
+        let heap = Heap::new(16);
+        let a = heap.alloc_root(1);
+        heap.poke(a, 7);
+        assert_eq!(heap.cas_raw(a, 7, 9), 7);
+        assert_eq!(heap.peek(a), 9);
+        assert_eq!(heap.cas_raw(a, 7, 11), 9, "failed CAS returns actual");
+        assert_eq!(heap.peek(a), 9);
+    }
+
+    #[test]
+    fn reset_zeroes_transient_region_only() {
+        let mut heap = Heap::new(64);
+        let root = heap.alloc_root(1);
+        heap.poke(root, 42);
+        let mark = heap.mark();
+        let t = heap.alloc_root(2);
+        heap.poke(t, 5);
+        heap.poke(t.off(1), 6);
+        heap.reset_to(mark);
+        assert_eq!(heap.peek(root), 42, "root survives reset");
+        assert_eq!(heap.used(), mark);
+        let t2 = heap.alloc_root(2);
+        assert_eq!(t2, t, "bump rolled back");
+        assert_eq!(heap.peek(t2), 0, "transient region re-zeroed");
+        assert_eq!(heap.peek(t2.off(1)), 0);
+    }
+
+    #[test]
+    fn fingerprint_changes_with_content() {
+        let heap = Heap::new(16);
+        let a = heap.alloc_root(1);
+        let f0 = heap.fingerprint();
+        heap.poke(a, 1);
+        assert_ne!(heap.fingerprint(), f0);
+    }
+
+    #[test]
+    #[should_panic(expected = "heap exhausted")]
+    fn alloc_past_capacity_panics() {
+        let heap = Heap::new(4);
+        heap.alloc_root(16);
+    }
+
+    #[test]
+    fn addr_word_packing_roundtrip() {
+        let a = Addr(12345);
+        assert_eq!(Addr::from_word(a.to_word()), a);
+        assert!(NULL.is_null());
+        assert!(!Addr(1).is_null());
+    }
+}

@@ -1,0 +1,100 @@
+//! Recording of operation histories for linearizability checking.
+//!
+//! Algorithm code (under test) brackets each high-level operation with
+//! [`crate::Ctx::invoke`] / [`crate::Ctx::respond`]; the driver collects the
+//! per-process event lists into a single [`History`] whose timestamps are
+//! global logical step numbers. The `wfl-lincheck` crate consumes these
+//! histories.
+
+/// One completed high-level operation in a concurrent history.
+///
+/// The meaning of `op`, `a`, `b` and `result` is defined by the sequential
+/// specification used by the checker (e.g. for the active set spec,
+/// `op = 0` is `insert(a)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Process that executed the operation.
+    pub pid: usize,
+    /// Operation code, interpreted by the spec.
+    pub op: u32,
+    /// First argument.
+    pub a: u64,
+    /// Second argument.
+    pub b: u64,
+    /// Result value (sets are encoded as sorted `Vec<u64>` in `result_set`).
+    pub result: u64,
+    /// Result set for set-valued operations (empty otherwise), sorted.
+    pub result_set: Vec<u64>,
+    /// Global logical time at invocation.
+    pub invoke: u64,
+    /// Global logical time at response (`>= invoke`).
+    pub response: u64,
+}
+
+/// A complete concurrent history: all events from all processes.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// Events, in no particular global order (the checker sorts as needed).
+    pub events: Vec<Event>,
+}
+
+impl History {
+    /// Builds a history from per-process event lists.
+    pub fn from_parts(parts: Vec<Vec<Event>>) -> History {
+        let mut events: Vec<Event> = parts.into_iter().flatten().collect();
+        events.sort_by_key(|e| (e.invoke, e.response, e.pid));
+        History { events }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the history has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// True if event `i` finished before event `j` began (the happens-before
+    /// / real-time order that linearizability must respect).
+    pub fn precedes(&self, i: usize, j: usize) -> bool {
+        self.events[i].response < self.events[j].invoke
+    }
+}
+
+/// An in-flight operation being recorded on one process.
+#[derive(Debug, Clone)]
+pub struct PendingOp {
+    pub(crate) op: u32,
+    pub(crate) a: u64,
+    pub(crate) b: u64,
+    pub(crate) invoke: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(pid: usize, invoke: u64, response: u64) -> Event {
+        Event { pid, op: 0, a: 0, b: 0, result: 0, result_set: vec![], invoke, response }
+    }
+
+    #[test]
+    fn from_parts_sorts_by_invocation() {
+        let h = History::from_parts(vec![vec![ev(0, 5, 6)], vec![ev(1, 1, 9), ev(1, 10, 11)]]);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.events[0].invoke, 1);
+        assert_eq!(h.events[1].invoke, 5);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn precedes_uses_real_time_order() {
+        let h = History::from_parts(vec![vec![ev(0, 0, 2), ev(0, 3, 8)], vec![ev(1, 4, 5)]]);
+        assert!(h.precedes(0, 1)); // [0,2] before [3,8]
+        assert!(h.precedes(0, 2)); // [0,2] before [4,5]
+        assert!(!h.precedes(1, 2)); // [3,8] overlaps [4,5]
+        assert!(!h.precedes(2, 1));
+    }
+}

@@ -1,0 +1,163 @@
+//! Free-running real-threads driver.
+//!
+//! Runs the same algorithm code as the simulator, but with one OS thread per
+//! process and native atomics — no scheduler in the way. Used for
+//! throughput benchmarks and stress tests; step counting still works (it is
+//! just a thread-local counter), so the paper's delays behave identically.
+
+use crate::ctx::Ctx;
+use crate::heap::Heap;
+use crate::history::{Event, History};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Result of a real-threads execution.
+#[derive(Debug)]
+pub struct RealReport {
+    /// Per-process own-step counts.
+    pub steps: Vec<u64>,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Recorded history (timestamps are approximate in real mode: they are
+    /// assigned by a global counter fetched at each step, so they respect
+    /// program order per process but interleavings between the fetch and
+    /// the operation are possible; use the simulator for exact histories).
+    pub history: History,
+    /// Panics caught in process bodies: `(pid, message)`.
+    pub panics: Vec<(usize, String)>,
+}
+
+impl RealReport {
+    /// Asserts no process panicked.
+    ///
+    /// # Panics
+    /// Panics with the collected messages if any body panicked.
+    pub fn assert_clean(&self) {
+        assert!(self.panics.is_empty(), "process panics: {:?}", self.panics);
+    }
+}
+
+/// Runs `nprocs` bodies on free-running threads until they all return.
+///
+/// `make_body` is called once per pid on the calling thread; the returned
+/// closures run concurrently. If `run_for` is set, the cooperative stop
+/// flag is raised after that duration; bodies must poll
+/// [`Ctx::stop_requested`] to honor it.
+pub fn run_threads<'a, F, G>(
+    heap: &Heap,
+    nprocs: usize,
+    seed: u64,
+    run_for: Option<Duration>,
+    mut make_body: F,
+) -> RealReport
+where
+    F: FnMut(usize) -> G,
+    G: FnOnce(&Ctx<'_>) + Send + 'a,
+{
+    assert!(nprocs > 0);
+    let clock = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let step_counts: Vec<Mutex<u64>> = (0..nprocs).map(|_| Mutex::new(0)).collect();
+    let event_slots: Vec<Mutex<Vec<Event>>> = (0..nprocs).map(|_| Mutex::new(Vec::new())).collect();
+    let panic_slots: Vec<Mutex<Option<String>>> = (0..nprocs).map(|_| Mutex::new(None)).collect();
+    let bodies: Vec<_> = (0..nprocs).map(&mut make_body).collect();
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (pid, body) in bodies.into_iter().enumerate() {
+            let clock = &clock;
+            let stop = &stop;
+            let steps_out = &step_counts[pid];
+            let events_out = &event_slots[pid];
+            let panic_out = &panic_slots[pid];
+            scope.spawn(move || {
+                let ctx = Ctx::new(heap, pid, nprocs, seed, None, clock, stop, None);
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)));
+                *steps_out.lock() = ctx.steps();
+                *events_out.lock() = ctx.take_events();
+                if let Err(payload) = result {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic".to_string());
+                    *panic_out.lock() = Some(msg);
+                }
+            });
+        }
+        if let Some(d) = run_for {
+            std::thread::sleep(d);
+            stop.store(true, Ordering::SeqCst);
+        }
+    });
+    let wall = start.elapsed();
+
+    let steps: Vec<u64> = step_counts.iter().map(|m| *m.lock()).collect();
+    let events: Vec<Vec<Event>> = event_slots.iter().map(|m| std::mem::take(&mut *m.lock())).collect();
+    let panics: Vec<(usize, String)> = panic_slots
+        .iter()
+        .enumerate()
+        .filter_map(|(pid, m)| m.lock().take().map(|msg| (pid, msg)))
+        .collect();
+    RealReport { steps, wall, history: History::from_parts(events), panics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_cas_counter_is_exact() {
+        let heap = Heap::new(1 << 10);
+        let counter = heap.alloc_root(1);
+        let report = run_threads(&heap, 8, 1, None, |_pid| {
+            move |ctx: &Ctx| {
+                for _ in 0..1000 {
+                    loop {
+                        let v = ctx.read(counter);
+                        if ctx.cas_bool(counter, v, v + 1) {
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+        report.assert_clean();
+        assert_eq!(heap.peek(counter), 8000);
+        assert_eq!(report.steps.len(), 8);
+        assert!(report.steps.iter().all(|&s| s >= 2000), "at least read+cas per increment");
+    }
+
+    #[test]
+    fn timed_run_stops_via_flag() {
+        let heap = Heap::new(1 << 10);
+        let c = heap.alloc_root(1);
+        let report = run_threads(&heap, 2, 1, Some(Duration::from_millis(30)), |_pid| {
+            move |ctx: &Ctx| {
+                while !ctx.stop_requested() {
+                    let v = ctx.read(c);
+                    ctx.cas_bool(c, v, v + 1);
+                }
+            }
+        });
+        report.assert_clean();
+        assert!(heap.peek(c) > 0, "made progress before the stop flag");
+    }
+
+    #[test]
+    fn panics_are_isolated_per_thread() {
+        let heap = Heap::new(1 << 8);
+        let report = run_threads(&heap, 2, 1, None, |pid| {
+            move |ctx: &Ctx| {
+                ctx.local_step();
+                if pid == 1 {
+                    panic!("thread bug");
+                }
+            }
+        });
+        assert_eq!(report.panics.len(), 1);
+        assert_eq!(report.panics[0].0, 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Deterministic per-process random number streams.
+//!
+//! The simulator needs randomness that is (a) reproducible from a single
+//! experiment seed and (b) independent across processes, so that the
+//! oblivious scheduler provably cannot observe priorities (the schedule is
+//! fixed before any random bit is drawn). We use a small, self-contained
+//! PCG-XSH-RR generator seeded per process by SplitMix64, avoiding any
+//! dependence on `rand`'s version-specific stream definitions in the
+//! algorithm itself (`rand` is still used by workloads and tests).
+
+/// SplitMix64 step: used to derive well-mixed seeds from `(seed, pid)`.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A PCG-XSH-RR 64/32 generator (O'Neill 2014): 64-bit state, 32-bit output.
+/// Two outputs are combined for [`Pcg::next_u64`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6_364_136_223_846_793_005;
+
+impl Pcg {
+    /// Creates a generator from a seed and a stream id; distinct stream ids
+    /// yield statistically independent sequences.
+    pub fn new(seed: u64, stream: u64) -> Pcg {
+        let mut sm = seed ^ stream.wrapping_mul(0xa076_1d64_78bd_642f);
+        let init_state = splitmix64(&mut sm);
+        let init_inc = splitmix64(&mut sm) | 1; // must be odd
+        let mut pcg = Pcg { state: 0, inc: init_inc };
+        pcg.state = init_state.wrapping_add(pcg.inc);
+        pcg.next_u32();
+        pcg
+    }
+
+    /// Next 32 random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform sample in `0..bound` (Lemire's method, unbiased enough for
+    /// scheduling; `bound` must be nonzero).
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // 128-bit multiply-shift; bias is < 2^-64 per draw, negligible for
+        // scheduling and priority purposes.
+        let x = self.next_u64() as u128;
+        ((x * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Pcg::new(42, 7);
+        let mut b = Pcg::new(42, 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_differ() {
+        let mut a = Pcg::new(42, 0);
+        let mut b = Pcg::new(42, 1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Pcg::new(1, 1);
+        for _ in 0..10_000 {
+            assert!(r.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = Pcg::new(3, 9);
+        let mut counts = [0u32; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[r.below(8) as usize] += 1;
+        }
+        for c in counts {
+            let expected = n as f64 / 8.0;
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.1,
+                "bucket count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut r = Pcg::new(5, 5);
+        for _ in 0..1000 {
+            let x = r.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Oblivious adversarial schedules.
+//!
+//! A [`Schedule`] is the paper's *scheduler adversary*: a function from the
+//! global time step to the process that runs an instruction at that step,
+//! fixed before the execution begins. Because `next` receives only the time
+//! `t` (never any execution state), every implementation is oblivious by
+//! construction.
+//!
+//! Returning `None` wastes the slot — no process runs — which models the
+//! scheduler delaying every process, and composes with [`Stalls`] to model
+//! arbitrarily long delays or crashes of specific processes.
+
+use crate::rng::Pcg;
+
+/// An oblivious schedule: a predetermined assignment of time steps to
+/// processes.
+pub trait Schedule: Send {
+    /// The process granted the step at time `t`, or `None` if the slot is
+    /// deliberately wasted (all processes delayed at this instant).
+    fn next(&mut self, t: u64) -> Option<usize>;
+}
+
+/// Fair round-robin over `n` processes: `0, 1, ..., n-1, 0, 1, ...`.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    n: usize,
+}
+
+impl RoundRobin {
+    /// A round-robin schedule over `n` processes.
+    pub fn new(n: usize) -> RoundRobin {
+        assert!(n > 0);
+        RoundRobin { n }
+    }
+}
+
+impl Schedule for RoundRobin {
+    fn next(&mut self, t: u64) -> Option<usize> {
+        Some((t % self.n as u64) as usize)
+    }
+}
+
+/// Uniformly random schedule from a seed (an oblivious adversary that fixed
+/// its coin flips in advance).
+#[derive(Debug, Clone)]
+pub struct SeededRandom {
+    n: usize,
+    rng: Pcg,
+}
+
+impl SeededRandom {
+    /// A seeded uniform schedule over `n` processes.
+    pub fn new(n: usize, seed: u64) -> SeededRandom {
+        assert!(n > 0);
+        SeededRandom { n, rng: Pcg::new(seed, 0x5eed) }
+    }
+}
+
+impl Schedule for SeededRandom {
+    fn next(&mut self, _t: u64) -> Option<usize> {
+        Some(self.rng.below(self.n as u64) as usize)
+    }
+}
+
+/// Bursty schedule: picks a process and grants it a run of consecutive
+/// steps before switching. Models large speed differences between
+/// processes, which the paper's delay mechanism must absorb.
+#[derive(Debug, Clone)]
+pub struct Bursty {
+    n: usize,
+    burst: u64,
+    rng: Pcg,
+    cur: usize,
+    remaining: u64,
+}
+
+impl Bursty {
+    /// A bursty schedule over `n` processes with bursts of length `burst`.
+    pub fn new(n: usize, burst: u64, seed: u64) -> Bursty {
+        assert!(n > 0 && burst > 0);
+        Bursty { n, burst, rng: Pcg::new(seed, 0xB), cur: 0, remaining: 0 }
+    }
+}
+
+impl Schedule for Bursty {
+    fn next(&mut self, _t: u64) -> Option<usize> {
+        if self.remaining == 0 {
+            self.cur = self.rng.below(self.n as u64) as usize;
+            self.remaining = 1 + self.rng.below(self.burst);
+        }
+        self.remaining -= 1;
+        Some(self.cur)
+    }
+}
+
+/// Weighted random schedule: process `i` is granted each step with
+/// probability proportional to `weights[i]`. Zero-weight processes are
+/// never scheduled (a crash from the start).
+#[derive(Debug, Clone)]
+pub struct Weighted {
+    cumulative: Vec<u64>,
+    total: u64,
+    rng: Pcg,
+}
+
+impl Weighted {
+    /// A weighted schedule. `weights` must contain at least one nonzero
+    /// entry.
+    pub fn new(weights: &[u64], seed: u64) -> Weighted {
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0u64;
+        for &w in weights {
+            total += w;
+            cumulative.push(total);
+        }
+        assert!(total > 0, "at least one weight must be nonzero");
+        Weighted { cumulative, total, rng: Pcg::new(seed, 0x11) }
+    }
+}
+
+impl Schedule for Weighted {
+    fn next(&mut self, _t: u64) -> Option<usize> {
+        let x = self.rng.below(self.total);
+        Some(self.cumulative.partition_point(|&c| c <= x))
+    }
+}
+
+/// An explicit finite schedule, cycled if `repeat` is set. Useful for
+/// exhaustive small-case tests.
+#[derive(Debug, Clone)]
+pub struct FromSeq {
+    seq: Vec<usize>,
+    repeat: bool,
+}
+
+impl FromSeq {
+    /// A schedule that replays `seq` (then wastes every slot, unless
+    /// `repeat`).
+    pub fn new(seq: Vec<usize>, repeat: bool) -> FromSeq {
+        FromSeq { seq, repeat }
+    }
+}
+
+impl Schedule for FromSeq {
+    fn next(&mut self, t: u64) -> Option<usize> {
+        if self.seq.is_empty() {
+            return None;
+        }
+        let i = t as usize;
+        if i < self.seq.len() {
+            Some(self.seq[i])
+        } else if self.repeat {
+            Some(self.seq[i % self.seq.len()])
+        } else {
+            None
+        }
+    }
+}
+
+/// A stall window: process `pid` receives no steps during `[from, until)`.
+/// `until = u64::MAX` models a crash (arbitrary unbounded delay).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallWindow {
+    /// The delayed process.
+    pub pid: usize,
+    /// First stalled time step.
+    pub from: u64,
+    /// First time step after the stall (exclusive bound).
+    pub until: u64,
+}
+
+impl StallWindow {
+    /// A crash: `pid` never runs again from time `from` on.
+    pub fn crash(pid: usize, from: u64) -> StallWindow {
+        StallWindow { pid, from, until: u64::MAX }
+    }
+
+    fn covers(&self, pid: usize, t: u64) -> bool {
+        self.pid == pid && t >= self.from && t < self.until
+    }
+}
+
+/// Composes an inner schedule with stall windows: whenever the inner
+/// schedule picks a stalled process, the slot is wasted. The composite is
+/// still a fixed function of time, hence still oblivious.
+pub struct Stalls<S> {
+    inner: S,
+    windows: Vec<StallWindow>,
+}
+
+impl<S: Schedule> Stalls<S> {
+    /// Wraps `inner` with the given stall windows.
+    pub fn new(inner: S, windows: Vec<StallWindow>) -> Stalls<S> {
+        Stalls { inner, windows }
+    }
+}
+
+impl<S: Schedule> Schedule for Stalls<S> {
+    fn next(&mut self, t: u64) -> Option<usize> {
+        let pid = self.inner.next(t)?;
+        if self.windows.iter().any(|w| w.covers(pid, t)) {
+            None
+        } else {
+            Some(pid)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut s = RoundRobin::new(3);
+        let picks: Vec<_> = (0..6).map(|t| s.next(t).unwrap()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn seeded_random_is_deterministic_and_in_range() {
+        let mut a = SeededRandom::new(5, 7);
+        let mut b = SeededRandom::new(5, 7);
+        for t in 0..100 {
+            let x = a.next(t).unwrap();
+            assert_eq!(Some(x), b.next(t));
+            assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn bursty_produces_runs() {
+        let mut s = Bursty::new(4, 8, 3);
+        let picks: Vec<_> = (0..200).map(|t| s.next(t).unwrap()).collect();
+        // There is at least one run of length >= 2 (overwhelmingly likely),
+        // and all picks are in range.
+        assert!(picks.windows(2).any(|w| w[0] == w[1]));
+        assert!(picks.iter().all(|&p| p < 4));
+    }
+
+    #[test]
+    fn weighted_zero_weight_never_runs() {
+        let mut s = Weighted::new(&[1, 0, 3], 11);
+        for t in 0..500 {
+            assert_ne!(s.next(t), Some(1));
+        }
+    }
+
+    #[test]
+    fn weighted_respects_ratios_roughly() {
+        let mut s = Weighted::new(&[1, 3], 13);
+        let mut counts = [0u32; 2];
+        for t in 0..40_000 {
+            counts[s.next(t).unwrap()] += 1;
+        }
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!((2.5..3.5).contains(&ratio), "ratio {ratio} not near 3");
+    }
+
+    #[test]
+    fn from_seq_exhausts_then_wastes() {
+        let mut s = FromSeq::new(vec![2, 0, 1], false);
+        assert_eq!(s.next(0), Some(2));
+        assert_eq!(s.next(1), Some(0));
+        assert_eq!(s.next(2), Some(1));
+        assert_eq!(s.next(3), None);
+    }
+
+    #[test]
+    fn from_seq_repeat_cycles() {
+        let mut s = FromSeq::new(vec![1, 0], true);
+        assert_eq!(s.next(5), Some(0));
+        assert_eq!(s.next(4), Some(1));
+    }
+
+    #[test]
+    fn stalls_waste_slots_in_window() {
+        let mut s = Stalls::new(RoundRobin::new(2), vec![StallWindow { pid: 1, from: 0, until: 4 }]);
+        assert_eq!(s.next(0), Some(0));
+        assert_eq!(s.next(1), None); // pid 1 stalled
+        assert_eq!(s.next(2), Some(0));
+        assert_eq!(s.next(3), None);
+        assert_eq!(s.next(4), Some(0));
+        assert_eq!(s.next(5), Some(1)); // window over
+    }
+
+    #[test]
+    fn crash_window_is_permanent() {
+        let w = StallWindow::crash(3, 100);
+        assert!(!w.covers(3, 99));
+        assert!(w.covers(3, 100));
+        assert!(w.covers(3, u64::MAX - 1));
+        assert!(!w.covers(2, 200));
+    }
+}

@@ -1,0 +1,57 @@
+//! Lightweight execution tracing for debugging adversarial interleavings.
+//!
+//! The deterministic simulator makes failures replayable; this module
+//! makes them *readable*: enable tracing, re-run the failing seed, and
+//! dump a causally-ordered log of the lock algorithm's decisions
+//! (reveals, comparisons, eliminations, decides, celebrations).
+//!
+//! Tracing is process-wide and intended for single-test debugging; the
+//! fast path when disabled is one relaxed atomic load.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static LOG: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Starts capturing trace events (clears any previous log).
+pub fn enable() {
+    LOG.lock().unwrap().clear();
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Stops capturing and returns the captured events.
+pub fn disable() -> Vec<String> {
+    ENABLED.store(false, Ordering::SeqCst);
+    std::mem::take(&mut *LOG.lock().unwrap())
+}
+
+/// Records an event; the closure runs only when tracing is enabled.
+///
+/// The closure is evaluated *before* the log lock is taken: trace closures
+/// may perform gated simulator steps (e.g. reading a status word), and
+/// holding the log lock across a step gate would deadlock the scheduler.
+#[inline]
+pub fn emit(f: impl FnOnce() -> String) {
+    if ENABLED.load(Ordering::Relaxed) {
+        let line = f();
+        LOG.lock().unwrap().push(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_capture_roundtrip() {
+        emit(|| "dropped".to_string());
+        enable();
+        emit(|| "kept".to_string());
+        let log = disable();
+        assert_eq!(log, vec!["kept".to_string()]);
+        emit(|| "dropped again".to_string());
+        enable();
+        assert!(disable().is_empty());
+    }
+}

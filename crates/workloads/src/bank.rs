@@ -1,0 +1,176 @@
+//! Bank transfers: the classic multi-lock workload with a global
+//! conservation invariant.
+//!
+//! A transfer locks the two account locks, and its critical section moves
+//! money if the source balance suffices. Whatever the interleaving, the
+//! sum of all balances must be conserved and no balance may go negative —
+//! any mutual-exclusion or idempotence failure shows up as a violation.
+
+use wfl_baselines::LockAlgo;
+use wfl_core::{LockId, TryLockRequest};
+use wfl_idem::{cell, IdemRun, Registry, TagSource, Thunk, ThunkId};
+use wfl_runtime::{Addr, Ctx, Heap};
+
+/// The transfer critical section: `if bal[from] >= amt { bal[from] -= amt;
+/// bal[to] += amt }` (2 reads + up to 2 writes).
+pub struct TransferThunk;
+
+impl Thunk for TransferThunk {
+    fn run(&self, run: &mut IdemRun<'_, '_>) {
+        let from = Addr::from_word(run.arg(0));
+        let to = Addr::from_word(run.arg(1));
+        let amt = run.arg(2) as u32;
+        let b_from = run.read(from);
+        let b_to = run.read(to);
+        if b_from >= amt {
+            run.write(from, b_from - amt);
+            run.write(to, b_to + amt);
+        }
+    }
+    fn max_ops(&self) -> usize {
+        4
+    }
+}
+
+/// A bank of `n` accounts, each protected by its own lock (lock id =
+/// account id).
+#[derive(Debug, Clone, Copy)]
+pub struct Bank {
+    /// Number of accounts.
+    pub n: usize,
+    /// Base address of the balances (tagged cells).
+    pub balances: Addr,
+    /// The registered transfer thunk.
+    pub transfer: ThunkId,
+}
+
+impl Bank {
+    /// Allocates `n` accounts with `initial` balance each.
+    pub fn create_root(heap: &Heap, registry: &mut Registry, n: usize, initial: u32) -> Bank {
+        assert!(n >= 2, "need at least two accounts");
+        let balances = heap.alloc_root(n);
+        for i in 0..n {
+            heap.poke(balances.off(i as u32), cell::untagged(initial));
+        }
+        Bank { n, balances, transfer: registry.register(TransferThunk) }
+    }
+
+    /// One transfer attempt of `amt` from account `a` to account `b`.
+    ///
+    /// # Panics
+    /// Panics if `a == b` (a transfer needs two distinct accounts).
+    pub fn attempt_transfer<A: LockAlgo + ?Sized>(
+        &self,
+        ctx: &Ctx<'_>,
+        algo: &A,
+        tags: &mut TagSource,
+        a: usize,
+        b: usize,
+        amt: u32,
+    ) -> wfl_baselines::AttemptOutcome {
+        assert_ne!(a, b, "transfer needs two distinct accounts");
+        let locks = [LockId(a as u32), LockId(b as u32)];
+        let args = [
+            self.balances.off(a as u32).to_word(),
+            self.balances.off(b as u32).to_word(),
+            amt as u64,
+        ];
+        let req = TryLockRequest { locks: &locks, thunk: self.transfer, args: &args };
+        algo.attempt(ctx, tags, &req)
+    }
+
+    /// The sum of all balances (uncounted inspection).
+    pub fn total(&self, heap: &Heap) -> u64 {
+        (0..self.n).map(|i| cell::value(heap.peek(self.balances.off(i as u32))) as u64).sum()
+    }
+
+    /// One account's balance (uncounted inspection).
+    pub fn balance(&self, heap: &Heap, i: usize) -> u32 {
+        cell::value(heap.peek(self.balances.off(i as u32)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfl_baselines::WflKnown;
+    use wfl_core::{LockConfig, LockSpace};
+    use wfl_runtime::schedule::{Bursty, SeededRandom};
+    use wfl_runtime::sim::SimBuilder;
+
+    fn run_bank(nprocs: usize, accounts: usize, rounds: usize, seed: u64, bursty: bool) {
+        let mut registry = Registry::new();
+        let heap = Heap::new(1 << 22);
+        let bank = Bank::create_root(&heap, &mut registry, accounts, 100);
+        let space = LockSpace::create_root(&heap, accounts, nprocs);
+        let algo = WflKnown {
+            space: &space,
+            registry: &registry,
+            cfg: LockConfig::new(nprocs, 2, 4).without_delays(),
+        };
+        let initial_total = bank.total(&heap);
+        let (algo_ref, bank_ref) = (&algo, &bank);
+        let mut builder = SimBuilder::new(&heap, nprocs).seed(seed).max_steps(100_000_000);
+        builder = if bursty {
+            builder.schedule(Bursty::new(nprocs, 30, seed))
+        } else {
+            builder.schedule(SeededRandom::new(nprocs, seed))
+        };
+        let report = builder
+            .spawn_all(|pid| {
+                move |ctx: &Ctx| {
+                    let mut tags = TagSource::new(pid);
+                    for _ in 0..rounds {
+                        let a = ctx.rand_below(accounts as u64) as usize;
+                        let mut b = ctx.rand_below(accounts as u64) as usize;
+                        if b == a {
+                            b = (b + 1) % accounts;
+                        }
+                        let amt = 1 + ctx.rand_below(30) as u32;
+                        bank_ref.attempt_transfer(ctx, algo_ref, &mut tags, a, b, amt);
+                    }
+                }
+            })
+            .run();
+        report.assert_clean();
+        assert_eq!(bank.total(&heap), initial_total, "seed {seed}: money not conserved");
+    }
+
+    #[test]
+    fn money_is_conserved_random_schedules() {
+        for seed in 0..8 {
+            run_bank(3, 4, 6, seed, false);
+        }
+    }
+
+    #[test]
+    fn money_is_conserved_bursty_schedules() {
+        for seed in 0..8 {
+            run_bank(4, 3, 5, 100 + seed, true);
+        }
+    }
+
+    #[test]
+    fn insufficient_funds_leave_balances_untouched() {
+        let mut registry = Registry::new();
+        let heap = Heap::new(1 << 20);
+        let bank = Bank::create_root(&heap, &mut registry, 2, 10);
+        let space = LockSpace::create_root(&heap, 2, 1);
+        let algo = WflKnown {
+            space: &space,
+            registry: &registry,
+            cfg: LockConfig::new(1, 2, 4).without_delays(),
+        };
+        let (algo_ref, bank_ref) = (&algo, &bank);
+        let report = SimBuilder::new(&heap, 1)
+            .spawn(move |ctx: &Ctx| {
+                let mut tags = TagSource::new(0);
+                let out = bank_ref.attempt_transfer(ctx, algo_ref, &mut tags, 0, 1, 50);
+                assert!(out.won, "uncontended attempt must win");
+            })
+            .run();
+        report.assert_clean();
+        assert_eq!(bank.balance(&heap, 0), 10, "guard must block the overdraft");
+        assert_eq!(bank.balance(&heap, 1), 10);
+    }
+}

@@ -1,0 +1,415 @@
+//! An algorithm-agnostic experiment harness.
+//!
+//! Runs a *random-conflict workload* — every attempt draws a random set of
+//! `L` distinct locks from `nlocks` and a critical section that increments
+//! one counter per acquired lock — under any [`LockAlgo`], any schedule,
+//! in the deterministic simulator; collects per-attempt step counts and
+//! success rates; and **checks safety as a side effect** (each lock's
+//! counter must equal the number of successful attempts that covered it).
+//!
+//! Every experiment built on this harness is therefore also a
+//! mutual-exclusion test, which keeps the benchmark numbers honest.
+
+use crate::philosophers;
+use wfl_baselines::{BlockingTpl, LockAlgo, NaiveTryLock, TspLock, WflKnown, WflUnknown};
+use wfl_core::{LockConfig, LockId, LockSpace, TryLockRequest, UnknownConfig};
+use wfl_idem::{cell, IdemRun, Registry, TagSource, Thunk};
+use wfl_runtime::rng::Pcg;
+use wfl_runtime::schedule::{Bursty, RoundRobin, Schedule, SeededRandom, Weighted};
+use wfl_runtime::sim::SimBuilder;
+use wfl_runtime::stats::{Bernoulli, Summary};
+use wfl_runtime::{Addr, Ctx, Heap};
+
+/// Critical section used by the harness: increment the counter of every
+/// acquired lock (read+write per counter).
+pub struct TouchAll {
+    /// Maximum locks per attempt (sizes the op log).
+    pub max_locks: usize,
+}
+
+impl Thunk for TouchAll {
+    fn run(&self, run: &mut IdemRun<'_, '_>) {
+        let n = run.arg(0) as usize;
+        for i in 0..n {
+            let c = Addr::from_word(run.arg(1 + i));
+            let v = run.read(c);
+            run.write(c, v + 1);
+        }
+    }
+    fn max_ops(&self) -> usize {
+        2 * self.max_locks
+    }
+}
+
+/// Scheduler families for experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedKind {
+    /// Fair round-robin.
+    RoundRobin,
+    /// Seeded uniform random.
+    Random,
+    /// Runs of the given length on one process at a time.
+    Bursty(u64),
+    /// Weights `1, 4, 7, ...` — persistent speed skew across processes.
+    WeightedRamp,
+}
+
+impl SchedKind {
+    fn build(self, n: usize, seed: u64) -> Box<dyn Schedule> {
+        match self {
+            SchedKind::RoundRobin => Box::new(RoundRobin::new(n)),
+            SchedKind::Random => Box::new(SeededRandom::new(n, seed)),
+            SchedKind::Bursty(len) => Box::new(Bursty::new(n, len, seed)),
+            SchedKind::WeightedRamp => Box::new(Weighted::new(
+                &(0..n as u64).map(|i| 1 + 3 * i).collect::<Vec<_>>(),
+                seed,
+            )),
+        }
+    }
+}
+
+/// Algorithms the harness can instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoKind {
+    /// The paper's known-bounds algorithm (§6). `kappa` is the contention
+    /// bound used for the delays (active sets are always sized at the
+    /// process count, which is a valid upper bound).
+    Wfl {
+        /// Contention bound κ for the delay formulas.
+        kappa: usize,
+        /// Fixed delays enabled (disable only for the E11 ablation).
+        delays: bool,
+        /// Helping phase enabled (disable only for the E12 ablation).
+        helping: bool,
+    },
+    /// The §6.2 unknown-bounds variant.
+    WflUnknown,
+    /// Turek–Shasha–Prakash-style lock-free locks (always succeed).
+    Tsp,
+    /// Blocking ordered two-phase locking (always succeeds; blocks under
+    /// crashes).
+    Blocking,
+    /// No-helping tryLock (may fail; never blocks).
+    Naive,
+}
+
+/// Workload shape for [`run_random_conflict`].
+#[derive(Debug, Clone, Copy)]
+pub struct SimSpec {
+    /// Number of processes.
+    pub nprocs: usize,
+    /// Attempts per process.
+    pub attempts_per_proc: usize,
+    /// Number of locks in the system.
+    pub nlocks: usize,
+    /// Locks per attempt (`L`).
+    pub locks_per_attempt: usize,
+    /// Maximum random think time (local steps) between attempts.
+    pub think_max: u64,
+    /// Workload + schedule seed.
+    pub seed: u64,
+    /// Scheduler family.
+    pub sched: SchedKind,
+    /// Scheduled-phase budget.
+    pub max_steps: u64,
+    /// Heap size in words.
+    pub heap_words: usize,
+}
+
+impl SimSpec {
+    /// A reasonable default spec; override fields as needed.
+    pub fn new(nprocs: usize, attempts_per_proc: usize, nlocks: usize, locks_per_attempt: usize) -> SimSpec {
+        SimSpec {
+            nprocs,
+            attempts_per_proc,
+            nlocks,
+            locks_per_attempt,
+            think_max: 16,
+            seed: 1,
+            sched: SchedKind::Random,
+            max_steps: 400_000_000,
+            heap_words: 1 << 23,
+        }
+    }
+}
+
+/// Results of a harness run.
+#[derive(Debug, Clone)]
+pub struct HarnessReport {
+    /// Total attempts made.
+    pub attempts: u64,
+    /// Total successful attempts.
+    pub wins: u64,
+    /// Per-attempt own-step counts.
+    pub steps: Summary,
+    /// Success-rate estimator over all attempts.
+    pub success: Bernoulli,
+    /// Per-process (wins, attempts).
+    pub per_pid: Vec<(u64, u64)>,
+    /// Whether every lock counter matched the recorded wins covering it.
+    pub safety_ok: bool,
+}
+
+/// Deterministic lock-set choice for `(seed, pid, round)`: `L` distinct
+/// locks, uniform without replacement.
+pub fn pick_locks(seed: u64, pid: usize, round: usize, nlocks: usize, l: usize) -> Vec<LockId> {
+    let mut rng = Pcg::new(seed ^ 0xD1CE, ((pid as u64) << 32) | round as u64);
+    let mut chosen: Vec<u32> = Vec::with_capacity(l);
+    while chosen.len() < l {
+        let c = rng.below(nlocks as u64) as u32;
+        if !chosen.contains(&c) {
+            chosen.push(c);
+        }
+    }
+    chosen.sort_unstable();
+    chosen.into_iter().map(LockId).collect()
+}
+
+/// Runs the random-conflict workload under the given algorithm and
+/// returns aggregated metrics (with the built-in safety check).
+pub fn run_random_conflict(spec: &SimSpec, algo: AlgoKind) -> HarnessReport {
+    assert!(spec.locks_per_attempt <= spec.nlocks);
+    let mut registry = Registry::new();
+    let touch = registry.register(TouchAll { max_locks: spec.locks_per_attempt });
+    let heap = Heap::new(spec.heap_words);
+    let counters = heap.alloc_root(spec.nlocks);
+    let n_attempts = spec.nprocs * spec.attempts_per_proc;
+    // outcome word per attempt: 0 not run, 1 lost, 2 won; plus steps word.
+    let outcomes = heap.alloc_root(n_attempts);
+    let steps_out = heap.alloc_root(n_attempts);
+
+    // Algorithm-specific setup (all reference setup-time state).
+    let space = LockSpace::create_root(&heap, spec.nlocks, spec.nprocs.max(2));
+    let blocking = BlockingTpl::create_root(&heap, &registry, spec.nlocks);
+    let naive = NaiveTryLock::create_root(&heap, &registry, spec.nlocks);
+    let tsp = TspLock::create_root(&heap, &registry, spec.nlocks);
+    let wfl_cfg = |kappa: usize, delays: bool, helping: bool| {
+        let mut cfg = LockConfig::new(kappa, spec.locks_per_attempt, 2 * spec.locks_per_attempt);
+        cfg.delays = delays;
+        cfg.helping = helping;
+        cfg
+    };
+    let known_cfg = match algo {
+        AlgoKind::Wfl { kappa, delays, helping } => wfl_cfg(kappa, delays, helping),
+        _ => wfl_cfg(spec.nprocs, true, true),
+    };
+    let wfl = WflKnown { space: &space, registry: &registry, cfg: known_cfg };
+    let wfl_unknown =
+        WflUnknown { space: &space, registry: &registry, cfg: UnknownConfig::new() };
+    let algo_ref: &dyn LockAlgo = match algo {
+        AlgoKind::Wfl { .. } => &wfl,
+        AlgoKind::WflUnknown => &wfl_unknown,
+        AlgoKind::Tsp => &tsp,
+        AlgoKind::Blocking => &blocking,
+        AlgoKind::Naive => &naive,
+    };
+
+    let spec_copy = *spec;
+    let report = SimBuilder::new(&heap, spec.nprocs)
+        .seed(spec.seed)
+        .schedule_box(spec.sched.build(spec.nprocs, spec.seed))
+        .max_steps(spec.max_steps)
+        .spawn_all(|pid| {
+            let s = spec_copy;
+            move |ctx: &Ctx| {
+                let mut tags = TagSource::new(pid);
+                for round in 0..s.attempts_per_proc {
+                    let locks = pick_locks(s.seed, pid, round, s.nlocks, s.locks_per_attempt);
+                    let mut args = vec![locks.len() as u64];
+                    args.extend(locks.iter().map(|l| counters.off(l.0).to_word()));
+                    let req = TryLockRequest { locks: &locks, thunk: touch, args: &args };
+                    let out = algo_ref.attempt(ctx, &mut tags, &req);
+                    let idx = (pid * s.attempts_per_proc + round) as u32;
+                    ctx.write(outcomes.off(idx), 1 + out.won as u64);
+                    ctx.write(steps_out.off(idx), out.steps);
+                    if s.think_max > 0 {
+                        let think = ctx.rand_below(s.think_max);
+                        for _ in 0..think {
+                            ctx.local_step();
+                        }
+                    }
+                    if ctx.stop_requested() {
+                        break;
+                    }
+                }
+            }
+        })
+        .run();
+    report.assert_clean();
+
+    // Aggregate + safety check.
+    let mut steps = Summary::new();
+    let mut success = Bernoulli::default();
+    let mut per_pid = vec![(0u64, 0u64); spec.nprocs];
+    let mut expected = vec![0u64; spec.nlocks];
+    let mut attempts = 0u64;
+    let mut wins = 0u64;
+    for pid in 0..spec.nprocs {
+        for round in 0..spec.attempts_per_proc {
+            let idx = (pid * spec.attempts_per_proc + round) as u32;
+            let o = heap.peek(outcomes.off(idx));
+            if o == 0 {
+                continue; // not run (stopped early)
+            }
+            attempts += 1;
+            per_pid[pid].1 += 1;
+            let won = o == 2;
+            success.record(won);
+            steps.push(heap.peek(steps_out.off(idx)));
+            if won {
+                wins += 1;
+                per_pid[pid].0 += 1;
+                for l in pick_locks(spec.seed, pid, round, spec.nlocks, spec.locks_per_attempt) {
+                    expected[l.0 as usize] += 1;
+                }
+            }
+        }
+    }
+    let safety_ok = (0..spec.nlocks)
+        .all(|l| cell::value(heap.peek(counters.off(l as u32))) as u64 == expected[l]);
+    HarnessReport { attempts, wins, steps, success, per_pid, safety_ok }
+}
+
+/// Runs the dining-philosophers workload (E4): `n` philosophers, each
+/// making `attempts` eating attempts with random think time. Returns the
+/// harness report (steps/success) with the meal-count safety check.
+pub fn run_philosophers(
+    n: usize,
+    attempts: usize,
+    seed: u64,
+    sched: SchedKind,
+    algo: AlgoKind,
+    heap_words: usize,
+) -> HarnessReport {
+    let mut registry = Registry::new();
+    let heap = Heap::new(heap_words);
+    let table = philosophers::Table::create_root(&heap, &mut registry, n);
+    let space = LockSpace::create_root(&heap, n, 2.max(3));
+    let outcomes = heap.alloc_root(n * attempts);
+    let steps_out = heap.alloc_root(n * attempts);
+    let known_cfg = match algo {
+        AlgoKind::Wfl { kappa, delays, helping } => {
+            let mut cfg = LockConfig::new(kappa, 2, 2);
+            cfg.delays = delays;
+            cfg.helping = helping;
+            cfg
+        }
+        _ => LockConfig::new(2, 2, 2),
+    };
+    let blocking = BlockingTpl::create_root(&heap, &registry, n);
+    let naive = NaiveTryLock::create_root(&heap, &registry, n);
+    let tsp = TspLock::create_root(&heap, &registry, n);
+    let wfl = WflKnown { space: &space, registry: &registry, cfg: known_cfg };
+    let wfl_unknown = WflUnknown { space: &space, registry: &registry, cfg: UnknownConfig::new() };
+    let algo_ref: &dyn LockAlgo = match algo {
+        AlgoKind::Wfl { .. } => &wfl,
+        AlgoKind::WflUnknown => &wfl_unknown,
+        AlgoKind::Tsp => &tsp,
+        AlgoKind::Blocking => &blocking,
+        AlgoKind::Naive => &naive,
+    };
+    let table_ref = &table;
+    let report = SimBuilder::new(&heap, n)
+        .seed(seed)
+        .schedule_box(sched.build(n, seed))
+        .max_steps(600_000_000)
+        .spawn_all(|pid| {
+            move |ctx: &Ctx| {
+                let mut tags = TagSource::new(pid);
+                for round in 0..attempts {
+                    let out = table_ref.attempt_eat(ctx, algo_ref, &mut tags, pid);
+                    let idx = (pid * attempts + round) as u32;
+                    ctx.write(outcomes.off(idx), 1 + out.won as u64);
+                    ctx.write(steps_out.off(idx), out.steps);
+                    let think = ctx.rand_below(24);
+                    for _ in 0..think {
+                        ctx.local_step();
+                    }
+                }
+            }
+        })
+        .run();
+    report.assert_clean();
+
+    let mut steps = Summary::new();
+    let mut success = Bernoulli::default();
+    let mut per_pid = vec![(0u64, 0u64); n];
+    let mut attempts_total = 0u64;
+    let mut wins = 0u64;
+    for pid in 0..n {
+        for round in 0..attempts {
+            let idx = (pid * attempts + round) as u32;
+            let o = heap.peek(outcomes.off(idx));
+            if o == 0 {
+                continue;
+            }
+            attempts_total += 1;
+            per_pid[pid].1 += 1;
+            let won = o == 2;
+            success.record(won);
+            steps.push(heap.peek(steps_out.off(idx)));
+            if won {
+                wins += 1;
+                per_pid[pid].0 += 1;
+            }
+        }
+    }
+    let safety_ok = (0..n).all(|i| table.meals_eaten(&heap, i) as u64 == per_pid[i].0);
+    HarnessReport { attempts: attempts_total, wins, steps, success, per_pid, safety_ok }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_locks_is_deterministic_distinct_sorted() {
+        let a = pick_locks(5, 2, 7, 10, 3);
+        let b = pick_locks(5, 2, 7, 10, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, a, "locks must be sorted and distinct");
+    }
+
+    #[test]
+    fn harness_runs_wfl_and_checks_safety() {
+        let mut spec = SimSpec::new(3, 4, 3, 2);
+        spec.seed = 11;
+        let r = run_random_conflict(&spec, AlgoKind::Wfl { kappa: 3, delays: false, helping: true });
+        assert!(r.safety_ok, "harness safety check failed");
+        assert_eq!(r.attempts, 12);
+        assert!(r.wins >= 1);
+        assert_eq!(r.per_pid.len(), 3);
+    }
+
+    #[test]
+    fn harness_runs_all_baselines() {
+        for algo in [AlgoKind::Tsp, AlgoKind::Blocking, AlgoKind::Naive, AlgoKind::WflUnknown] {
+            let mut spec = SimSpec::new(3, 3, 3, 2);
+            spec.seed = 21;
+            let r = run_random_conflict(&spec, algo);
+            assert!(r.safety_ok, "{algo:?}: safety check failed");
+            assert_eq!(r.attempts, 9, "{algo:?}");
+            if matches!(algo, AlgoKind::Tsp | AlgoKind::Blocking) {
+                assert_eq!(r.wins, 9, "{algo:?}: blocking-style algorithms always succeed");
+            }
+        }
+    }
+
+    #[test]
+    fn philosophers_harness_reports_consistent_meals() {
+        let r = run_philosophers(
+            4,
+            5,
+            3,
+            SchedKind::Random,
+            AlgoKind::Wfl { kappa: 2, delays: false, helping: true },
+            1 << 22,
+        );
+        assert!(r.safety_ok);
+        assert_eq!(r.attempts, 20);
+    }
+}

@@ -1,0 +1,25 @@
+//! Workloads for the wait-free-locks experiments — the applications the
+//! paper's introduction motivates, built on the public lock API:
+//!
+//! * [`philosophers`] — Dijkstra's dining philosophers, the paper's running
+//!   example (`κ = L = 2`; Theorem 1.1 specializes to success probability
+//!   ≥ 1/4 in O(1) steps, experiment E4).
+//! * [`bank`] — multi-lock money transfers with a conservation invariant
+//!   (an end-to-end mutual-exclusion detector).
+//! * [`list`] — a sorted linked list updated with fine-grained two-lock
+//!   critical sections and optimistic traversal, after the concurrent data
+//!   structures cited in §1.
+//! * [`graph`] — GraphLab-style local vertex updates: lock a vertex and its
+//!   neighbors, recompute from neighbor values (§1's graph processing use
+//!   case).
+//! * [`player`] — player-adversary strategies (adaptive start times) for
+//!   the fairness experiments E7/E11.
+//! * [`harness`] — a small algorithm-agnostic runner collecting success
+//!   rates and step statistics over any [`wfl_baselines::LockAlgo`].
+
+pub mod bank;
+pub mod graph;
+pub mod harness;
+pub mod list;
+pub mod philosophers;
+pub mod player;

@@ -1,0 +1,138 @@
+//! Player-adversary strategies: who attempts what, and when.
+//!
+//! The paper's *player adversary* is adaptive — it sees the full history
+//! and decides when each process starts a tryLock and on which locks. In
+//! the simulator this is a [`wfl_runtime::sim::Controller`] that inspects
+//! the quiesced heap between steps and feeds `start` commands into process
+//! mailboxes; the process side ([`run_player_loop`]) polls its mailbox and
+//! executes the commanded attempts. Experiments E7/E11 use the
+//! [`TargetedStarter`] to try to bias a victim's success probability; the
+//! delay mechanism is what defeats it.
+
+use wfl_baselines::LockAlgo;
+use wfl_core::{Desc, LockId, TryLockRequest};
+use wfl_idem::{TagSource, ThunkId};
+use wfl_runtime::sim::{Controller, Mailboxes};
+use wfl_runtime::{Addr, Ctx, Heap};
+
+/// Command encoding: `[n, lock0.., arg_count, args..]`; an empty slice
+/// means "stop".
+pub fn encode_attempt(locks: &[LockId], args: &[u64]) -> Box<[u64]> {
+    let mut words = Vec::with_capacity(2 + locks.len() + args.len());
+    words.push(locks.len() as u64);
+    words.extend(locks.iter().map(|l| l.0 as u64));
+    words.push(args.len() as u64);
+    words.extend_from_slice(args);
+    words.into_boxed_slice()
+}
+
+/// Decodes a command produced by [`encode_attempt`].
+pub fn decode_attempt(cmd: &[u64]) -> (Vec<LockId>, Vec<u64>) {
+    let n = cmd[0] as usize;
+    let locks: Vec<LockId> = cmd[1..1 + n].iter().map(|&w| LockId(w as u32)).collect();
+    let argc = cmd[1 + n] as usize;
+    let args = cmd[2 + n..2 + n + argc].to_vec();
+    (locks, args)
+}
+
+/// The process side of a commanded player: polls the mailbox; on a
+/// command, runs one attempt and records the outcome into
+/// `results[attempt_counter]` as `1 + won` (0 = not yet run). Stops when
+/// the driver raises the stop flag or after `max_attempts`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_player_loop<A: LockAlgo + ?Sized>(
+    ctx: &Ctx<'_>,
+    algo: &A,
+    tags: &mut TagSource,
+    thunk: ThunkId,
+    results: Addr,
+    max_attempts: u64,
+) {
+    let mut done = 0u64;
+    while done < max_attempts && !ctx.stop_requested() {
+        let Some(cmd) = ctx.poll_mailbox() else { continue };
+        if cmd.is_empty() {
+            return;
+        }
+        let (locks, args) = decode_attempt(&cmd);
+        let req = TryLockRequest { locks: &locks, thunk, args: &args };
+        let out = algo.attempt(ctx, tags, &req);
+        ctx.write(results.off(done as u32), 1 + out.won as u64);
+        done += 1;
+    }
+}
+
+/// An adaptive player adversary that tries to make a victim lose: it
+/// watches the victim's descriptor region and starts competitor attempts
+/// timed so that strong competitors are revealed around the victim's
+/// attempts. It has full read access to the heap (including everyone's
+/// priorities) — strictly stronger than what a real player could know —
+/// yet Theorem 6.9 says the victim's per-attempt success probability
+/// still cannot be pushed below `1/C_p`.
+pub struct TargetedStarter {
+    /// The victim process id (receives attempts periodically).
+    pub victim: usize,
+    /// Competitor process ids.
+    pub competitors: Vec<usize>,
+    /// Lock set everyone fights over.
+    pub locks: Vec<LockId>,
+    /// Thunk args for every attempt.
+    pub args: Vec<u64>,
+    /// Interval (in global steps) between victim attempt starts.
+    pub victim_period: u64,
+    /// Address of a cell the victim publishes its current descriptor to
+    /// (NULL when idle); lets the adversary react to the victim's state.
+    pub victim_desc_cell: Addr,
+    /// How many commands have been issued so far (state).
+    pub issued: u64,
+}
+
+impl Controller for TargetedStarter {
+    fn on_step(&mut self, t: u64, heap: &Heap, mail: &Mailboxes<'_>) {
+        // Keep the victim attempting on a fixed cadence.
+        if t % self.victim_period == 0 && mail.queued(self.victim) == 0 {
+            mail.send(self.victim, encode_attempt(&self.locks, &self.args));
+        }
+        // Adaptive part: whenever the victim has a live, not-yet-revealed
+        // descriptor (it is inside its pending phase), flood one competitor
+        // attempt per competitor — trying to land their reveals inside the
+        // victim's window. This uses full heap visibility (the adversary
+        // can even read priorities).
+        let victim_desc = heap.peek(self.victim_desc_cell);
+        if victim_desc != 0 {
+            let d = Desc(Addr::from_word(victim_desc));
+            let prio = heap.peek(d.prio_addr());
+            if prio <= 1 {
+                for &c in &self.competitors {
+                    if mail.queued(c) == 0 {
+                        mail.send(c, encode_attempt(&self.locks, &self.args));
+                        self.issued += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_roundtrip() {
+        let locks = vec![LockId(3), LockId(7)];
+        let args = vec![99, 100];
+        let cmd = encode_attempt(&locks, &args);
+        let (l2, a2) = decode_attempt(&cmd);
+        assert_eq!(l2, locks);
+        assert_eq!(a2, args);
+    }
+
+    #[test]
+    fn empty_args_roundtrip() {
+        let cmd = encode_attempt(&[LockId(0)], &[]);
+        let (l, a) = decode_attempt(&cmd);
+        assert_eq!(l, vec![LockId(0)]);
+        assert!(a.is_empty());
+    }
+}

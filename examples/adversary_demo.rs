@@ -1,0 +1,101 @@
+//! The adaptive player adversary vs the delay mechanism (§2, §6.1).
+//!
+//! An omniscient controller watches a victim process and floods competitor
+//! attempts whenever the victim is in its pending (pre-reveal) phase,
+//! trying to stack strong competitors against it. The paper's claim
+//! (Theorem 6.9): the victim's per-attempt success probability still
+//! cannot be pushed below `1/C_p` — here `1/κL = 1/(2·1) = 1/2` with two
+//! contenders per lock — because the helping phase clears pre-revealed
+//! competitors and the fixed delays make the victim's reveal time
+//! independent of what the adversary observes.
+//!
+//! Run with: `cargo run --release --example adversary_demo`
+
+use wait_free_locks::baselines::WflKnown;
+use wait_free_locks::workloads::player::{run_player_loop, TargetedStarter};
+use wait_free_locks::{
+    cell, Ctx, Heap, IdemRun, LockConfig, LockId, LockSpace, Registry, RoundRobin, SimBuilder,
+    TagSource, Thunk,
+};
+
+struct Touch;
+impl Thunk for Touch {
+    fn run(&self, run: &mut IdemRun<'_, '_>) {
+        let c = wait_free_locks::Addr::from_word(run.arg(0));
+        let v = run.read(c);
+        run.write(c, v + 1);
+    }
+    fn max_ops(&self) -> usize {
+        2
+    }
+}
+
+fn main() {
+    let nprocs = 3; // victim + 2 competitors
+    let attempts = 60u64;
+
+    let mut registry = Registry::new();
+    let touch = registry.register(Touch);
+    let heap = Heap::new(1 << 24);
+    let space = LockSpace::create_root(&heap, 1, nprocs);
+    let counter = heap.alloc_root(1);
+    let results = heap.alloc_root(attempts as usize * nprocs);
+    let victim_desc_cell = heap.alloc_root(1);
+    let cfg = LockConfig::new(nprocs, 1, 2);
+    let algo = WflKnown { space: &space, registry: &registry, cfg };
+
+    let adversary = TargetedStarter {
+        victim: 0,
+        competitors: vec![1, 2],
+        locks: vec![LockId(0)],
+        args: vec![counter.to_word()],
+        victim_period: 400,
+        victim_desc_cell,
+        issued: 0,
+    };
+
+    let algo_ref = &algo;
+    let report = SimBuilder::new(&heap, nprocs)
+        .schedule(RoundRobin::new(nprocs))
+        .controller(adversary)
+        .max_steps(40_000_000)
+        .spawn_all(|pid| {
+            move |ctx: &Ctx| {
+                let mut tags = TagSource::new(pid);
+                let my_results = results.off((pid as u64 * attempts) as u32);
+                run_player_loop(ctx, algo_ref, &mut tags, touch, my_results, attempts);
+            }
+        })
+        .run();
+    report.assert_clean();
+
+    let mut rows = Vec::new();
+    for pid in 0..nprocs {
+        let mut wins = 0u64;
+        let mut total = 0u64;
+        for i in 0..attempts {
+            match heap.peek(results.off((pid as u64 * attempts + i) as u32)) {
+                0 => break,
+                o => {
+                    total += 1;
+                    if o == 2 {
+                        wins += 1;
+                    }
+                }
+            }
+        }
+        rows.push((pid, wins, total));
+    }
+    println!("process | role       | wins / attempts | success rate");
+    for (pid, wins, total) in &rows {
+        let role = if *pid == 0 { "victim" } else { "competitor" };
+        let rate = if *total > 0 { *wins as f64 / *total as f64 } else { 0.0 };
+        println!("{pid:>7} | {role:<10} | {wins:>4} / {total:<8} | {rate:.3}");
+    }
+    println!();
+    println!("counter = {} (sanity: equals total wins)", cell::value(heap.peek(counter)));
+    let total_wins: u64 = rows.iter().map(|r| r.1).sum();
+    assert_eq!(cell::value(heap.peek(counter)) as u64, total_wins);
+    println!("fairness bound for the victim: 1/(kappa*L) with the adversary's");
+    println!("worst case contention — the victim's rate should sit well above 0.");
+}

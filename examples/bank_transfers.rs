@@ -1,0 +1,64 @@
+//! Bank transfers: multi-lock transactions with a conservation invariant.
+//!
+//! Processes transfer random amounts between random account pairs; each
+//! transfer tryLocks the two account locks. Whatever the adversarial
+//! interleaving, the total balance is conserved — any mutual-exclusion or
+//! idempotence failure would break it.
+//!
+//! Run with: `cargo run --release --example bank_transfers`
+
+use wait_free_locks::baselines::WflKnown;
+use wait_free_locks::workloads::bank::Bank;
+use wait_free_locks::{Ctx, Heap, LockConfig, LockSpace, Registry, SeededRandom, SimBuilder, TagSource};
+
+fn main() {
+    let nprocs = 4;
+    let accounts = 6;
+    let rounds = 25;
+
+    let mut registry = Registry::new();
+    let heap = Heap::new(1 << 24);
+    let bank = Bank::create_root(&heap, &mut registry, accounts, 1_000);
+    let space = LockSpace::create_root(&heap, accounts, nprocs);
+    let algo = WflKnown {
+        space: &space,
+        registry: &registry,
+        cfg: LockConfig::new(nprocs, 2, 4),
+    };
+    let initial_total = bank.total(&heap);
+
+    let (bank_ref, algo_ref) = (&bank, &algo);
+    let report = SimBuilder::new(&heap, nprocs)
+        .seed(99)
+        .schedule(SeededRandom::new(nprocs, 99))
+        .max_steps(400_000_000)
+        .spawn_all(|pid| {
+            move |ctx: &Ctx| {
+                let mut tags = TagSource::new(pid);
+                let mut wins = 0;
+                for _ in 0..rounds {
+                    let a = ctx.rand_below(accounts as u64) as usize;
+                    let mut b = ctx.rand_below(accounts as u64) as usize;
+                    if a == b {
+                        b = (b + 1) % accounts;
+                    }
+                    let amt = 1 + ctx.rand_below(100) as u32;
+                    if bank_ref.attempt_transfer(ctx, algo_ref, &mut tags, a, b, amt).won {
+                        wins += 1;
+                    }
+                }
+                println!("process {pid}: {wins}/{rounds} transfers committed");
+            }
+        })
+        .run();
+    report.assert_clean();
+
+    println!();
+    for i in 0..accounts {
+        println!("account {i}: balance {}", bank.balance(&heap, i));
+    }
+    let total = bank.total(&heap);
+    println!("total: {total} (initial {initial_total})");
+    assert_eq!(total, initial_total, "conservation violated!");
+    println!("ok: money conserved under adversarial interleaving");
+}

@@ -1,0 +1,206 @@
+//! Property-based tests (proptest) over the core invariants: random
+//! workload shapes × random schedules, with the lost-update counter
+//! invariant, idempotence agreement, and active-set membership all
+//! checked on every case. Failing cases shrink to minimal seeds.
+
+use proptest::prelude::*;
+use wait_free_locks::activeset::ActiveSet;
+use wait_free_locks::idem::{cell, Frame, IdemRun, Registry, TagSource, Thunk};
+use wait_free_locks::{
+    try_locks, Addr, Bursty, Ctx, Heap, LockConfig, LockId, LockSpace, SeededRandom, SimBuilder,
+    TryLockRequest, Weighted,
+};
+
+struct IncrAll {
+    max_locks: usize,
+}
+impl Thunk for IncrAll {
+    fn run(&self, run: &mut IdemRun<'_, '_>) {
+        let n = run.arg(0) as usize;
+        for i in 0..n {
+            let c = Addr::from_word(run.arg(1 + i));
+            let v = run.read(c);
+            run.write(c, v + 1);
+        }
+    }
+    fn max_ops(&self) -> usize {
+        2 * self.max_locks
+    }
+}
+
+fn schedule_for(kind: u8, n: usize, seed: u64) -> Box<dyn wait_free_locks::runtime::Schedule> {
+    match kind % 3 {
+        0 => Box::new(SeededRandom::new(n, seed)),
+        1 => Box::new(Bursty::new(n, 1 + (seed % 60), seed)),
+        _ => Box::new(Weighted::new(
+            &(0..n as u64).map(|i| 1 + (i * seed) % 9).collect::<Vec<_>>(),
+            seed,
+        )),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Counter invariant: for arbitrary process counts, lock counts, lock
+    /// sets and schedules, each lock's counter equals the number of
+    /// successful attempts covering it.
+    #[test]
+    fn lock_counters_always_exact(
+        nprocs in 2usize..5,
+        nlocks in 1usize..4,
+        l in 1usize..3,
+        rounds in 1usize..5,
+        seed in 0u64..10_000,
+        sched_kind in 0u8..3,
+    ) {
+        let l = l.min(nlocks);
+        let mut registry = Registry::new();
+        let incr = registry.register(IncrAll { max_locks: l });
+        let heap = Heap::new(1 << 22);
+        let space = LockSpace::create_root(&heap, nlocks, nprocs);
+        let counters = heap.alloc_root(nlocks);
+        let outcomes = heap.alloc_root(nprocs * rounds);
+        let cfg = LockConfig::new(nprocs, l, 2 * l).without_delays();
+        let (space_ref, reg_ref, cfg_ref) = (&space, &registry, &cfg);
+        let pick = |pid: usize, round: usize| -> Vec<LockId> {
+            let mut rng = wait_free_locks::runtime::rng::Pcg::new(
+                seed ^ 0xabcd, ((pid as u64) << 32) | round as u64);
+            let mut chosen: Vec<u32> = Vec::new();
+            while chosen.len() < l {
+                let c = rng.below(nlocks as u64) as u32;
+                if !chosen.contains(&c) { chosen.push(c); }
+            }
+            chosen.sort_unstable();
+            chosen.into_iter().map(LockId).collect()
+        };
+        let report = SimBuilder::new(&heap, nprocs)
+            .seed(seed)
+            .schedule_box(schedule_for(sched_kind, nprocs, seed))
+            .max_steps(300_000_000)
+            .spawn_all(|pid| {
+                move |ctx: &Ctx| {
+                    let mut tags = TagSource::new(pid);
+                    for round in 0..rounds {
+                        let locks = pick(pid, round);
+                        let mut args = vec![locks.len() as u64];
+                        args.extend(locks.iter().map(|lk| counters.off(lk.0).to_word()));
+                        let req = TryLockRequest { locks: &locks, thunk: incr, args: &args };
+                        let m = try_locks(ctx, space_ref, reg_ref, cfg_ref, &mut tags, req);
+                        ctx.write(outcomes.off((pid * rounds + round) as u32), 1 + m.won as u64);
+                    }
+                }
+            })
+            .run();
+        report.assert_clean();
+        prop_assert!(report.completed, "did not finish");
+        let mut expected = vec![0u64; nlocks];
+        for pid in 0..nprocs {
+            for round in 0..rounds {
+                if heap.peek(outcomes.off((pid * rounds + round) as u32)) == 2 {
+                    for lk in pick(pid, round) {
+                        expected[lk.0 as usize] += 1;
+                    }
+                }
+            }
+        }
+        for lk in 0..nlocks {
+            prop_assert_eq!(
+                cell::value(heap.peek(counters.off(lk as u32))) as u64,
+                expected[lk],
+                "lock {} counter diverged", lk
+            );
+        }
+    }
+
+    /// Idempotence: arbitrary chains of dependent read/write ops helped by
+    /// arbitrary helper counts equal one sequential run.
+    #[test]
+    fn helped_thunks_equal_sequential_run(
+        nhelpers in 1usize..6,
+        chain_len in 1usize..6,
+        init in 0u32..100,
+        seed in 0u64..10_000,
+    ) {
+        struct Chain { len: usize }
+        impl Thunk for Chain {
+            fn run(&self, run: &mut IdemRun<'_, '_>) {
+                let base = Addr::from_word(run.arg(0));
+                let mut acc = run.read(base);
+                for i in 0..self.len {
+                    acc = acc.wrapping_mul(3).wrapping_add(i as u32);
+                    run.write(base.off(1 + i as u32), acc);
+                }
+            }
+            fn max_ops(&self) -> usize { 1 + self.len }
+        }
+        // Sequential expectation.
+        let mut acc = init;
+        let mut expected = Vec::new();
+        for i in 0..chain_len {
+            acc = acc.wrapping_mul(3).wrapping_add(i as u32);
+            expected.push(acc);
+        }
+        // Concurrent helped execution.
+        let mut registry = Registry::new();
+        let id = registry.register(Chain { len: chain_len });
+        let heap = Heap::new(1 << 20);
+        let base = heap.alloc_root(1 + chain_len);
+        heap.poke(base, cell::untagged(init));
+        let mut tags = TagSource::new(0);
+        let frame = Frame::create_root(&heap, &registry, id, tags.next_base(), &[base.to_word()]);
+        let reg = &registry;
+        let report = SimBuilder::new(&heap, nhelpers)
+            .schedule(SeededRandom::new(nhelpers, seed))
+            .spawn_all(|_pid| move |ctx: &Ctx| frame.help(ctx, reg))
+            .run();
+        report.assert_clean();
+        for (i, &e) in expected.iter().enumerate() {
+            prop_assert_eq!(cell::value(heap.peek(base.off(1 + i as u32))), e, "op {}", i);
+        }
+    }
+
+    /// Active set: completed inserts are visible, completed removes are
+    /// not, under arbitrary interleavings.
+    #[test]
+    fn active_set_membership_after_quiescence(
+        nprocs in 1usize..5,
+        cycles in 1usize..4,
+        keep_last in proptest::bool::ANY,
+        seed in 0u64..10_000,
+    ) {
+        let heap = Heap::new(1 << 20);
+        let set = ActiveSet::create_root(&heap, nprocs + 1);
+        let report = SimBuilder::new(&heap, nprocs)
+            .schedule(SeededRandom::new(nprocs, seed))
+            .max_steps(50_000_000)
+            .spawn_all(|pid| {
+                move |ctx: &Ctx| {
+                    for c in 0..cycles {
+                        let slot = set.insert(ctx, (pid + 1) as u64);
+                        let last = c == cycles - 1;
+                        if !(keep_last && last) {
+                            set.remove(ctx, slot);
+                        }
+                    }
+                }
+            })
+            .run();
+        report.assert_clean();
+        // Read membership at quiescence via one fresh process.
+        let probe = SimBuilder::new(&heap, 1)
+            .spawn(move |ctx: &Ctx| {
+                let mut out = Vec::new();
+                set.get_set(ctx, &mut out);
+                out.sort_unstable();
+                let expected: Vec<u64> = if keep_last {
+                    (1..=nprocs as u64).collect()
+                } else {
+                    Vec::new()
+                };
+                assert_eq!(out, expected, "membership after quiescence");
+            })
+            .run();
+        probe.assert_clean();
+    }
+}
