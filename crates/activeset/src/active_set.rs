@@ -76,7 +76,11 @@ impl ActiveSet {
     pub fn insert(&self, ctx: &Ctx<'_>, item: u64) -> usize {
         assert!(item != 0, "item 0 is reserved for empty slots");
         for i in 0..self.capacity {
-            if ctx.read(self.owner_addr(i)) == 0 && ctx.cas_bool(self.owner_addr(i), 0, item) {
+            // The claim CAS is the publication point of `item`'s record
+            // (AcqRel under the tiered ordering); the scan is Acquire.
+            if ctx.read_acq(self.owner_addr(i)) == 0
+                && ctx.cas_bool_sync(self.owner_addr(i), 0, item)
+            {
                 self.climb(ctx, i);
                 return i as usize;
             }
@@ -93,7 +97,7 @@ impl ActiveSet {
     /// Panics if `slot` is out of range.
     pub fn remove(&self, ctx: &Ctx<'_>, slot: usize) {
         assert!(slot < self.capacity as usize, "slot {slot} out of range");
-        ctx.write(self.owner_addr(slot as u32), 0);
+        ctx.write_rel(self.owner_addr(slot as u32), 0);
         self.climb(ctx, slot as u32);
     }
 
@@ -102,14 +106,16 @@ impl ActiveSet {
     /// costs `O(k)`.
     pub fn get_set(&self, ctx: &Ctx<'_>, out: &mut Vec<u64>) {
         out.clear();
-        let mut node = ctx.read(self.set_addr(0));
+        // Acquire loads: the snapshot pointer was installed by a Release
+        // CAS, so chasing it observes fully-initialized cons cells.
+        let mut node = ctx.read_acq(self.set_addr(0));
         while node != 0 {
             let a = Addr::from_word(node);
-            let elem = ctx.read(a);
+            let elem = ctx.read_acq(a);
             if elem != 0 && !out.contains(&elem) {
                 out.push(elem);
             }
-            node = ctx.read(a.off(1));
+            node = ctx.read_acq(a.off(1));
         }
     }
 
@@ -127,34 +133,37 @@ impl ActiveSet {
     fn climb(&self, ctx: &Ctx<'_>, slot: u32) {
         for j in (0..=slot).rev() {
             for _pass in 0..2 {
-                let cur = ctx.read(self.set_addr(j));
+                let cur = ctx.read_acq(self.set_addr(j));
                 // Slot j+1 is either a real slot or the permanent sentinel.
-                let above = ctx.read(self.set_addr(j + 1));
-                let owner = ctx.read(self.owner_addr(j));
+                let above = ctx.read_acq(self.set_addr(j + 1));
+                let owner = ctx.read_acq(self.owner_addr(j));
                 // Build a FRESH head so installed pointers never repeat.
                 let new = if owner != 0 {
                     cons(ctx, owner, above)
                 } else if above != 0 {
                     // Copy the head of `above` (sharing its immutable tail).
                     let a = Addr::from_word(above);
-                    let elem = ctx.read(a);
-                    let next = ctx.read(a.off(1));
+                    let elem = ctx.read_acq(a);
+                    let next = ctx.read_acq(a.off(1));
                     cons(ctx, elem, next)
                 } else {
                     // Empty result: a fresh empty-marker node.
                     cons(ctx, 0, 0)
                 };
-                ctx.cas_bool(self.set_addr(j), cur, new);
+                // The install CAS releases the freshly-written node to
+                // every future Acquire reader of the snapshot pointer.
+                ctx.cas_bool_sync(self.set_addr(j), cur, new);
             }
         }
     }
 }
 
-/// Allocates an immutable list node.
+/// Allocates an immutable list node. The node is private until the climb's
+/// install CAS publishes it, so Release writes suffice for its fields.
 fn cons(ctx: &Ctx<'_>, elem: u64, next: u64) -> u64 {
     let n = ctx.alloc(NODE_WORDS);
-    ctx.write(n, elem);
-    ctx.write(n.off(1), next);
+    ctx.write_rel(n, elem);
+    ctx.write_rel(n.off(1), next);
     n.to_word()
 }
 

@@ -41,4 +41,4 @@ pub mod active_set;
 pub mod multi;
 
 pub use active_set::ActiveSet;
-pub use multi::{get_members, get_members_by, multi_insert, multi_remove, Flag};
+pub use multi::{get_members, get_members_by, multi_insert, multi_insert_into, multi_remove, Flag};

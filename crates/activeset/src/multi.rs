@@ -34,11 +34,27 @@ pub trait Flag {
 /// Returns the slot indices (one per set) to pass to [`multi_remove`].
 ///
 /// Takes `O(κ)` steps per set (Theorem 5.2), plus the flag-raise cost.
+/// Allocates the slot vector; hot paths use [`multi_insert_into`] with a
+/// reused buffer instead.
 pub fn multi_insert<F: Flag>(ctx: &Ctx<'_>, flag: &F, item: u64, sets: &[ActiveSet]) -> Vec<usize> {
-    flag.clear(ctx, item);
-    let slots: Vec<usize> = sets.iter().map(|s| s.insert(ctx, item)).collect();
-    flag.set(ctx, item);
+    let mut slots = Vec::with_capacity(sets.len());
+    multi_insert_into(ctx, flag, item, sets, &mut slots);
     slots
+}
+
+/// Allocation-free [`multi_insert`]: writes the slot indices into
+/// `slots_out` (cleared first). The counted step sequence is identical.
+pub fn multi_insert_into<F: Flag>(
+    ctx: &Ctx<'_>,
+    flag: &F,
+    item: u64,
+    sets: &[ActiveSet],
+    slots_out: &mut Vec<usize>,
+) {
+    flag.clear(ctx, item);
+    slots_out.clear();
+    slots_out.extend(sets.iter().map(|s| s.insert(ctx, item)));
+    flag.set(ctx, item);
 }
 
 /// Lowers `item`'s flag and removes it from every set (`slots` as returned

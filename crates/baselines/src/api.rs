@@ -1,7 +1,9 @@
 //! The common interface the experiment harness uses to drive any of the
 //! lock algorithms (the paper's and the baselines).
 
-use wfl_core::{try_locks, try_locks_unknown, LockConfig, LockSpace, TryLockRequest, UnknownConfig};
+use wfl_core::{
+    try_locks, try_locks_unknown, LockConfig, LockSpace, Scratch, TryLockRequest, UnknownConfig,
+};
 use wfl_idem::{Registry, TagSource};
 use wfl_runtime::Ctx;
 
@@ -26,7 +28,17 @@ pub trait LockAlgo: Sync {
     /// Executes one tryLock attempt: acquire `req.locks`, run `req.thunk`,
     /// release. `won == false` means the critical section did not run (for
     /// algorithms that cannot fail, `won` is always true).
-    fn attempt(&self, ctx: &Ctx<'_>, tags: &mut TagSource, req: &TryLockRequest<'_>) -> AttemptOutcome;
+    ///
+    /// `tags` and `scratch` are the calling process's private attempt
+    /// state; reusing one [`Scratch`] across attempts keeps the hot path
+    /// allocation-free.
+    fn attempt(
+        &self,
+        ctx: &Ctx<'_>,
+        tags: &mut TagSource,
+        scratch: &mut Scratch,
+        req: &TryLockRequest<'_>,
+    ) -> AttemptOutcome;
 
     /// Whether a crashed process can block others forever (used by the
     /// harness to pick crash-tolerant expectations in E8).
@@ -50,8 +62,14 @@ impl LockAlgo for WflKnown<'_> {
         "wfl"
     }
 
-    fn attempt(&self, ctx: &Ctx<'_>, tags: &mut TagSource, req: &TryLockRequest<'_>) -> AttemptOutcome {
-        let m = try_locks(ctx, self.space, self.registry, &self.cfg, tags, *req);
+    fn attempt(
+        &self,
+        ctx: &Ctx<'_>,
+        tags: &mut TagSource,
+        scratch: &mut Scratch,
+        req: &TryLockRequest<'_>,
+    ) -> AttemptOutcome {
+        let m = try_locks(ctx, self.space, self.registry, &self.cfg, tags, scratch, *req);
         AttemptOutcome { won: m.won, steps: m.steps }
     }
 }
@@ -72,8 +90,14 @@ impl LockAlgo for WflUnknown<'_> {
         "wfl-unknown"
     }
 
-    fn attempt(&self, ctx: &Ctx<'_>, tags: &mut TagSource, req: &TryLockRequest<'_>) -> AttemptOutcome {
-        let m = try_locks_unknown(ctx, self.space, self.registry, &self.cfg, tags, *req);
+    fn attempt(
+        &self,
+        ctx: &Ctx<'_>,
+        tags: &mut TagSource,
+        scratch: &mut Scratch,
+        req: &TryLockRequest<'_>,
+    ) -> AttemptOutcome {
+        let m = try_locks_unknown(ctx, self.space, self.registry, &self.cfg, tags, scratch, *req);
         AttemptOutcome { won: m.won, steps: m.steps }
     }
 }

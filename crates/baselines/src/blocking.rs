@@ -10,7 +10,7 @@
 //! returns.
 
 use crate::api::{AttemptOutcome, LockAlgo};
-use wfl_core::TryLockRequest;
+use wfl_core::{Scratch, TryLockRequest};
 use wfl_idem::{Frame, Registry, TagSource};
 use wfl_runtime::{Addr, Ctx, Heap};
 
@@ -44,16 +44,24 @@ impl LockAlgo for BlockingTpl<'_> {
         true
     }
 
-    fn attempt(&self, ctx: &Ctx<'_>, tags: &mut TagSource, req: &TryLockRequest<'_>) -> AttemptOutcome {
+    fn attempt(
+        &self,
+        ctx: &Ctx<'_>,
+        tags: &mut TagSource,
+        scratch: &mut Scratch,
+        req: &TryLockRequest<'_>,
+    ) -> AttemptOutcome {
         let start = ctx.steps();
         let me = ctx.pid() as u64 + 1;
-        let mut order: Vec<u32> = req.locks.iter().map(|l| l.0).collect();
+        let order = &mut scratch.order;
+        order.clear();
+        order.extend(req.locks.iter().map(|l| l.0));
         order.sort_unstable();
         // Acquire in ascending order (deadlock freedom).
-        for &id in &order {
+        for &id in order.iter() {
             let w = self.lock_word(id);
             loop {
-                if ctx.read(w) == 0 && ctx.cas_bool(w, 0, me) {
+                if ctx.read_acq(w) == 0 && ctx.cas_bool_sync(w, 0, me) {
                     break;
                 }
                 // Spin; in the simulator this burns scheduled steps, and
@@ -65,8 +73,8 @@ impl LockAlgo for BlockingTpl<'_> {
         let frame = Frame::create(ctx, self.registry, req.thunk, tags.next_base(), req.args);
         frame.run_raw(ctx, self.registry);
         // Release in reverse order.
-        for &id in order.iter().rev() {
-            ctx.write(self.lock_word(id), 0);
+        for &id in scratch.order.iter().rev() {
+            ctx.write_rel(self.lock_word(id), 0);
         }
         AttemptOutcome { won: true, steps: ctx.steps() - start }
     }
@@ -107,6 +115,7 @@ mod tests {
                 .spawn_all(|pid| {
                     move |ctx: &Ctx| {
                         let mut tags = TagSource::new(pid);
+                        let mut scratch = wfl_core::Scratch::new();
                         for _ in 0..5 {
                             let locks = [LockId(0), LockId(1)];
                             let req = TryLockRequest {
@@ -114,7 +123,7 @@ mod tests {
                                 thunk: incr,
                                 args: &[counter.to_word()],
                             };
-                            let out = algo_ref.attempt(ctx, &mut tags, &req);
+                            let out = algo_ref.attempt(ctx, &mut tags, &mut scratch, &req);
                             assert!(out.won);
                         }
                     }
@@ -145,13 +154,14 @@ mod tests {
             .spawn_all(|pid| {
                 move |ctx: &Ctx| {
                     let mut tags = TagSource::new(pid);
+                    let mut scratch = wfl_core::Scratch::new();
                     let locks = [LockId(0)];
                     let req =
                         TryLockRequest { locks: &locks, thunk: incr, args: &[counter.to_word()] };
                     // pid 0: acquire, then "crash" (the schedule stops it
                     // mid-critical-section; it spins on a flag forever).
                     if pid == 0 {
-                        algo_ref.attempt(ctx, &mut tags, &req);
+                        algo_ref.attempt(ctx, &mut tags, &mut scratch, &req);
                         // Hold the lock again and never release: simulate
                         // crashing inside the critical section.
                         let w = heap_lock_word(ctx);
@@ -164,7 +174,7 @@ mod tests {
                             ctx.local_step(); // crashed while holding
                         }
                     } else {
-                        algo_ref.attempt(ctx, &mut tags, &req);
+                        algo_ref.attempt(ctx, &mut tags, &mut scratch, &req);
                     }
                 }
             })

@@ -9,7 +9,7 @@
 //! can fail at arbitrarily high rates (livelock).
 
 use crate::api::{AttemptOutcome, LockAlgo};
-use wfl_core::TryLockRequest;
+use wfl_core::{Scratch, TryLockRequest};
 use wfl_idem::{Frame, Registry, TagSource};
 use wfl_runtime::{Addr, Ctx, Heap};
 
@@ -45,24 +45,32 @@ impl LockAlgo for NaiveTryLock<'_> {
         true
     }
 
-    fn attempt(&self, ctx: &Ctx<'_>, tags: &mut TagSource, req: &TryLockRequest<'_>) -> AttemptOutcome {
+    fn attempt(
+        &self,
+        ctx: &Ctx<'_>,
+        tags: &mut TagSource,
+        scratch: &mut Scratch,
+        req: &TryLockRequest<'_>,
+    ) -> AttemptOutcome {
         let start = ctx.steps();
         let me = ctx.pid() as u64 + 1;
-        let mut order: Vec<u32> = req.locks.iter().map(|l| l.0).collect();
+        let order = &mut scratch.order;
+        order.clear();
+        order.extend(req.locks.iter().map(|l| l.0));
         order.sort_unstable();
-        for (i, &id) in order.iter().enumerate() {
-            if !ctx.cas_bool(self.lock_word(id), 0, me) {
+        for i in 0..order.len() {
+            if !ctx.cas_bool_sync(self.lock_word(order[i]), 0, me) {
                 // Conflict: back out everything acquired so far.
                 for &rid in order[..i].iter().rev() {
-                    ctx.write(self.lock_word(rid), 0);
+                    ctx.write_rel(self.lock_word(rid), 0);
                 }
                 return AttemptOutcome { won: false, steps: ctx.steps() - start };
             }
         }
         let frame = Frame::create(ctx, self.registry, req.thunk, tags.next_base(), req.args);
         frame.run_raw(ctx, self.registry);
-        for &id in order.iter().rev() {
-            ctx.write(self.lock_word(id), 0);
+        for &id in scratch.order.iter().rev() {
+            ctx.write_rel(self.lock_word(id), 0);
         }
         AttemptOutcome { won: true, steps: ctx.steps() - start }
     }
@@ -104,6 +112,7 @@ mod tests {
                 .spawn_all(|pid| {
                     move |ctx: &Ctx| {
                         let mut tags = TagSource::new(pid);
+                        let mut scratch = wfl_core::Scratch::new();
                         let mut w = 0u64;
                         for round in 0..6 {
                             let locks =
@@ -113,7 +122,7 @@ mod tests {
                                 thunk: incr,
                                 args: &[counter.to_word()],
                             };
-                            if algo_ref.attempt(ctx, &mut tags, &req).won {
+                            if algo_ref.attempt(ctx, &mut tags, &mut scratch, &req).won {
                                 w += 1;
                             }
                         }
@@ -140,11 +149,12 @@ mod tests {
             .spawn_all(|pid| {
                 move |ctx: &Ctx| {
                     let mut tags = TagSource::new(pid);
+                    let mut scratch = wfl_core::Scratch::new();
                     for _ in 0..4 {
                         let locks = [LockId(0), LockId(1)];
                         let req =
                             TryLockRequest { locks: &locks, thunk: incr, args: &[counter.to_word()] };
-                        algo_ref.attempt(ctx, &mut tags, &req);
+                        algo_ref.attempt(ctx, &mut tags, &mut scratch, &req);
                     }
                 }
             })

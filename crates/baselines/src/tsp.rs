@@ -16,7 +16,7 @@
 //! (`won` is always true), matching the original blocking-style usage.
 
 use crate::api::{AttemptOutcome, LockAlgo};
-use wfl_core::TryLockRequest;
+use wfl_core::{Scratch, TryLockRequest};
 use wfl_idem::{Frame, Registry, TagSource};
 use wfl_runtime::{Addr, Ctx, Heap};
 
@@ -52,23 +52,23 @@ impl<'a> TspLock<'a> {
     /// recursion (chains are bounded by the number of processes).
     fn help(&self, ctx: &Ctx<'_>, desc: Addr, depth: usize) {
         loop {
-            if ctx.read(desc.off(D_DONE)) != 0 {
+            if ctx.read_acq(desc.off(D_DONE)) != 0 {
                 // Finished (by us or another helper): scrub any lock this
                 // descriptor still appears in (covers re-acquisition races)
                 self.scrub_release(ctx, desc);
                 return;
             }
-            let n = ctx.read(desc.off(D_NLOCKS)) as u32;
+            let n = ctx.read_acq(desc.off(D_NLOCKS)) as u32;
             let mut all = true;
             for i in 0..n {
-                let id = ctx.read(desc.off(D_LOCKS + i));
+                let id = ctx.read_acq(desc.off(D_LOCKS + i));
                 let w = self.lock_word(id);
-                let v = ctx.read(w);
+                let v = ctx.read_acq(w);
                 if v == desc.to_word() {
                     continue; // already held for this descriptor
                 }
                 if v == 0 {
-                    if ctx.cas_bool(w, 0, desc.to_word()) {
+                    if ctx.cas_bool_sync(w, 0, desc.to_word()) {
                         continue;
                     }
                     all = false;
@@ -83,8 +83,8 @@ impl<'a> TspLock<'a> {
                 break;
             }
             if all {
-                Frame(Addr::from_word(ctx.read(desc.off(D_FRAME)))).help(ctx, self.registry);
-                ctx.write(desc.off(D_DONE), 1);
+                Frame(Addr::from_word(ctx.read_acq(desc.off(D_FRAME)))).help(ctx, self.registry);
+                ctx.write_rel(desc.off(D_DONE), 1);
                 self.scrub_release(ctx, desc);
                 return;
             }
@@ -93,10 +93,10 @@ impl<'a> TspLock<'a> {
 
     /// Releases every lock word that still points at `desc` (idempotent).
     fn scrub_release(&self, ctx: &Ctx<'_>, desc: Addr) {
-        let n = ctx.read(desc.off(D_NLOCKS)) as u32;
+        let n = ctx.read_acq(desc.off(D_NLOCKS)) as u32;
         for i in 0..n {
-            let id = ctx.read(desc.off(D_LOCKS + i));
-            ctx.cas_bool(self.lock_word(id), desc.to_word(), 0);
+            let id = ctx.read_acq(desc.off(D_LOCKS + i));
+            ctx.cas_bool_sync(self.lock_word(id), desc.to_word(), 0);
         }
     }
 }
@@ -106,16 +106,25 @@ impl LockAlgo for TspLock<'_> {
         "tsp"
     }
 
-    fn attempt(&self, ctx: &Ctx<'_>, tags: &mut TagSource, req: &TryLockRequest<'_>) -> AttemptOutcome {
+    fn attempt(
+        &self,
+        ctx: &Ctx<'_>,
+        tags: &mut TagSource,
+        scratch: &mut Scratch,
+        req: &TryLockRequest<'_>,
+    ) -> AttemptOutcome {
         let start = ctx.steps();
         let frame = Frame::create(ctx, self.registry, req.thunk, tags.next_base(), req.args);
-        let mut order: Vec<u32> = req.locks.iter().map(|l| l.0).collect();
+        let order = &mut scratch.order;
+        order.clear();
+        order.extend(req.locks.iter().map(|l| l.0));
         order.sort_unstable();
         let desc = ctx.alloc(D_LOCKS as usize + order.len());
-        ctx.write(desc.off(D_FRAME), frame.0.to_word());
-        ctx.write(desc.off(D_NLOCKS), order.len() as u64);
+        // Private until the acquisition CAS publishes the descriptor.
+        ctx.write_rel(desc.off(D_FRAME), frame.0.to_word());
+        ctx.write_rel(desc.off(D_NLOCKS), order.len() as u64);
         for (i, &id) in order.iter().enumerate() {
-            ctx.write(desc.off(D_LOCKS + i as u32), id as u64);
+            ctx.write_rel(desc.off(D_LOCKS + i as u32), id as u64);
         }
         self.help(ctx, desc, ctx.nprocs() + 1);
         AttemptOutcome { won: true, steps: ctx.steps() - start }
@@ -157,6 +166,7 @@ mod tests {
                 .spawn_all(|pid| {
                     move |ctx: &Ctx| {
                         let mut tags = TagSource::new(pid);
+                        let mut scratch = wfl_core::Scratch::new();
                         for round in 0..5 {
                             let locks = [
                                 LockId(((pid + round) % 3) as u32),
@@ -167,7 +177,7 @@ mod tests {
                                 thunk: incr,
                                 args: &[counter.to_word()],
                             };
-                            let out = algo_ref.attempt(ctx, &mut tags, &req);
+                            let out = algo_ref.attempt(ctx, &mut tags, &mut scratch, &req);
                             assert!(out.won, "TSP attempts always complete");
                         }
                     }
@@ -197,14 +207,15 @@ mod tests {
             .spawn_all(|pid| {
                 move |ctx: &Ctx| {
                     let mut tags = TagSource::new(pid);
+                    let mut scratch = wfl_core::Scratch::new();
                     let locks = [LockId(0)];
                     let req =
                         TryLockRequest { locks: &locks, thunk: incr, args: &[counter.to_word()] };
                     if pid == 0 {
-                        algo_ref.attempt(ctx, &mut tags, &req);
+                        algo_ref.attempt(ctx, &mut tags, &mut scratch, &req);
                     } else {
                         for _ in 0..3 {
-                            algo_ref.attempt(ctx, &mut tags, &req);
+                            algo_ref.attempt(ctx, &mut tags, &mut scratch, &req);
                         }
                     }
                 }

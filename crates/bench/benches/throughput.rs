@@ -36,8 +36,9 @@ fn bench_philosophers(c: &mut Criterion) {
                 let report = run_threads(&heap, n, 7, None, |pid| {
                     move |ctx: &Ctx<'_>| {
                         let mut tags = TagSource::new(pid);
+                        let mut scratch = wfl_core::Scratch::new();
                         for _ in 0..200 {
-                            table_ref.attempt_eat(ctx, algo, &mut tags, pid);
+                            table_ref.attempt_eat(ctx, algo, &mut tags, &mut scratch, pid);
                         }
                     }
                 });

@@ -3,7 +3,7 @@
 //! driver, delays disabled.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use wfl_core::{try_locks, LockConfig, LockId, LockSpace, TryLockRequest};
+use wfl_core::{try_locks, LockConfig, LockId, LockSpace, Scratch, TryLockRequest};
 use wfl_idem::{IdemRun, Registry, TagSource, Thunk};
 use wfl_runtime::{real::run_threads, Addr, Ctx, Heap};
 
@@ -36,13 +36,14 @@ fn bench_trylock(c: &mut Criterion) {
                     let locks = locks.clone();
                     move |ctx: &Ctx<'_>| {
                         let mut tags = TagSource::new(0);
+                        let mut scratch = Scratch::new();
                         for _ in 0..500 {
                             let req = TryLockRequest {
                                 locks: &locks,
                                 thunk: touch,
                                 args: &[counter.to_word()],
                             };
-                            let m = try_locks(ctx, space_ref, reg_ref, cfg_ref, &mut tags, req);
+                            let m = try_locks(ctx, space_ref, reg_ref, cfg_ref, &mut tags, &mut scratch, req);
                             assert!(m.won);
                         }
                     }

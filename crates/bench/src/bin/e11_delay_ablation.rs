@@ -59,8 +59,9 @@ fn victim_rate(delays: bool, seed_period: u64) -> Bernoulli {
         .spawn_all(|pid| {
             move |ctx: &Ctx| {
                 let mut tags = TagSource::new(pid);
+                let mut scratch = wfl_core::Scratch::new();
                 let my_results = results.off((pid as u64 * attempts) as u32);
-                run_player_loop(ctx, algo_ref, &mut tags, touch, my_results, attempts);
+                run_player_loop(ctx, algo_ref, &mut tags, &mut scratch, touch, my_results, attempts);
             }
         })
         .run();

@@ -3,7 +3,7 @@
 //! geometric distribution of mean ≤ `κL`.
 
 use wfl_bench::{header, row};
-use wfl_core::{lock_and_run, LockConfig, LockId, LockSpace, TryLockRequest};
+use wfl_core::{lock_and_run, LockConfig, LockId, LockSpace, Scratch, TryLockRequest};
 use wfl_idem::{IdemRun, Registry, TagSource, Thunk};
 use wfl_runtime::schedule::SeededRandom;
 use wfl_runtime::sim::SimBuilder;
@@ -53,13 +53,14 @@ fn main() {
             .spawn_all(|pid| {
                 move |ctx: &Ctx| {
                     let mut tags = TagSource::new(pid);
+                    let mut scratch = Scratch::new();
                     for round in 0..rounds {
                         let req = TryLockRequest {
                             locks: &[LockId(0)],
                             thunk: touch,
                             args: &[counter.to_word()],
                         };
-                        let m = lock_and_run(ctx, space_ref, reg_ref, cfg_ref, &mut tags, req);
+                        let m = lock_and_run(ctx, space_ref, reg_ref, cfg_ref, &mut tags, &mut scratch, req);
                         let idx = (pid * rounds + round) as u32;
                         ctx.write(attempts_out.off(idx), m.attempts);
                         ctx.write(steps_out.off(idx), m.steps);

@@ -79,12 +79,13 @@ fn crash_table() {
             .spawn_all(|pid| {
                 move |ctx: &Ctx| {
                     let mut tags = TagSource::new(pid);
+                    let mut scratch = wfl_core::Scratch::new();
                     let rounds = if pid == 0 { 1000 } else { 15 };
                     for _ in 0..rounds {
                         if ctx.stop_requested() {
                             break;
                         }
-                        table_ref.attempt_eat(ctx, algo, &mut tags, pid);
+                        table_ref.attempt_eat(ctx, algo, &mut tags, &mut scratch, pid);
                     }
                 }
             })

@@ -1,7 +1,7 @@
-//! Shared utilities for the experiment binaries (E1–E12).
+//! Shared utilities for the experiment binaries (E1–E13).
 //!
 //! Each binary regenerates one theorem-validation table; see `DESIGN.md`
-//! §2 for the experiment index and `EXPERIMENTS.md` for recorded results.
+//! §3 for the experiment index.
 
 use wfl_runtime::stats::Bernoulli;
 

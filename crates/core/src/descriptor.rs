@@ -58,14 +58,15 @@ impl Desc {
     }
 
     /// Allocates and initializes a descriptor (counted steps; the record
-    /// is private until inserted into the active sets).
+    /// is private until inserted into the active sets, whose insert CAS is
+    /// the Release publication point — so Release init writes suffice).
     pub fn create(ctx: &Ctx<'_>, locks: &[LockId], frame: Frame) -> Desc {
         let base = ctx.alloc(Self::words(locks.len()));
         // status = ACTIVE (0) and priority = UNSET (0) from the allocator.
-        ctx.write(base.off(W_META), locks.len() as u64);
-        ctx.write(base.off(W_FRAME), frame.0.to_word());
+        ctx.write_rel(base.off(W_META), locks.len() as u64);
+        ctx.write_rel(base.off(W_FRAME), frame.0.to_word());
         for (i, l) in locks.iter().enumerate() {
-            ctx.write(base.off(W_LOCKS + i as u32), l.0 as u64);
+            ctx.write_rel(base.off(W_LOCKS + i as u32), l.0 as u64);
         }
         Desc(base)
     }
@@ -94,44 +95,47 @@ impl Desc {
         self.0.off(W_PRIO)
     }
 
-    /// Reads the status word (one step).
+    /// Reads the status word (one step; Acquire under the tiered
+    /// ordering — a `WON` observation must also see the frame).
     #[inline]
     pub fn status(self, ctx: &Ctx<'_>) -> u64 {
-        ctx.read(self.status_addr())
+        ctx.read_acq(self.status_addr())
     }
 
-    /// Reads the priority word (one step).
+    /// Reads the priority word (one step; Acquire — a revealed priority
+    /// must also make the descriptor body and §6.2 snapshot visible).
     #[inline]
     pub fn priority(self, ctx: &Ctx<'_>) -> u64 {
-        ctx.read(self.prio_addr())
+        ctx.read_acq(self.prio_addr())
     }
 
     /// Number of locks in the attempt's lock set (one step).
     pub fn nlocks(self, ctx: &Ctx<'_>) -> usize {
-        (ctx.read(self.0.off(W_META)) & 0xffff) as usize
+        (ctx.read_acq(self.0.off(W_META)) & 0xffff) as usize
     }
 
     /// The `i`-th lock id (one step).
     pub fn lock(self, ctx: &Ctx<'_>, i: usize) -> LockId {
-        LockId(ctx.read(self.0.off(W_LOCKS + i as u32)) as u32)
+        LockId(ctx.read_acq(self.0.off(W_LOCKS + i as u32)) as u32)
     }
 
     /// The thunk frame (one step).
     pub fn frame(self, ctx: &Ctx<'_>) -> Frame {
-        Frame(Addr::from_word(ctx.read(self.0.off(W_FRAME))))
+        Frame(Addr::from_word(ctx.read_acq(self.0.off(W_FRAME))))
     }
 
     /// Publishes the §6.2 frozen-snapshot address (stored alongside the
-    /// lock count; the snapshot is written before the priority reveal, so
-    /// helpers that see a revealed priority also see the snapshot).
+    /// lock count; the snapshot is written before the priority reveal —
+    /// the reveal's Release write is what makes it visible to helpers that
+    /// see a revealed priority).
     pub fn set_snapshot(self, ctx: &Ctx<'_>, snap: Addr) {
         let nlocks = self.nlocks(ctx) as u64;
-        ctx.write(self.0.off(W_META), nlocks | (snap.to_word() << 16));
+        ctx.write_rel(self.0.off(W_META), nlocks | (snap.to_word() << 16));
     }
 
     /// Reads the §6.2 frozen-snapshot address (NULL if absent).
     pub fn snapshot(self, ctx: &Ctx<'_>) -> Addr {
-        Addr::from_word(ctx.read(self.0.off(W_META)) >> 16)
+        Addr::from_word(ctx.read_acq(self.0.off(W_META)) >> 16)
     }
 
     /// Uncounted inspection of the status word (harness/tests).

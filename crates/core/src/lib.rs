@@ -25,7 +25,7 @@
 //! ```
 //! use wfl_runtime::{Heap, sim::SimBuilder, schedule::SeededRandom, Ctx};
 //! use wfl_idem::{cell, IdemRun, Registry, TagSource, Thunk};
-//! use wfl_core::{LockConfig, LockSpace, LockId, TryLockRequest, lock_and_run};
+//! use wfl_core::{LockConfig, LockSpace, LockId, Scratch, TryLockRequest, lock_and_run};
 //!
 //! struct Incr;
 //! impl Thunk for Incr {
@@ -50,8 +50,9 @@
 //!     .max_steps(1_000_000)
 //!     .spawn_all(|pid| move |ctx: &Ctx| {
 //!         let mut tags = TagSource::new(pid);
+//!         let mut scratch = Scratch::new();
 //!         let req = TryLockRequest { locks: &[LockId(0)], thunk: incr, args: &[counter.to_word()] };
-//!         lock_and_run(ctx, space, registry, &cfg, &mut tags, req);
+//!         lock_and_run(ctx, space, registry, &cfg, &mut tags, &mut scratch, req);
 //!     })
 //!     .run();
 //! report.assert_clean();
@@ -62,6 +63,7 @@ pub mod config;
 pub mod descriptor;
 pub mod metrics;
 pub mod retry;
+pub mod scratch;
 pub mod space;
 pub mod trylock;
 pub mod unknown;
@@ -71,6 +73,7 @@ pub use wfl_runtime::trace;
 pub use descriptor::{Desc, LockId, ST_ACTIVE, ST_LOST, ST_WON};
 pub use metrics::{AttemptMetrics, RetryMetrics};
 pub use retry::{lock_and_run, lock_and_run_limited};
+pub use scratch::Scratch;
 pub use space::LockSpace;
 pub use trylock::{try_locks, TryLockRequest};
 pub use unknown::{try_locks_unknown, UnknownConfig};

@@ -10,6 +10,7 @@
 
 use crate::config::LockConfig;
 use crate::metrics::RetryMetrics;
+use crate::scratch::Scratch;
 use crate::space::LockSpace;
 use crate::trylock::{try_locks, TryLockRequest};
 use wfl_idem::{Registry, TagSource};
@@ -20,18 +21,20 @@ use wfl_runtime::Ctx;
 ///
 /// Note: each retry is a fresh attempt with a fresh descriptor and a fresh
 /// random priority (attempts are independent by Theorem 6.9).
+#[allow(clippy::too_many_arguments)]
 pub fn lock_and_run(
     ctx: &Ctx<'_>,
     space: &LockSpace,
     registry: &Registry,
     cfg: &LockConfig,
     tags: &mut TagSource,
+    scratch: &mut Scratch,
     req: TryLockRequest<'_>,
 ) -> RetryMetrics {
     let mut attempts = 0;
     let mut steps = 0;
     loop {
-        let m = try_locks(ctx, space, registry, cfg, tags, req);
+        let m = try_locks(ctx, space, registry, cfg, tags, scratch, req);
         attempts += 1;
         steps += m.steps;
         if m.won {
@@ -43,18 +46,20 @@ pub fn lock_and_run(
 /// Like [`lock_and_run`], but gives up after `max_attempts` (for workloads
 /// that must honor a cooperative stop flag). Returns `None` on give-up;
 /// the thunk has then never run.
+#[allow(clippy::too_many_arguments)]
 pub fn lock_and_run_limited(
     ctx: &Ctx<'_>,
     space: &LockSpace,
     registry: &Registry,
     cfg: &LockConfig,
     tags: &mut TagSource,
+    scratch: &mut Scratch,
     req: TryLockRequest<'_>,
     max_attempts: u64,
 ) -> Option<RetryMetrics> {
     let mut steps = 0;
     for attempt in 1..=max_attempts {
-        let m = try_locks(ctx, space, registry, cfg, tags, req);
+        let m = try_locks(ctx, space, registry, cfg, tags, scratch, req);
         steps += m.steps;
         if m.won {
             return Some(RetryMetrics { attempts: attempt, steps });
@@ -101,6 +106,7 @@ mod tests {
                 .spawn_all(|pid| {
                     move |ctx| {
                         let mut tags = TagSource::new(pid);
+                        let mut scratch = Scratch::new();
                         let mut total = 0u64;
                         for _ in 0..4 {
                             let req = TryLockRequest {
@@ -108,7 +114,9 @@ mod tests {
                                 thunk: incr,
                                 args: &[counter.to_word()],
                             };
-                            let m = lock_and_run(ctx, space_ref, reg_ref, cfg_ref, &mut tags, req);
+                            let m = lock_and_run(
+                                ctx, space_ref, reg_ref, cfg_ref, &mut tags, &mut scratch, req,
+                            );
                             assert!(m.attempts >= 1);
                             assert!(m.steps >= 1);
                             total += m.attempts;
@@ -142,13 +150,16 @@ mod tests {
         let report = SimBuilder::new(&heap, 1)
             .spawn(move |ctx: &wfl_runtime::Ctx| {
                 let mut tags = TagSource::new(0);
+                let mut scratch = Scratch::new();
                 let req = TryLockRequest {
                     locks: &[LockId(0)],
                     thunk: incr,
                     args: &[counter.to_word()],
                 };
-                let m = lock_and_run_limited(ctx, space_ref, reg_ref, cfg_ref, &mut tags, req, 3)
-                    .expect("uncontended attempt must succeed within the limit");
+                let m = lock_and_run_limited(
+                    ctx, space_ref, reg_ref, cfg_ref, &mut tags, &mut scratch, req, 3,
+                )
+                .expect("uncontended attempt must succeed within the limit");
                 assert_eq!(m.attempts, 1, "solo attempts succeed first try");
             })
             .run();

@@ -1,0 +1,81 @@
+//! Reusable per-process scratch buffers for the tryLock hot path.
+//!
+//! Every tryLock attempt needs a handful of transient lists: member scans
+//! of active sets, the per-set handles and slot indices of a multiInsert,
+//! the §6.2 frozen-snapshot staging area, and the baselines' sorted lock
+//! order. Allocating fresh `Vec`s for these on every attempt put several
+//! `malloc`/`free` pairs on the hot path; threading one [`Scratch`] per
+//! process through [`crate::try_locks`] (and the baselines' `LockAlgo`
+//! drivers) makes the steady-state attempt path allocation-free — each
+//! buffer is cleared and reused, retaining its high-water-mark capacity.
+//!
+//! A `Scratch` is plain process-local memory: it never holds borrowed heap
+//! state across attempts, and reusing it does not change the counted step
+//! sequence of an attempt (buffer reuse is invisible to the step
+//! accounting), so simulator determinism is unaffected.
+
+use wfl_activeset::ActiveSet;
+
+/// Per-process scratch space for lock-attempt hot paths. Create one per
+/// process (next to its `TagSource`) and pass it to every attempt.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Member scan used inside `run`/helping of the descriptor being run.
+    pub members: Vec<u64>,
+    /// Member list of the pre-insert helping phase (distinct from
+    /// `members` because helping iterates it while running descriptors).
+    pub helping: Vec<u64>,
+    /// Active-set handles of the current attempt's lock set.
+    pub sets: Vec<ActiveSet>,
+    /// Slot indices returned by the multiInsert.
+    pub slots: Vec<usize>,
+    /// §6.2 freeze staging: concatenated per-lock member lists.
+    pub frozen_items: Vec<u64>,
+    /// §6.2 freeze staging: per-lock member counts.
+    pub frozen_lens: Vec<u32>,
+    /// Baselines: lock ids sorted for ordered acquisition.
+    pub order: Vec<u32>,
+}
+
+impl Scratch {
+    /// An empty scratch. Buffers grow to the workload's high-water mark on
+    /// first use and are then reused allocation-free.
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+
+    /// A scratch pre-sized for attempts over at most `l_max` locks with at
+    /// most `kappa` concurrent members per lock (avoids even the first
+    /// attempt's growth reallocations).
+    pub fn with_bounds(kappa: usize, l_max: usize) -> Scratch {
+        Scratch {
+            members: Vec::with_capacity(kappa + 1),
+            helping: Vec::with_capacity(kappa + 1),
+            sets: Vec::with_capacity(l_max),
+            slots: Vec::with_capacity(l_max),
+            frozen_items: Vec::with_capacity(l_max * (kappa + 1)),
+            frozen_lens: Vec::with_capacity(l_max),
+            order: Vec::with_capacity(l_max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_bounds_presizes() {
+        let s = Scratch::with_bounds(4, 2);
+        assert!(s.members.capacity() >= 5);
+        assert!(s.sets.capacity() >= 2);
+        assert!(s.frozen_items.capacity() >= 10);
+        assert!(s.order.capacity() >= 2);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let s = Scratch::new();
+        assert!(s.members.is_empty() && s.slots.is_empty() && s.order.is_empty());
+    }
+}

@@ -28,9 +28,10 @@ use crate::descriptor::{
     make_priority, Desc, LockId, PRIO_TBD, PRIO_UNSET, ST_ACTIVE, ST_LOST, ST_WON,
 };
 use crate::metrics::AttemptMetrics;
+use crate::scratch::Scratch;
 use crate::space::LockSpace;
 use std::cell::Cell;
-use wfl_activeset::{get_members_by, multi_insert, multi_remove, ActiveSet, Flag};
+use wfl_activeset::{get_members_by, multi_insert_into, multi_remove, ActiveSet, Flag};
 use wfl_idem::{Frame, Registry, TagSource, ThunkId};
 use wfl_runtime::{Addr, Ctx};
 
@@ -61,7 +62,7 @@ struct RevealFlag {
 
 impl Flag for RevealFlag {
     fn clear(&self, ctx: &Ctx<'_>, item: u64) {
-        ctx.write(Desc::from_item(item).prio_addr(), PRIO_UNSET);
+        ctx.write_rel(Desc::from_item(item).prio_addr(), PRIO_UNSET);
     }
 
     fn set(&self, ctx: &Ctx<'_>, item: u64) {
@@ -72,7 +73,15 @@ impl Flag for RevealFlag {
             ctx.stall_until_steps(target);
         }
         let r = ctx.rand_u64();
-        ctx.write(Desc::from_item(item).prio_addr(), make_priority(r, self.tag_base));
+        // The reveal is the publication point of the attempt: Release, so
+        // an Acquire reader of the priority sees the whole descriptor.
+        ctx.write_rel(Desc::from_item(item).prio_addr(), make_priority(r, self.tag_base));
+        // Mutual exclusion needs more than publication: of two concurrent
+        // attempts, at least one must SEE the other's reveal in its
+        // post-reveal scan. A Release store + Acquire load alone permits
+        // the store-buffer outcome where both miss; the SC fence between
+        // each attempt's reveal and its scan forbids it (DESIGN.md §2.2).
+        ctx.publication_fence();
     }
 
     fn get(&self, ctx: &Ctx<'_>, item: u64) -> bool {
@@ -87,17 +96,18 @@ pub(crate) fn revealed_members(ctx: &Ctx<'_>, set: &ActiveSet, out: &mut Vec<u64
 }
 
 /// `eliminate(p)`: one-shot transition `active → lost`. Idempotent under
-/// arbitrary helper races (monotonic CAS).
+/// arbitrary helper races (monotonic CAS; AcqRel under the tiered
+/// ordering).
 #[inline]
 pub(crate) fn eliminate(ctx: &Ctx<'_>, p: Desc) {
-    ctx.cas_bool(p.status_addr(), ST_ACTIVE, ST_LOST);
+    ctx.cas_bool_sync(p.status_addr(), ST_ACTIVE, ST_LOST);
 }
 
 /// `decide(p)`: one-shot transition `active → won`; succeeds iff `p` was
 /// never eliminated.
 #[inline]
 pub(crate) fn decide(ctx: &Ctx<'_>, p: Desc) {
-    ctx.cas_bool(p.status_addr(), ST_ACTIVE, ST_WON);
+    ctx.cas_bool_sync(p.status_addr(), ST_ACTIVE, ST_WON);
 }
 
 /// `celebrateIfWon(p)`: if `p` has won, run its thunk (idempotently; any
@@ -120,28 +130,33 @@ pub(crate) fn celebrate_if_won(ctx: &Ctx<'_>, registry: &Registry, p: Desc) {
 /// lists come from the snapshot instead of querying the active sets, and a
 /// competitor whose priority is still TBD causes `p` to self-eliminate
 /// (the conservative reconstruction documented in DESIGN.md §1.5).
-pub(crate) fn run_desc(ctx: &Ctx<'_>, space: &LockSpace, registry: &Registry, p: Desc) {
+pub(crate) fn run_desc(
+    ctx: &Ctx<'_>,
+    space: &LockSpace,
+    registry: &Registry,
+    p: Desc,
+    members: &mut Vec<u64>,
+) {
     wfl_runtime::trace::emit(|| format!("t={} pid={} run_desc({:?}) begin", ctx.now(), ctx.pid(), p.0));
     let nlocks = p.nlocks(ctx);
     let snap = p.snapshot(ctx);
-    let mut members: Vec<u64> = Vec::new();
     let mut snap_off = 0u32;
     for li in 0..nlocks {
         if snap.is_null() {
             let lock = p.lock(ctx, li);
-            revealed_members(ctx, space.set(lock), &mut members);
+            revealed_members(ctx, space.set(lock), members);
         } else {
             // §6.2: read the frozen per-lock snapshot from the heap.
             members.clear();
-            let count = ctx.read(snap.off(snap_off)) as u32;
+            let count = ctx.read_acq(snap.off(snap_off)) as u32;
             for k in 0..count {
-                members.push(ctx.read(snap.off(snap_off + 1 + k)));
+                members.push(ctx.read_acq(snap.off(snap_off + 1 + k)));
             }
             snap_off += 1 + count;
         }
         wfl_runtime::trace::emit(|| format!("t={} pid={} run_desc({:?}) lock#{} members={:?} p.status={}", ctx.now(), ctx.pid(), p.0, li, members, ctx.heap().peek(p.status_addr())));
         if p.status(ctx) == ST_ACTIVE {
-            for &m in &members {
+            for &m in members.iter() {
                 let q = Desc::from_item(m);
                 if q.status(ctx) == ST_ACTIVE {
                     let pq = q.priority(ctx);
@@ -177,6 +192,10 @@ pub(crate) fn run_desc(ctx: &Ctx<'_>, space: &LockSpace, registry: &Registry, p:
 /// been run (by this process or a helper) before the call returns; on
 /// failure, no run of the thunk ever happens (Definition 4.3).
 ///
+/// `scratch` is the caller's per-process [`Scratch`]; reusing it across
+/// attempts keeps the hot path allocation-free (reuse never changes the
+/// counted step sequence).
+///
 /// # Panics
 /// Panics if the request violates the configuration: more than
 /// `cfg.l_max` locks, duplicate locks, an empty lock set, or a thunk
@@ -187,6 +206,7 @@ pub fn try_locks(
     registry: &Registry,
     cfg: &LockConfig,
     tags: &mut TagSource,
+    scratch: &mut Scratch,
     req: TryLockRequest<'_>,
 ) -> AttemptMetrics {
     validate(space, registry, cfg.l_max, cfg.t_max, &req);
@@ -201,31 +221,34 @@ pub fn try_locks(
     // Helping phase: clear the field of every already-revealed competitor.
     let mut helped = 0u64;
     if cfg.helping {
-        let mut members = Vec::new();
+        // Split borrow: `helping` holds the member list being iterated
+        // while `members` serves as run_desc's own scan buffer.
+        let Scratch { helping, members, .. } = scratch;
         for &l in req.locks {
-            revealed_members(ctx, space.set(l), &mut members);
-            for &m in &members {
-                run_desc(ctx, space, registry, Desc::from_item(m));
+            revealed_members(ctx, space.set(l), helping);
+            for &m in helping.iter() {
+                run_desc(ctx, space, registry, Desc::from_item(m), members);
                 helped += 1;
             }
         }
     }
 
     // multiInsert; the flag raise is the reveal step with the T0 delay.
-    let sets: Vec<ActiveSet> = req.locks.iter().map(|&l| *space.set(l)).collect();
+    scratch.sets.clear();
+    scratch.sets.extend(req.locks.iter().map(|&l| *space.set(l)));
     let flag = RevealFlag {
         reveal_at: cfg.delays.then(|| start + cfg.t0()),
         tag_base,
         overrun: Cell::new(false),
     };
-    let slots = multi_insert(ctx, &flag, p.item(), &sets);
+    multi_insert_into(ctx, &flag, p.item(), &scratch.sets, &mut scratch.slots);
     wfl_runtime::trace::emit(|| format!("t={} pid={} revealed {:?} prio={:x}", ctx.now(), ctx.pid(), p.0, ctx.heap().peek(p.prio_addr())));
 
     // Compete.
-    run_desc(ctx, space, registry, p);
+    run_desc(ctx, space, registry, p, &mut scratch.members);
 
     // Clean up, then pad to the fixed attempt length.
-    multi_remove(ctx, &flag, p.item(), &sets, &slots);
+    multi_remove(ctx, &flag, p.item(), &scratch.sets, &scratch.slots);
     if cfg.delays {
         if ctx.steps() > start + cfg.t0() + cfg.t1() {
             flag.overrun.set(true);

@@ -26,9 +26,10 @@
 
 use crate::descriptor::{make_priority, Desc, PRIO_TBD, PRIO_UNSET, ST_WON};
 use crate::metrics::AttemptMetrics;
+use crate::scratch::Scratch;
 use crate::space::LockSpace;
 use crate::trylock::{run_desc, validate, TryLockRequest};
-use wfl_activeset::{get_members_by, multi_insert, multi_remove, ActiveSet, Flag};
+use wfl_activeset::{get_members_by, multi_insert_into, multi_remove, Flag};
 use wfl_idem::{Frame, Registry, TagSource};
 use wfl_runtime::Ctx;
 
@@ -67,14 +68,21 @@ struct TbdFlag {
 
 impl Flag for TbdFlag {
     fn clear(&self, ctx: &Ctx<'_>, item: u64) {
-        ctx.write(Desc::from_item(item).prio_addr(), PRIO_UNSET);
+        ctx.write_rel(Desc::from_item(item).prio_addr(), PRIO_UNSET);
     }
 
     fn set(&self, ctx: &Ctx<'_>, item: u64) {
         if self.delays {
             stall_to_pow2(ctx, self.start);
         }
-        ctx.write(Desc::from_item(item).prio_addr(), PRIO_TBD);
+        // Participation reveal: Release, so an Acquire reader of the TBD
+        // marker sees the descriptor body.
+        ctx.write_rel(Desc::from_item(item).prio_addr(), PRIO_TBD);
+        // As in the known-bounds reveal: an SC fence between each
+        // attempt's participation reveal and its freeze scan guarantees
+        // that of two concurrent attempts at least one freezes the other
+        // into its snapshot (store-buffer litmus, DESIGN.md §2.2).
+        ctx.publication_fence();
     }
 
     fn get(&self, ctx: &Ctx<'_>, item: u64) -> bool {
@@ -100,6 +108,7 @@ pub fn try_locks_unknown(
     registry: &Registry,
     cfg: &UnknownConfig,
     tags: &mut TagSource,
+    scratch: &mut Scratch,
     req: TryLockRequest<'_>,
 ) -> AttemptMetrics {
     validate(space, registry, cfg.l_limit.min(space.len()), usize::MAX, &req);
@@ -112,58 +121,69 @@ pub fn try_locks_unknown(
     // Helping phase: run every already-revealed competitor to completion.
     let mut helped = 0u64;
     if cfg.helping {
-        let mut members = Vec::new();
+        let Scratch { helping, members, .. } = scratch;
         for &l in req.locks {
-            crate::trylock::revealed_members(ctx, space.set(l), &mut members);
-            for &m in &members {
-                run_desc(ctx, space, registry, Desc::from_item(m));
+            crate::trylock::revealed_members(ctx, space.set(l), helping);
+            for &m in helping.iter() {
+                run_desc(ctx, space, registry, Desc::from_item(m), members);
                 helped += 1;
             }
         }
     }
 
     // multiInsert; the flag raise is the PARTICIPATION reveal (TBD).
-    let sets: Vec<ActiveSet> = req.locks.iter().map(|&l| *space.set(l)).collect();
+    scratch.sets.clear();
+    scratch.sets.extend(req.locks.iter().map(|&l| *space.set(l)));
     let flag = TbdFlag { start, delays: cfg.delays };
-    let slots = multi_insert(ctx, &flag, p.item(), &sets);
+    multi_insert_into(ctx, &flag, p.item(), &scratch.sets, &mut scratch.slots);
 
     // Freeze the competitor sets: query every lock once (including TBD
-    // participants) and publish the snapshot through the descriptor.
-    let mut frozen: Vec<Vec<u64>> = Vec::with_capacity(sets.len());
-    let mut members = Vec::new();
-    for set in &sets {
+    // participants) and publish the snapshot through the descriptor. The
+    // per-lock lists are staged flat in the scratch (same counted reads
+    // and writes as the old Vec<Vec<_>> staging, no allocation).
+    scratch.frozen_items.clear();
+    scratch.frozen_lens.clear();
+    for set in &scratch.sets {
         get_members_by(
             ctx,
             |ctx, item| Desc::from_item(item).priority(ctx) != PRIO_UNSET,
             set,
-            &mut members,
+            &mut scratch.members,
         );
-        frozen.push(members.clone());
+        scratch.frozen_lens.push(scratch.members.len() as u32);
+        scratch.frozen_items.extend_from_slice(&scratch.members);
     }
-    let snap_words: usize = frozen.iter().map(|f| 1 + f.len()).sum();
+    let snap_words: usize = scratch.frozen_lens.len() + scratch.frozen_items.len();
     let snap = ctx.alloc(snap_words.max(1));
     let mut off = 0u32;
-    for f in &frozen {
-        ctx.write(crate::trylock::snap_word(snap, off), f.len() as u64);
-        for (k, &m) in f.iter().enumerate() {
-            ctx.write(crate::trylock::snap_word(snap, off + 1 + k as u32), m);
+    let mut item_idx = 0usize;
+    for &len in &scratch.frozen_lens {
+        ctx.write_rel(crate::trylock::snap_word(snap, off), len as u64);
+        for k in 0..len {
+            ctx.write_rel(
+                crate::trylock::snap_word(snap, off + 1 + k),
+                scratch.frozen_items[item_idx],
+            );
+            item_idx += 1;
         }
-        off += 1 + f.len() as u32;
+        off += 1 + len;
     }
     p.set_snapshot(ctx, snap);
 
-    // PRIORITY reveal, behind a second doubling delay.
+    // PRIORITY reveal, behind a second doubling delay. Release: helpers
+    // that acquire the revealed priority must also see the snapshot.
     if cfg.delays {
         stall_to_pow2(ctx, start);
     }
     let r = ctx.rand_u64();
-    ctx.write(p.prio_addr(), make_priority(r, tag_base));
+    ctx.write_rel(p.prio_addr(), make_priority(r, tag_base));
+    ctx.publication_fence();
 
     // Compete over the frozen snapshot.
-    run_desc(ctx, space, registry, p);
+    run_desc(ctx, space, registry, p, &mut scratch.members);
 
     // Clean up; pad the attempt end to a power-of-two length.
-    multi_remove(ctx, &flag, p.item(), &sets, &slots);
+    multi_remove(ctx, &flag, p.item(), &scratch.sets, &scratch.slots);
     if cfg.delays {
         stall_to_pow2(ctx, start);
     }

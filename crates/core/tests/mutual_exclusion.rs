@@ -8,7 +8,8 @@
 //! that covered it.
 
 use wfl_core::{
-    try_locks, try_locks_unknown, LockConfig, LockId, LockSpace, TryLockRequest, UnknownConfig,
+    try_locks, try_locks_unknown, LockConfig, LockId, LockSpace, Scratch, TryLockRequest,
+    UnknownConfig,
 };
 use wfl_idem::{cell, IdemRun, Registry, TagSource, Thunk};
 use wfl_runtime::schedule::{Bursty, RoundRobin, SeededRandom, Weighted};
@@ -86,15 +87,18 @@ fn run_counter_workload(
         .spawn_all(|pid| {
             move |ctx: &Ctx| {
                 let mut tags = TagSource::new(pid);
+                let mut scratch = Scratch::new();
                 for round in 0..attempts {
                     let locks = pick_locks(pid, round);
                     let mut args = vec![locks.len() as u64];
                     args.extend(locks.iter().map(|l| counters.off(l.0).to_word()));
                     let req = TryLockRequest { locks: &locks, thunk: incr, args: &args };
                     let m = if unknown_variant {
-                        try_locks_unknown(ctx, space_ref, reg_ref, ucfg_ref, &mut tags, req)
+                        try_locks_unknown(
+                            ctx, space_ref, reg_ref, ucfg_ref, &mut tags, &mut scratch, req,
+                        )
                     } else {
-                        try_locks(ctx, space_ref, reg_ref, cfg_ref, &mut tags, req)
+                        try_locks(ctx, space_ref, reg_ref, cfg_ref, &mut tags, &mut scratch, req)
                     };
                     ctx.write(outcomes.off((pid * attempts + round) as u32), m.won as u64);
                 }
@@ -248,6 +252,53 @@ fn solo_process_always_wins_unknown_variant() {
     assert_exact(&o, "solo unknown");
 }
 
+/// Real-threads stress of the contention-free hot path: the full tryLock
+/// path under `RealConfig::fast()` (leased clock + tiered orderings +
+/// reused scratch) with the classic lost-update detector. Every simulator
+/// test runs Precise+SeqCst, so this is the only coverage of the weakened
+/// orderings actually racing on hardware; the counter-equals-wins check
+/// catches a mutual-exclusion violation (two attempts both deciding WON
+/// and running their non-atomic increments concurrently), which the
+/// philosophers meal check cannot (neighbors touch different cells).
+#[test]
+fn real_threads_tiered_hot_path_preserves_mutual_exclusion() {
+    use wfl_core::Scratch;
+    use wfl_runtime::real::{run_threads_with, RealConfig};
+
+    let nprocs = 8;
+    let rounds = 300;
+    let mut registry = Registry::new();
+    let incr = registry.register(IncrAll { max_locks: 1 });
+    let heap = Heap::new(1 << 24);
+    let space = LockSpace::create_root(&heap, 1, nprocs);
+    let counter = heap.alloc_root(1);
+    let wins_out = heap.alloc_root(nprocs);
+    let cfg = LockConfig::new(nprocs, 1, 2).without_delays();
+    let (space_ref, reg_ref, cfg_ref) = (&space, &registry, &cfg);
+    let report = run_threads_with(&heap, nprocs, 77, None, RealConfig::fast(), |pid| {
+        move |ctx: &Ctx| {
+            let mut tags = TagSource::new(pid);
+            let mut scratch = Scratch::new();
+            let mut wins = 0u64;
+            let args = [1u64, counter.to_word()];
+            for _ in 0..rounds {
+                let req = TryLockRequest { locks: &[LockId(0)], thunk: incr, args: &args };
+                let m = try_locks(ctx, space_ref, reg_ref, cfg_ref, &mut tags, &mut scratch, req);
+                wins += m.won as u64;
+            }
+            ctx.heap().poke(wins_out.off(pid as u32), wins);
+        }
+    });
+    report.assert_clean();
+    let wins: u64 = (0..nprocs).map(|i| heap.peek(wins_out.off(i as u32))).sum();
+    assert!(wins > 0, "some attempt must succeed");
+    assert_eq!(
+        cell::value(heap.peek(counter)) as u64,
+        wins,
+        "lost or phantom update: tiered hot path broke mutual exclusion"
+    );
+}
+
 /// With delays enabled, safety still holds and attempts take the fixed
 /// length.
 #[test]
@@ -277,13 +328,14 @@ fn delays_enabled_fixed_attempt_length() {
         .spawn_all(|pid| {
             move |ctx: &Ctx| {
                 let mut tags = TagSource::new(pid);
+                let mut scratch = Scratch::new();
                 for round in 0..3 {
                     let req = TryLockRequest {
                         locks: &[LockId(0)],
                         thunk: incr,
                         args: &[counter.to_word()],
                     };
-                    let m = try_locks(ctx, space_ref, reg_ref, cfg_ref, &mut tags, req);
+                    let m = try_locks(ctx, space_ref, reg_ref, cfg_ref, &mut tags, &mut scratch, req);
                     assert!(!m.delay_overrun, "c0/c1 too small for this workload");
                     ctx.write(steps_out.off((pid * 3 + round) as u32), m.steps);
                 }

@@ -12,7 +12,7 @@
 //! This test pins the exact failing execution plus a wide sweep of bursty
 //! schedules (the schedule family that exposes long helper sleeps).
 
-use wfl_core::{try_locks, LockConfig, LockId, LockSpace, TryLockRequest};
+use wfl_core::{try_locks, LockConfig, LockId, LockSpace, Scratch, TryLockRequest};
 use wfl_idem::{cell, IdemRun, Registry, TagSource, Thunk};
 use wfl_runtime::schedule::Bursty;
 use wfl_runtime::sim::SimBuilder;
@@ -46,10 +46,11 @@ fn run_seed(seed: u64) -> (u64, u64) {
         .spawn_all(|pid| {
             move |ctx: &Ctx| {
                 let mut tags = TagSource::new(pid);
+                let mut scratch = Scratch::new();
                 for round in 0..5 {
                     let args = [counter.to_word()];
                     let req = TryLockRequest { locks: &[LockId(0)], thunk: incr, args: &args };
-                    let m = try_locks(ctx, space_ref, reg_ref, cfg_ref, &mut tags, req);
+                    let m = try_locks(ctx, space_ref, reg_ref, cfg_ref, &mut tags, &mut scratch, req);
                     ctx.write(outcomes.off((pid * 5 + round) as u32), m.won as u64);
                 }
             }

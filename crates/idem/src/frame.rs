@@ -42,12 +42,12 @@ impl Frame {
     pub fn create(ctx: &Ctx<'_>, registry: &Registry, id: ThunkId, tag_base: u32, args: &[u64]) -> Frame {
         let nops = registry.get(id).max_ops();
         let base = ctx.alloc(Self::words(nops, args.len()));
-        ctx.write(base.off(W_HEADER), ((id.0 as u64) << 32) | nops as u64);
-        ctx.write(base.off(W_TAGBASE), tag_base as u64);
-        ctx.write(base.off(W_NARGS), args.len() as u64);
+        ctx.write_rel(base.off(W_HEADER), ((id.0 as u64) << 32) | nops as u64);
+        ctx.write_rel(base.off(W_TAGBASE), tag_base as u64);
+        ctx.write_rel(base.off(W_NARGS), args.len() as u64);
         // completed flag and log slots are zero from the allocator.
         for (i, &a) in args.iter().enumerate() {
-            ctx.write(base.off(W_ARGS + i as u32), a);
+            ctx.write_rel(base.off(W_ARGS + i as u32), a);
         }
         Frame(base)
     }
@@ -70,20 +70,21 @@ impl Frame {
     /// one run. On return, a complete run of the thunk has finished.
     pub fn help(self, ctx: &Ctx<'_>, registry: &Registry) {
         // Fast path: someone already finished a run.
-        if ctx.read(self.0.off(W_COMPLETED)) != 0 {
+        if ctx.read_acq(self.0.off(W_COMPLETED)) != 0 {
             return;
         }
-        let header = ctx.read(self.0.off(W_HEADER));
+        let header = ctx.read_acq(self.0.off(W_HEADER));
         let id = ThunkId((header >> 32) as u32);
         let nops = (header & 0xffff_ffff) as usize;
-        let tag_base = ctx.read(self.0.off(W_TAGBASE)) as u32;
-        let nargs = ctx.read(self.0.off(W_NARGS)) as usize;
+        let tag_base = ctx.read_acq(self.0.off(W_TAGBASE)) as u32;
+        let nargs = ctx.read_acq(self.0.off(W_NARGS)) as usize;
         let args_base = self.0.off(W_ARGS);
         let log_base = self.0.off(W_ARGS + nargs as u32);
         let mut run = IdemRun::new(ctx, args_base, nargs, log_base, nops, tag_base);
         registry.get(id).run(&mut run);
-        // Mark completion (monotonic plain write; racing helpers agree).
-        ctx.write(self.0.off(W_COMPLETED), 1);
+        // Mark completion (monotonic write; Release so the fast path's
+        // Acquire read of the flag also sees the thunk's effects).
+        ctx.write_rel(self.0.off(W_COMPLETED), 1);
     }
 
     /// Whether some run of the thunk has finished (uncounted inspection).
@@ -96,13 +97,13 @@ impl Frame {
     /// concurrently with helpers of the same frame — for single-runner
     /// baselines and for measuring the construction's overhead (E9).
     pub fn run_raw(self, ctx: &Ctx<'_>, registry: &Registry) {
-        let header = ctx.read(self.0.off(W_HEADER));
+        let header = ctx.read_acq(self.0.off(W_HEADER));
         let id = ThunkId((header >> 32) as u32);
-        let nargs = ctx.read(self.0.off(W_NARGS)) as usize;
+        let nargs = ctx.read_acq(self.0.off(W_NARGS)) as usize;
         let args_base = self.0.off(W_ARGS);
         let mut run = IdemRun::new_raw(ctx, args_base, nargs);
         registry.get(id).run(&mut run);
-        ctx.write(self.0.off(W_COMPLETED), 1);
+        ctx.write_rel(self.0.off(W_COMPLETED), 1);
     }
 }
 

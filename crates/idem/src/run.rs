@@ -96,7 +96,7 @@ impl<'c, 'h> IdemRun<'c, 'h> {
     /// Panics if `i` is out of range.
     pub fn arg(&self, i: usize) -> u64 {
         assert!(i < self.nargs, "argument {i} out of range ({} args)", self.nargs);
-        self.ctx.read(self.args_base.off(i as u32))
+        self.ctx.read_acq(self.args_base.off(i as u32))
     }
 
     /// Number of operations executed so far by this cursor.
@@ -127,18 +127,18 @@ impl<'c, 'h> IdemRun<'c, 'h> {
     pub fn read(&mut self, cell_addr: Addr) -> u32 {
         if matches!(self.mode, Mode::Raw) {
             self.next_op += 1;
-            return cell::value(self.ctx.read(cell_addr));
+            return cell::value(self.ctx.read_acq(cell_addr));
         }
         let (slot, _tag) = self.take_op();
         loop {
-            let s = self.ctx.read(slot);
+            let s = self.ctx.read_acq(slot);
             if s & ST_MASK == ST_DONE {
                 wfl_runtime::trace::emit(|| format!("t={} pid={} idem.read cell={:?} slot={:?} -> {}", self.ctx.now(), self.ctx.pid(), cell_addr, slot, payload(s) as u32));
                 return payload(s) as u32;
             }
-            let w = self.ctx.read(cell_addr);
+            let w = self.ctx.read_acq(cell_addr);
             // Record the value we saw; the first recorder wins.
-            self.ctx.cas_bool(slot, ST_EMPTY, ST_DONE | cell::value(w) as u64);
+            self.ctx.cas_bool_sync(slot, ST_EMPTY, ST_DONE | cell::value(w) as u64);
         }
     }
 
@@ -157,12 +157,12 @@ impl<'c, 'h> IdemRun<'c, 'h> {
     pub fn write(&mut self, cell_addr: Addr, value: u32) {
         if matches!(self.mode, Mode::Raw) {
             self.next_op += 1;
-            self.ctx.write(cell_addr, cell::untagged(value));
+            self.ctx.write_rel(cell_addr, cell::untagged(value));
             return;
         }
         let (slot, tag) = self.take_op();
         loop {
-            let s = self.ctx.read(slot);
+            let s = self.ctx.read_acq(slot);
             match s & ST_MASK {
                 ST_DONE => {
                     wfl_runtime::trace::emit(|| {
@@ -184,20 +184,20 @@ impl<'c, 'h> IdemRun<'c, 'h> {
                     // was stale (the op has advanced), this CAS fails and
                     // the loop re-reads the slot — we never touch the cell
                     // from the EMPTY branch.
-                    let w = self.ctx.read(cell_addr);
-                    self.ctx.cas_bool(slot, ST_EMPTY, ST_WITNESS | w);
+                    let w = self.ctx.read_acq(cell_addr);
+                    self.ctx.cas_bool_sync(slot, ST_EMPTY, ST_WITNESS | w);
                 }
                 ST_WITNESS => {
                     let w = payload(s);
-                    let cur = self.ctx.read(cell_addr);
+                    let cur = self.ctx.read_acq(cell_addr);
                     if cell::tag(cur) == tag {
                         // The apply happened (by us or another helper).
-                        self.ctx.cas_bool(slot, s, ST_DONE);
+                        self.ctx.cas_bool_sync(slot, s, ST_DONE);
                         continue;
                     }
                     // Apply from exactly the agreed witness; since `w` can
                     // never recur, at most one such CAS ever succeeds.
-                    let ok = self.ctx.cas_bool(cell_addr, w, cell::pack(tag, value));
+                    let ok = self.ctx.cas_bool_sync(cell_addr, w, cell::pack(tag, value));
                     wfl_runtime::trace::emit(|| {
                         format!(
                             "t={} pid={} idem.write cell={:?} slot={:?} tag={:x} v={} apply from {:x} ok={}",
@@ -231,40 +231,40 @@ impl<'c, 'h> IdemRun<'c, 'h> {
             self.next_op += 1;
             return self
                 .ctx
-                .cas_bool(cell_addr, cell::untagged(expected), cell::untagged(new));
+                .cas_bool_sync(cell_addr, cell::untagged(expected), cell::untagged(new));
         }
         let (slot, tag) = self.take_op();
         loop {
-            let s = self.ctx.read(slot);
+            let s = self.ctx.read_acq(slot);
             match s & ST_MASK {
                 ST_DONE => return payload(s) != 0,
                 ST_EMPTY => {
-                    let w = self.ctx.read(cell_addr);
+                    let w = self.ctx.read_acq(cell_addr);
                     if cell::tag(w) == tag {
                         // Applied already (so a witness exists); re-read the
                         // slot, which can no longer be EMPTY.
                         continue;
                     }
                     // Propose what we saw as THE witness.
-                    self.ctx.cas_bool(slot, ST_EMPTY, ST_WITNESS | w);
+                    self.ctx.cas_bool_sync(slot, ST_EMPTY, ST_WITNESS | w);
                 }
                 ST_WITNESS => {
                     let w = payload(s);
                     if cell::value(w) != expected {
                         // Agreed witness refutes `expected`: CAS fails,
                         // linearizing at the witness read.
-                        self.ctx.cas_bool(slot, s, ST_DONE);
+                        self.ctx.cas_bool_sync(slot, s, ST_DONE);
                         continue;
                     }
-                    let cur = self.ctx.read(cell_addr);
+                    let cur = self.ctx.read_acq(cell_addr);
                     if cell::tag(cur) == tag {
                         // The apply happened (by us or another helper).
-                        self.ctx.cas_bool(slot, s, ST_DONE | 1);
+                        self.ctx.cas_bool_sync(slot, s, ST_DONE | 1);
                         continue;
                     }
                     // Apply from exactly the agreed witness; at most one
                     // such CAS can ever succeed.
-                    self.ctx.cas_bool(cell_addr, w, cell::pack(tag, new));
+                    self.ctx.cas_bool_sync(cell_addr, w, cell::pack(tag, new));
                 }
                 _ => unreachable!("corrupt log slot state {s:#x}"),
             }

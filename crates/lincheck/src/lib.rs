@@ -70,10 +70,10 @@ pub fn check_linearizable<S: Spec>(history: &History, spec: &S) -> LinResult {
     // preds[i] = bitmask of events that must linearize before event i
     // (they responded before i was invoked).
     let mut preds = vec![0u64; n];
-    for i in 0..n {
+    for (i, pred) in preds.iter_mut().enumerate() {
         for j in 0..n {
             if i != j && history.precedes(j, i) {
-                preds[i] |= 1 << j;
+                *pred |= 1 << j;
             }
         }
     }

@@ -7,6 +7,23 @@
 //! one *own step* of the process, matching the paper's cost model in which
 //! delays ("stall until `T0` own steps have been taken") are measured in the
 //! process's own instructions.
+//!
+//! # The real-threads hot path
+//!
+//! Two driver-selected knobs keep the free-running driver contention-free
+//! without touching the simulator (see `DESIGN.md` §2):
+//!
+//! * [`ClockMode`] — how logical timestamps are drawn. `Precise` performs
+//!   one global `fetch_add` per step (exact, totally-ordered history
+//!   timestamps; the simulator's and the historical default). `Leased`
+//!   claims a whole block of timestamps in one relaxed `fetch_add` and
+//!   ticks locally, so the shared clock cache line is touched once per
+//!   block instead of once per step.
+//! * [`OrderTier`] — how the *semantic* memory operations
+//!   ([`Ctx::read_acq`], [`Ctx::write_rel`], [`Ctx::cas_bool_sync`], …)
+//!   map to hardware orderings. Under `SeqCst` they all stay sequentially
+//!   consistent; under `Tiered` they become acquire/release/acq-rel, which
+//!   the algorithm's publication structure permits (§2.2 of DESIGN.md).
 
 use crate::gate::Gate;
 use crate::heap::{Addr, Heap};
@@ -25,6 +42,37 @@ pub type Command = Box<[u64]>;
 /// and polled by the process as a gated step.
 pub type Mailbox = Mutex<VecDeque<Command>>;
 
+/// How a real-mode context draws global logical timestamps (one per step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockMode {
+    /// One `SeqCst` `fetch_add` on the shared clock per step: timestamps
+    /// are exact and totally ordered across processes. Required when a
+    /// recorded history's timestamps must be globally meaningful.
+    Precise,
+    /// Claim a lease of this many consecutive timestamps in one relaxed
+    /// `fetch_add`, then tick locally. Per-process timestamps remain
+    /// strictly monotonic and globally unique; cross-process order within
+    /// concurrently-held leases is not meaningful. Use for throughput runs.
+    Leased(u64),
+}
+
+impl ClockMode {
+    /// The default lease length used by [`crate::real::RealConfig::fast`].
+    pub const DEFAULT_LEASE: u64 = 256;
+}
+
+/// Which hardware ordering the semantic (tiered) memory operations use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderTier {
+    /// Everything sequentially consistent (the simulator, and the
+    /// conservative real-mode default).
+    SeqCst,
+    /// Acquire/release/acq-rel where the algorithm's publication structure
+    /// permits: status and slot CAS = AcqRel, reveal/publish writes =
+    /// Release, membership/pointer-chasing reads = Acquire.
+    Tiered,
+}
+
 /// Per-process execution context.
 ///
 /// A `Ctx` is created by a driver for exactly one process (thread) and must
@@ -37,8 +85,14 @@ pub struct Ctx<'h> {
     clock: &'h AtomicU64,
     stop: &'h AtomicBool,
     mailbox: Option<&'h Mailbox>,
+    clock_mode: ClockMode,
+    tier: OrderTier,
     steps: Cell<u64>,
     last_now: Cell<u64>,
+    /// Next unconsumed leased timestamp (real + `Leased` mode only).
+    lease_next: Cell<u64>,
+    /// One past the last timestamp of the current lease.
+    lease_end: Cell<u64>,
     rng: RefCell<Pcg>,
     events: RefCell<Vec<Event>>,
     pending: RefCell<Option<PendingOp>>,
@@ -50,6 +104,8 @@ impl std::fmt::Debug for Ctx<'_> {
             .field("pid", &self.pid)
             .field("steps", &self.steps.get())
             .field("simulated", &self.gate.is_some())
+            .field("clock_mode", &self.clock_mode)
+            .field("tier", &self.tier)
             .finish()
     }
 }
@@ -66,7 +122,13 @@ impl<'h> Ctx<'h> {
         clock: &'h AtomicU64,
         stop: &'h AtomicBool,
         mailbox: Option<&'h Mailbox>,
+        clock_mode: ClockMode,
+        tier: OrderTier,
     ) -> Ctx<'h> {
+        let clock_mode = match clock_mode {
+            ClockMode::Leased(0) => ClockMode::Leased(1),
+            other => other,
+        };
         Ctx {
             heap,
             pid,
@@ -75,11 +137,39 @@ impl<'h> Ctx<'h> {
             clock,
             stop,
             mailbox,
+            clock_mode,
+            tier,
             steps: Cell::new(0),
             last_now: Cell::new(0),
+            lease_next: Cell::new(0),
+            lease_end: Cell::new(0),
             rng: RefCell::new(Pcg::new(seed, pid as u64 + 1)),
             events: RefCell::new(Vec::new()),
             pending: RefCell::new(None),
+        }
+    }
+
+    /// Draws this step's logical timestamp in real (ungated) mode.
+    #[inline]
+    fn next_tick(&self) -> u64 {
+        match self.clock_mode {
+            ClockMode::Precise => self.clock.fetch_add(1, Ordering::SeqCst),
+            ClockMode::Leased(block) => {
+                let t = self.lease_next.get();
+                if t >= self.lease_end.get() {
+                    // Lease exhausted (or never claimed): claim the next
+                    // block with the run's only shared-clock RMW. Relaxed
+                    // suffices — uniqueness comes from RMW atomicity, and
+                    // nothing is published through the clock.
+                    let base = self.clock.fetch_add(block, Ordering::Relaxed);
+                    self.lease_next.set(base + 1);
+                    self.lease_end.set(base + block);
+                    base
+                } else {
+                    self.lease_next.set(t + 1);
+                    t
+                }
+            }
         }
     }
 
@@ -97,10 +187,39 @@ impl<'h> Ctx<'h> {
                 r
             }
             None => {
-                let t = self.clock.fetch_add(1, Ordering::SeqCst);
+                let t = self.next_tick();
                 self.last_now.set(t);
                 f()
             }
+        }
+    }
+
+    // ----- ordering-tier selection -----
+
+    /// Ordering for tiered loads (membership scans, pointer chasing).
+    #[inline]
+    fn acq(&self) -> Ordering {
+        match self.tier {
+            OrderTier::SeqCst => Ordering::SeqCst,
+            OrderTier::Tiered => Ordering::Acquire,
+        }
+    }
+
+    /// Ordering for tiered stores (reveals, record publication).
+    #[inline]
+    fn rel(&self) -> Ordering {
+        match self.tier {
+            OrderTier::SeqCst => Ordering::SeqCst,
+            OrderTier::Tiered => Ordering::Release,
+        }
+    }
+
+    /// Success ordering for tiered CAS (status transitions, slot claims).
+    #[inline]
+    fn acqrel(&self) -> Ordering {
+        match self.tier {
+            OrderTier::SeqCst => Ordering::SeqCst,
+            OrderTier::Tiered => Ordering::AcqRel,
         }
     }
 
@@ -122,10 +241,24 @@ impl<'h> Ctx<'h> {
         self.steps.get()
     }
 
-    /// Global logical time of this process's most recent step.
+    /// Global logical time of this process's most recent step. Under
+    /// [`ClockMode::Leased`] this is strictly monotonic per process and
+    /// globally unique, but only lease-granular across processes.
     #[inline]
     pub fn now(&self) -> u64 {
         self.last_now.get()
+    }
+
+    /// The driver-selected clock mode.
+    #[inline]
+    pub fn clock_mode(&self) -> ClockMode {
+        self.clock_mode
+    }
+
+    /// The driver-selected memory-ordering tier.
+    #[inline]
+    pub fn order_tier(&self) -> OrderTier {
+        self.tier
     }
 
     /// The underlying heap (for address arithmetic only; going around the
@@ -144,35 +277,91 @@ impl<'h> Ctx<'h> {
 
     // ----- shared-memory operations (one step each) -----
 
-    /// Atomic read of a shared word.
+    /// Atomic read of a shared word (sequentially consistent).
     #[inline]
     pub fn read(&self, a: Addr) -> u64 {
-        self.stepped(|| self.heap.word(a).load(Ordering::SeqCst))
+        self.stepped(|| self.heap.load(a, Ordering::SeqCst))
     }
 
-    /// Atomic write of a shared word.
+    /// Atomic write of a shared word (sequentially consistent).
     #[inline]
     pub fn write(&self, a: Addr, v: u64) {
-        self.stepped(|| self.heap.word(a).store(v, Ordering::SeqCst))
+        self.stepped(|| self.heap.store(a, v, Ordering::SeqCst))
     }
 
     /// Atomic compare-and-swap; returns the *previous* value. The CAS
-    /// succeeded iff the return value equals `old`.
+    /// succeeded iff the return value equals `old`. Sequentially
+    /// consistent.
     #[inline]
     pub fn cas_val(&self, a: Addr, old: u64, new: u64) -> u64 {
-        self.stepped(|| {
-            match self.heap.word(a).compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
-            {
-                Ok(prev) => prev,
-                Err(prev) => prev,
-            }
-        })
+        self.stepped(|| self.heap.cas_ord(a, old, new, Ordering::SeqCst, Ordering::SeqCst))
     }
 
-    /// Atomic compare-and-swap; returns whether it succeeded.
+    /// Atomic compare-and-swap; returns whether it succeeded. Sequentially
+    /// consistent.
     #[inline]
     pub fn cas_bool(&self, a: Addr, old: u64, new: u64) -> bool {
         self.cas_val(a, old, new) == old
+    }
+
+    // ----- tiered shared-memory operations (one step each) -----
+    //
+    // Identical to the operations above under `OrderTier::SeqCst` (always
+    // the case in the simulator, so determinism and the recorded histories
+    // are untouched); weaker-but-sufficient hardware orderings under
+    // `OrderTier::Tiered`.
+
+    /// Tiered read: `Acquire` under [`OrderTier::Tiered`]. For reads that
+    /// chase a published pointer or scan membership (active-set snapshots,
+    /// descriptor status/priority, frame headers).
+    #[inline]
+    pub fn read_acq(&self, a: Addr) -> u64 {
+        self.stepped(|| self.heap.load(a, self.acq()))
+    }
+
+    /// Tiered write: `Release` under [`OrderTier::Tiered`]. For writes
+    /// that publish a record or reveal a value (priority reveal, record
+    /// initialization completed by a later release publication, owner
+    /// clears).
+    #[inline]
+    pub fn write_rel(&self, a: Addr, v: u64) {
+        self.stepped(|| self.heap.store(a, v, self.rel()))
+    }
+
+    /// Tiered CAS returning the previous value: `AcqRel` on success /
+    /// `Acquire` on failure under [`OrderTier::Tiered`]. For one-shot
+    /// status transitions, slot claims and snapshot installs.
+    #[inline]
+    pub fn cas_val_sync(&self, a: Addr, old: u64, new: u64) -> u64 {
+        self.stepped(|| {
+            let fail = self.acq();
+            self.heap.cas_ord(a, old, new, self.acqrel(), fail)
+        })
+    }
+
+    /// Tiered CAS returning success, see [`Ctx::cas_val_sync`].
+    #[inline]
+    pub fn cas_bool_sync(&self, a: Addr, old: u64, new: u64) -> bool {
+        self.cas_val_sync(a, old, new) == old
+    }
+
+    /// A full `SeqCst` fence under [`OrderTier::Tiered`]; a no-op under
+    /// [`OrderTier::SeqCst`] (every operation is already sequentially
+    /// consistent there, and the simulator serializes steps anyway).
+    ///
+    /// Not a counted step: it is a hardware-ordering artifact with no
+    /// shared-memory effect, so step accounting stays identical across
+    /// tiers. Needed at *reveal points*: a Release store followed by
+    /// Acquire scans permits store-buffer reordering (both of two
+    /// concurrent attempts reading the other's pre-reveal value); an SC
+    /// fence between each attempt's reveal store and its subsequent scan
+    /// restores the "at least one sees the other" guarantee
+    /// (Dekker-via-fences, see DESIGN.md §2.2).
+    #[inline]
+    pub fn publication_fence(&self) {
+        if self.tier == OrderTier::Tiered {
+            std::sync::atomic::fence(Ordering::SeqCst);
+        }
     }
 
     /// Allocates `n` words from the shared bump allocator (one step; the
@@ -270,7 +459,31 @@ mod tests {
         // Leak tiny statics for test plumbing simplicity.
         let clock: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
         let stop: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
-        (Ctx::new(heap, 0, 1, 42, None, clock, stop, None), clock, stop)
+        (
+            Ctx::new(heap, 0, 1, 42, None, clock, stop, None, ClockMode::Precise, OrderTier::SeqCst),
+            clock,
+            stop,
+        )
+    }
+
+    fn leased_ctx(heap: &Heap, block: u64) -> (Ctx<'_>, &'static AtomicU64) {
+        let clock: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
+        let stop: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        (
+            Ctx::new(
+                heap,
+                0,
+                1,
+                42,
+                None,
+                clock,
+                stop,
+                None,
+                ClockMode::Leased(block),
+                OrderTier::Tiered,
+            ),
+            clock,
+        )
     }
 
     #[test]
@@ -288,6 +501,19 @@ mod tests {
         ctx.local_step();
         assert_eq!(ctx.steps(), 5);
         ctx.rand_u64();
+        assert_eq!(ctx.steps(), 6);
+    }
+
+    #[test]
+    fn tiered_operations_count_steps_and_roundtrip() {
+        let heap = Heap::new(64);
+        let (ctx, _) = leased_ctx(&heap, 4);
+        let a = ctx.alloc(1);
+        ctx.write_rel(a, 9);
+        assert_eq!(ctx.read_acq(a), 9);
+        assert!(ctx.cas_bool_sync(a, 9, 11));
+        assert_eq!(ctx.cas_val_sync(a, 9, 12), 11, "failed CAS reports witness");
+        assert_eq!(ctx.read_acq(a), 11);
         assert_eq!(ctx.steps(), 6);
     }
 
@@ -348,6 +574,38 @@ mod tests {
     }
 
     #[test]
+    fn precise_mode_yields_consecutive_timestamps() {
+        let heap = Heap::new(16);
+        let (ctx, _, _) = test_ctx(&heap);
+        for i in 0..100u64 {
+            ctx.local_step();
+            assert_eq!(ctx.now(), i, "precise mode = one global tick per step");
+        }
+    }
+
+    #[test]
+    fn leased_mode_ticks_locally_and_claims_blocks() {
+        let heap = Heap::new(16);
+        let (ctx, clock) = leased_ctx(&heap, 8);
+        for i in 0..20u64 {
+            ctx.local_step();
+            assert_eq!(ctx.now(), i, "solo leased timestamps are still consecutive");
+        }
+        // 20 steps with block 8: exactly ceil(20/8) = 3 lease claims.
+        assert_eq!(clock.load(Ordering::SeqCst), 24, "clock advanced by whole leases");
+    }
+
+    #[test]
+    fn leased_block_zero_is_normalized() {
+        let heap = Heap::new(16);
+        let (ctx, _) = leased_ctx(&heap, 0);
+        ctx.local_step();
+        let t1 = ctx.now();
+        ctx.local_step();
+        assert!(ctx.now() > t1, "degenerate lease must still be monotonic");
+    }
+
+    #[test]
     fn stop_flag_is_visible() {
         let heap = Heap::new(16);
         let (ctx, _, stop) = test_ctx(&heap);
@@ -361,10 +619,13 @@ mod tests {
         let heap = Heap::new(16);
         let clock: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
         let stop: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
-        let c1 = Ctx::new(&heap, 3, 4, 99, None, clock, stop, None);
-        let c2 = Ctx::new(&heap, 3, 4, 99, None, clock, stop, None);
+        let mk = |pid: usize| {
+            Ctx::new(&heap, pid, 4, 99, None, clock, stop, None, ClockMode::Precise, OrderTier::SeqCst)
+        };
+        let c1 = mk(3);
+        let c2 = mk(3);
         assert_eq!(c1.rand_u64(), c2.rand_u64());
-        let c3 = Ctx::new(&heap, 2, 4, 99, None, clock, stop, None);
+        let c3 = mk(2);
         assert_ne!(c1.rand_u64(), c3.rand_u64());
     }
 }

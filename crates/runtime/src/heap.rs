@@ -20,9 +20,17 @@ pub const NULL: Addr = Addr(0);
 
 impl Addr {
     /// Address of the word `off` places after `self`.
+    ///
+    /// # Panics
+    /// Panics if the offset overflows 32-bit addressing — a corrupted
+    /// record (e.g. a bad snapshot offset) must fail loudly here instead
+    /// of silently wrapping into the reserved null word 0.
     #[inline]
     pub fn off(self, off: u32) -> Addr {
-        Addr(self.0 + off)
+        match self.0.checked_add(off) {
+            Some(a) => Addr(a),
+            None => panic!("Addr::off overflow: base {:#x} + offset {:#x} exceeds u32 addressing", self.0, off),
+        }
     }
 
     /// Whether this is the null address.
@@ -113,7 +121,10 @@ impl Heap {
     /// and reset between batches.
     #[inline]
     pub fn alloc_root(&self, n: usize) -> Addr {
-        let base = self.bump.fetch_add(n, Ordering::SeqCst);
+        // Relaxed: disjointness comes from RMW atomicity alone, and records
+        // are published through release CAS/stores, never through the bump
+        // pointer.
+        let base = self.bump.fetch_add(n, Ordering::Relaxed);
         assert!(
             base + n <= self.words.len(),
             "heap exhausted: capacity {} words, requested {} at {}",
@@ -152,10 +163,29 @@ impl Heap {
         }
     }
 
-    /// Internal accessor for drivers.
+    // ----- ordering-parameterized accessors (used by `Ctx`'s tiers) -----
+
+    /// Atomic load with an explicit ordering (step accounting is the
+    /// caller's responsibility — this is the `Ctx` backend).
     #[inline]
-    pub(crate) fn word(&self, a: Addr) -> &AtomicU64 {
-        &self.words[a.0 as usize]
+    pub(crate) fn load(&self, a: Addr, ord: Ordering) -> u64 {
+        self.words[a.0 as usize].load(ord)
+    }
+
+    /// Atomic store with an explicit ordering.
+    #[inline]
+    pub(crate) fn store(&self, a: Addr, v: u64, ord: Ordering) {
+        self.words[a.0 as usize].store(v, ord);
+    }
+
+    /// Atomic CAS with explicit success/failure orderings; returns the
+    /// previous value (success iff it equals `old`).
+    #[inline]
+    pub(crate) fn cas_ord(&self, a: Addr, old: u64, new: u64, ok: Ordering, fail: Ordering) -> u64 {
+        match self.words[a.0 as usize].compare_exchange(old, new, ok, fail) {
+            Ok(prev) => prev,
+            Err(prev) => prev,
+        }
     }
 
     /// Returns the current allocation watermark, for later [`Heap::reset_to`].
@@ -261,6 +291,12 @@ mod tests {
     fn alloc_past_capacity_panics() {
         let heap = Heap::new(4);
         heap.alloc_root(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "Addr::off overflow")]
+    fn addr_off_overflow_panics_instead_of_wrapping() {
+        let _ = Addr(u32::MAX - 2).off(8);
     }
 
     #[test]

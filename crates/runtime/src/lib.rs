@@ -62,7 +62,8 @@ pub mod sim;
 pub mod stats;
 pub mod trace;
 
-pub use ctx::Ctx;
+pub use ctx::{ClockMode, Ctx, OrderTier};
 pub use heap::{Addr, Heap, NULL};
 pub use history::{Event, History};
+pub use real::{run_threads, run_threads_with, RealConfig};
 pub use schedule::Schedule;

@@ -4,13 +4,52 @@
 //! process and native atomics — no scheduler in the way. Used for
 //! throughput benchmarks and stress tests; step counting still works (it is
 //! just a thread-local counter), so the paper's delays behave identically.
+//!
+//! The driver's hot path is configurable via [`RealConfig`]:
+//! [`RealConfig::precise`] reproduces the historical behavior (one `SeqCst`
+//! `fetch_add` on a shared clock per step, all operations `SeqCst`) and is
+//! what [`run_threads`] uses; [`RealConfig::fast`] switches to batched
+//! clock leases and the acquire/release ordering tier so that the hot path
+//! touches no contended cache line except the ones the algorithm itself
+//! contends on. See `DESIGN.md` §2.
 
-use crate::ctx::Ctx;
+use crate::ctx::{ClockMode, Ctx, OrderTier};
 use crate::heap::Heap;
 use crate::history::{Event, History};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Hot-path configuration of a real-threads run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RealConfig {
+    /// How logical timestamps are drawn.
+    pub clock: ClockMode,
+    /// Which hardware orderings the tiered memory operations use.
+    pub order: OrderTier,
+}
+
+impl RealConfig {
+    /// The historical (and conservative) configuration: exact global
+    /// timestamps, everything `SeqCst`. Required when recorded history
+    /// timestamps must be globally ordered.
+    pub fn precise() -> RealConfig {
+        RealConfig { clock: ClockMode::Precise, order: OrderTier::SeqCst }
+    }
+
+    /// The contention-free throughput configuration: clock leases of
+    /// [`ClockMode::DEFAULT_LEASE`] timestamps and the acquire/release
+    /// ordering tier.
+    pub fn fast() -> RealConfig {
+        RealConfig { clock: ClockMode::Leased(ClockMode::DEFAULT_LEASE), order: OrderTier::Tiered }
+    }
+}
+
+impl Default for RealConfig {
+    fn default() -> Self {
+        RealConfig::precise()
+    }
+}
 
 /// Result of a real-threads execution.
 #[derive(Debug)]
@@ -22,7 +61,9 @@ pub struct RealReport {
     /// Recorded history (timestamps are approximate in real mode: they are
     /// assigned by a global counter fetched at each step, so they respect
     /// program order per process but interleavings between the fetch and
-    /// the operation are possible; use the simulator for exact histories).
+    /// the operation are possible; under [`ClockMode::Leased`] they are
+    /// additionally only lease-granular across processes; use the
+    /// simulator for exact histories).
     pub history: History,
     /// Panics caught in process bodies: `(pid, message)`.
     pub panics: Vec<(usize, String)>,
@@ -38,7 +79,8 @@ impl RealReport {
     }
 }
 
-/// Runs `nprocs` bodies on free-running threads until they all return.
+/// Runs `nprocs` bodies on free-running threads until they all return,
+/// with the conservative [`RealConfig::precise`] hot path.
 ///
 /// `make_body` is called once per pid on the calling thread; the returned
 /// closures run concurrently. If `run_for` is set, the cooperative stop
@@ -49,6 +91,22 @@ pub fn run_threads<'a, F, G>(
     nprocs: usize,
     seed: u64,
     run_for: Option<Duration>,
+    make_body: F,
+) -> RealReport
+where
+    F: FnMut(usize) -> G,
+    G: FnOnce(&Ctx<'_>) + Send + 'a,
+{
+    run_threads_with(heap, nprocs, seed, run_for, RealConfig::precise(), make_body)
+}
+
+/// Like [`run_threads`], but with an explicit hot-path [`RealConfig`].
+pub fn run_threads_with<'a, F, G>(
+    heap: &Heap,
+    nprocs: usize,
+    seed: u64,
+    run_for: Option<Duration>,
+    cfg: RealConfig,
     mut make_body: F,
 ) -> RealReport
 where
@@ -72,7 +130,9 @@ where
             let events_out = &event_slots[pid];
             let panic_out = &panic_slots[pid];
             scope.spawn(move || {
-                let ctx = Ctx::new(heap, pid, nprocs, seed, None, clock, stop, None);
+                let ctx = Ctx::new(
+                    heap, pid, nprocs, seed, None, clock, stop, None, cfg.clock, cfg.order,
+                );
                 let result =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)));
                 *steps_out.lock() = ctx.steps();
@@ -107,6 +167,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::heap::Addr;
 
     #[test]
     fn concurrent_cas_counter_is_exact() {
@@ -128,6 +189,28 @@ mod tests {
         assert_eq!(heap.peek(counter), 8000);
         assert_eq!(report.steps.len(), 8);
         assert!(report.steps.iter().all(|&s| s >= 2000), "at least read+cas per increment");
+    }
+
+    #[test]
+    fn fast_config_cas_counter_is_exact() {
+        // Same exactness property under leased clocks + the tiered
+        // orderings: a single-word CAS loop is ordering-insensitive.
+        let heap = Heap::new(1 << 10);
+        let counter = heap.alloc_root(1);
+        let report = run_threads_with(&heap, 8, 1, None, RealConfig::fast(), |_pid| {
+            move |ctx: &Ctx| {
+                for _ in 0..1000 {
+                    loop {
+                        let v = ctx.read_acq(counter);
+                        if ctx.cas_bool_sync(counter, v, v + 1) {
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+        report.assert_clean();
+        assert_eq!(heap.peek(counter), 8000);
     }
 
     #[test]
@@ -159,5 +242,84 @@ mod tests {
         });
         assert_eq!(report.panics.len(), 1);
         assert_eq!(report.panics[0].0, 1);
+    }
+
+    // ----- clock-lease properties -----
+
+    /// Runs `nprocs` threads that each record every `now()` value of
+    /// `steps_per` local steps into a private heap region; returns the
+    /// per-process timestamp vectors.
+    fn record_ticks(cfg: RealConfig, nprocs: usize, steps_per: usize) -> Vec<Vec<u64>> {
+        let heap = Heap::new((nprocs * steps_per + 1).next_power_of_two());
+        let regions: Vec<Addr> = (0..nprocs).map(|_| heap.alloc_root(steps_per)).collect();
+        let regions_ref = &regions;
+        let report = run_threads_with(&heap, nprocs, 7, None, cfg, |pid| {
+            move |ctx: &Ctx| {
+                let base = regions_ref[pid];
+                for i in 0..steps_per {
+                    ctx.local_step();
+                    // Record via an uncounted poke so recording does not
+                    // perturb the tick stream under test.
+                    ctx.heap().poke(base.off(i as u32), ctx.now());
+                }
+            }
+        });
+        report.assert_clean();
+        (0..nprocs)
+            .map(|pid| (0..steps_per).map(|i| heap.peek(regions[pid].off(i as u32))).collect())
+            .collect()
+    }
+
+    #[test]
+    fn leased_now_is_strictly_monotonic_per_process_under_8_threads() {
+        let ticks = record_ticks(RealConfig::fast(), 8, 2000);
+        for (pid, ts) in ticks.iter().enumerate() {
+            for w in ts.windows(2) {
+                assert!(w[0] < w[1], "pid {pid}: now() went {} -> {}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn leased_timestamps_are_globally_unique_and_block_aligned() {
+        let block = ClockMode::DEFAULT_LEASE;
+        let ticks = record_ticks(RealConfig::fast(), 4, 1000);
+        // Global uniqueness: leases are disjoint blocks of the shared
+        // counter, so no timestamp may ever repeat across threads.
+        let mut all: Vec<u64> = ticks.iter().flatten().copied().collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "duplicate timestamps across leases");
+        // Lease-boundary structure: within one process, consecutive
+        // timestamps either increment by one (same lease) or jump to a
+        // fresh block-aligned base (new lease).
+        for (pid, ts) in ticks.iter().enumerate() {
+            assert_eq!(ts[0] % block, 0, "pid {pid}: first lease not block-aligned");
+            for w in ts.windows(2) {
+                let same_lease = w[1] == w[0] + 1;
+                let new_lease = w[1] % block == 0 && w[1] > w[0];
+                assert!(
+                    same_lease || new_lease,
+                    "pid {pid}: tick {} -> {} is neither a local tick nor a lease claim",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn precise_mode_reproduces_exact_per_step_timestamps() {
+        // Regression for the pre-lease behavior: in `ClockMode::Precise`
+        // the timestamps of all processes form exactly 0..total_steps, and
+        // a solo process sees the consecutive sequence 0, 1, 2, ...
+        let solo = record_ticks(RealConfig::precise(), 1, 500);
+        assert_eq!(solo[0], (0..500).collect::<Vec<u64>>());
+
+        let ticks = record_ticks(RealConfig::precise(), 4, 500);
+        let mut all: Vec<u64> = ticks.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..2000).collect::<Vec<u64>>(), "precise ticks are a permutation of 0..N");
     }
 }

@@ -26,7 +26,7 @@
 //! *adaptive player adversary* — and communicates with processes through
 //! per-process mailboxes, polled by processes as gated steps.
 
-use crate::ctx::{Command, Ctx, Mailbox};
+use crate::ctx::{ClockMode, Command, Ctx, Mailbox, OrderTier};
 use crate::gate::{Gate, GrantOutcome, PoisonToken};
 use crate::heap::Heap;
 use crate::history::{Event, History};
@@ -236,7 +236,22 @@ impl<'h: 'a, 'a> SimBuilder<'h, 'a> {
                 let events_out = &event_slots[pid];
                 let panic_out = &panic_slots[pid];
                 scope.spawn(move || {
-                    let ctx = Ctx::new(heap, pid, nprocs, seed, Some(gate), clock, stop, Some(mailbox));
+                    // The simulator always runs Precise + SeqCst: its gate
+                    // serializes steps anyway, and keeping the strongest
+                    // tier means determinism and histories are untouched by
+                    // the real driver's hot-path configuration.
+                    let ctx = Ctx::new(
+                        heap,
+                        pid,
+                        nprocs,
+                        seed,
+                        Some(gate),
+                        clock,
+                        stop,
+                        Some(mailbox),
+                        ClockMode::Precise,
+                        OrderTier::SeqCst,
+                    );
                     let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
                     *steps_out.lock() = ctx.steps();
                     *events_out.lock() = ctx.take_events();

@@ -7,7 +7,7 @@
 //! any mutual-exclusion or idempotence failure shows up as a violation.
 
 use wfl_baselines::LockAlgo;
-use wfl_core::{LockId, TryLockRequest};
+use wfl_core::{LockId, Scratch, TryLockRequest};
 use wfl_idem::{cell, IdemRun, Registry, TagSource, Thunk, ThunkId};
 use wfl_runtime::{Addr, Ctx, Heap};
 
@@ -59,11 +59,13 @@ impl Bank {
     ///
     /// # Panics
     /// Panics if `a == b` (a transfer needs two distinct accounts).
+    #[allow(clippy::too_many_arguments)]
     pub fn attempt_transfer<A: LockAlgo + ?Sized>(
         &self,
         ctx: &Ctx<'_>,
         algo: &A,
         tags: &mut TagSource,
+        scratch: &mut Scratch,
         a: usize,
         b: usize,
         amt: u32,
@@ -76,7 +78,7 @@ impl Bank {
             amt as u64,
         ];
         let req = TryLockRequest { locks: &locks, thunk: self.transfer, args: &args };
-        algo.attempt(ctx, tags, &req)
+        algo.attempt(ctx, tags, scratch, &req)
     }
 
     /// The sum of all balances (uncounted inspection).
@@ -120,6 +122,7 @@ mod tests {
             .spawn_all(|pid| {
                 move |ctx: &Ctx| {
                     let mut tags = TagSource::new(pid);
+                    let mut scratch = Scratch::new();
                     for _ in 0..rounds {
                         let a = ctx.rand_below(accounts as u64) as usize;
                         let mut b = ctx.rand_below(accounts as u64) as usize;
@@ -127,7 +130,7 @@ mod tests {
                             b = (b + 1) % accounts;
                         }
                         let amt = 1 + ctx.rand_below(30) as u32;
-                        bank_ref.attempt_transfer(ctx, algo_ref, &mut tags, a, b, amt);
+                        bank_ref.attempt_transfer(ctx, algo_ref, &mut tags, &mut scratch, a, b, amt);
                     }
                 }
             })
@@ -165,7 +168,8 @@ mod tests {
         let report = SimBuilder::new(&heap, 1)
             .spawn(move |ctx: &Ctx| {
                 let mut tags = TagSource::new(0);
-                let out = bank_ref.attempt_transfer(ctx, algo_ref, &mut tags, 0, 1, 50);
+                let mut scratch = Scratch::new();
+                let out = bank_ref.attempt_transfer(ctx, algo_ref, &mut tags, &mut scratch, 0, 1, 50);
                 assert!(out.won, "uncontended attempt must win");
             })
             .run();

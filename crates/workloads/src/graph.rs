@@ -8,7 +8,7 @@
 //! updaters.
 
 use wfl_baselines::LockAlgo;
-use wfl_core::{LockId, TryLockRequest};
+use wfl_core::{LockId, Scratch, TryLockRequest};
 use wfl_idem::{cell, IdemRun, Registry, TagSource, Thunk, ThunkId};
 use wfl_runtime::{Addr, Ctx, Heap};
 
@@ -114,13 +114,14 @@ impl Graph {
         ctx: &Ctx<'_>,
         algo: &A,
         tags: &mut TagSource,
+        scratch: &mut Scratch,
         v: usize,
     ) -> wfl_baselines::AttemptOutcome {
         let locks = self.lock_set(v);
         let mut args = vec![self.adj[v].len() as u64, self.values.off(v as u32).to_word()];
         args.extend(self.adj[v].iter().map(|&u| self.values.off(u).to_word()));
         let req = TryLockRequest { locks: &locks, thunk: self.relax, args: &args };
-        algo.attempt(ctx, tags, &req)
+        algo.attempt(ctx, tags, scratch, &req)
     }
 
     /// Value of vertex `v` (uncounted inspection).
@@ -164,7 +165,8 @@ mod tests {
         let report = SimBuilder::new(&heap, 1)
             .spawn(move |ctx: &Ctx| {
                 let mut tags = TagSource::new(0);
-                let out = g_ref.attempt_relax(ctx, a_ref, &mut tags, 0);
+                let mut scratch = Scratch::new();
+                let out = g_ref.attempt_relax(ctx, a_ref, &mut tags, &mut scratch, 0);
                 assert!(out.won);
             })
             .run();
@@ -200,9 +202,10 @@ mod tests {
                 .spawn_all(|pid| {
                     move |ctx: &Ctx| {
                         let mut tags = TagSource::new(pid);
+                        let mut scratch = Scratch::new();
                         for round in 0..4 {
                             let v = (pid * 2 + round) % 6;
-                            g_ref.attempt_relax(ctx, a_ref, &mut tags, v);
+                            g_ref.attempt_relax(ctx, a_ref, &mut tags, &mut scratch, v);
                         }
                     }
                 })

@@ -12,7 +12,7 @@
 
 use crate::philosophers;
 use wfl_baselines::{BlockingTpl, LockAlgo, NaiveTryLock, TspLock, WflKnown, WflUnknown};
-use wfl_core::{LockConfig, LockId, LockSpace, TryLockRequest, UnknownConfig};
+use wfl_core::{LockConfig, LockId, LockSpace, Scratch, TryLockRequest, UnknownConfig};
 use wfl_idem::{cell, IdemRun, Registry, TagSource, Thunk};
 use wfl_runtime::rng::Pcg;
 use wfl_runtime::schedule::{Bursty, RoundRobin, Schedule, SeededRandom, Weighted};
@@ -213,12 +213,15 @@ pub fn run_random_conflict(spec: &SimSpec, algo: AlgoKind) -> HarnessReport {
             let s = spec_copy;
             move |ctx: &Ctx| {
                 let mut tags = TagSource::new(pid);
+                let mut scratch = Scratch::new();
+                let mut args: Vec<u64> = Vec::new();
                 for round in 0..s.attempts_per_proc {
                     let locks = pick_locks(s.seed, pid, round, s.nlocks, s.locks_per_attempt);
-                    let mut args = vec![locks.len() as u64];
+                    args.clear();
+                    args.push(locks.len() as u64);
                     args.extend(locks.iter().map(|l| counters.off(l.0).to_word()));
                     let req = TryLockRequest { locks: &locks, thunk: touch, args: &args };
-                    let out = algo_ref.attempt(ctx, &mut tags, &req);
+                    let out = algo_ref.attempt(ctx, &mut tags, &mut scratch, &req);
                     let idx = (pid * s.attempts_per_proc + round) as u32;
                     ctx.write(outcomes.off(idx), 1 + out.won as u64);
                     ctx.write(steps_out.off(idx), out.steps);
@@ -244,7 +247,7 @@ pub fn run_random_conflict(spec: &SimSpec, algo: AlgoKind) -> HarnessReport {
     let mut expected = vec![0u64; spec.nlocks];
     let mut attempts = 0u64;
     let mut wins = 0u64;
-    for pid in 0..spec.nprocs {
+    for (pid, pp) in per_pid.iter_mut().enumerate() {
         for round in 0..spec.attempts_per_proc {
             let idx = (pid * spec.attempts_per_proc + round) as u32;
             let o = heap.peek(outcomes.off(idx));
@@ -252,13 +255,13 @@ pub fn run_random_conflict(spec: &SimSpec, algo: AlgoKind) -> HarnessReport {
                 continue; // not run (stopped early)
             }
             attempts += 1;
-            per_pid[pid].1 += 1;
+            pp.1 += 1;
             let won = o == 2;
             success.record(won);
             steps.push(heap.peek(steps_out.off(idx)));
             if won {
                 wins += 1;
-                per_pid[pid].0 += 1;
+                pp.0 += 1;
                 for l in pick_locks(spec.seed, pid, round, spec.nlocks, spec.locks_per_attempt) {
                     expected[l.0 as usize] += 1;
                 }
@@ -284,7 +287,7 @@ pub fn run_philosophers(
     let mut registry = Registry::new();
     let heap = Heap::new(heap_words);
     let table = philosophers::Table::create_root(&heap, &mut registry, n);
-    let space = LockSpace::create_root(&heap, n, 2.max(3));
+    let space = LockSpace::create_root(&heap, n, 3);
     let outcomes = heap.alloc_root(n * attempts);
     let steps_out = heap.alloc_root(n * attempts);
     let known_cfg = match algo {
@@ -316,8 +319,9 @@ pub fn run_philosophers(
         .spawn_all(|pid| {
             move |ctx: &Ctx| {
                 let mut tags = TagSource::new(pid);
+                let mut scratch = Scratch::new();
                 for round in 0..attempts {
-                    let out = table_ref.attempt_eat(ctx, algo_ref, &mut tags, pid);
+                    let out = table_ref.attempt_eat(ctx, algo_ref, &mut tags, &mut scratch, pid);
                     let idx = (pid * attempts + round) as u32;
                     ctx.write(outcomes.off(idx), 1 + out.won as u64);
                     ctx.write(steps_out.off(idx), out.steps);
@@ -336,7 +340,7 @@ pub fn run_philosophers(
     let mut per_pid = vec![(0u64, 0u64); n];
     let mut attempts_total = 0u64;
     let mut wins = 0u64;
-    for pid in 0..n {
+    for (pid, pp) in per_pid.iter_mut().enumerate() {
         for round in 0..attempts {
             let idx = (pid * attempts + round) as u32;
             let o = heap.peek(outcomes.off(idx));
@@ -344,13 +348,13 @@ pub fn run_philosophers(
                 continue;
             }
             attempts_total += 1;
-            per_pid[pid].1 += 1;
+            pp.1 += 1;
             let won = o == 2;
             success.record(won);
             steps.push(heap.peek(steps_out.off(idx)));
             if won {
                 wins += 1;
-                per_pid[pid].0 += 1;
+                pp.0 += 1;
             }
         }
     }

@@ -16,7 +16,7 @@
 //! sentinel with key −∞.
 
 use wfl_baselines::LockAlgo;
-use wfl_core::{LockId, TryLockRequest};
+use wfl_core::{LockId, Scratch, TryLockRequest};
 use wfl_idem::{cell, IdemRun, Registry, TagSource, Thunk, ThunkId};
 use wfl_runtime::{Addr, Ctx, Heap};
 
@@ -138,7 +138,8 @@ impl SortedList {
         ctx: &Ctx<'_>,
         algo: &A,
         tags: &mut TagSource,
-        scratch: Addr,
+        scratch: &mut Scratch,
+        result_cell: Addr,
         node_idx: u32,
         key: u32,
         max_attempts: u64,
@@ -157,10 +158,11 @@ impl SortedList {
                 curr as u64,
                 self.next_addr(node_idx).to_word(),
                 node_idx as u64,
-                scratch.to_word(),
+                result_cell.to_word(),
             ];
             let req = TryLockRequest { locks: &locks, thunk: self.insert, args: &args };
-            if algo.attempt(ctx, tags, &req).won && cell::value(ctx.read(scratch)) == 1 {
+            if algo.attempt(ctx, tags, scratch, &req).won && cell::value(ctx.read(result_cell)) == 1
+            {
                 return Some(true);
             }
             // Lost the tryLock or validation failed: retraverse and retry.
@@ -170,12 +172,14 @@ impl SortedList {
 
     /// Deletes `key`. `Some(true)` on delete, `Some(false)` if absent,
     /// `None` if attempts ran out.
+    #[allow(clippy::too_many_arguments)]
     pub fn delete<A: LockAlgo + ?Sized>(
         &self,
         ctx: &Ctx<'_>,
         algo: &A,
         tags: &mut TagSource,
-        scratch: Addr,
+        scratch: &mut Scratch,
+        result_cell: Addr,
         key: u32,
         max_attempts: u64,
     ) -> Option<bool> {
@@ -191,10 +195,11 @@ impl SortedList {
                 curr as u64,
                 self.next_addr(curr).to_word(),
                 succ as u64,
-                scratch.to_word(),
+                result_cell.to_word(),
             ];
             let req = TryLockRequest { locks: &locks, thunk: self.delete, args: &args };
-            if algo.attempt(ctx, tags, &req).won && cell::value(ctx.read(scratch)) == 1 {
+            if algo.attempt(ctx, tags, scratch, &req).won && cell::value(ctx.read(result_cell)) == 1
+            {
                 return Some(true);
             }
         }
@@ -236,15 +241,16 @@ mod tests {
         let report = SimBuilder::new(&heap, 1)
             .spawn(move |ctx: &Ctx| {
                 let mut tags = TagSource::new(0);
-                let scratch = ctx.alloc(1);
-                assert_eq!(l.insert(ctx, a, &mut tags, scratch, 1, 30, 10), Some(true));
-                assert_eq!(l.insert(ctx, a, &mut tags, scratch, 2, 10, 10), Some(true));
-                assert_eq!(l.insert(ctx, a, &mut tags, scratch, 3, 20, 10), Some(true));
-                assert_eq!(l.insert(ctx, a, &mut tags, scratch, 4, 20, 10), Some(false));
+                let mut scratch = Scratch::new();
+                let cell_out = ctx.alloc(1);
+                assert_eq!(l.insert(ctx, a, &mut tags, &mut scratch, cell_out, 1, 30, 10), Some(true));
+                assert_eq!(l.insert(ctx, a, &mut tags, &mut scratch, cell_out, 2, 10, 10), Some(true));
+                assert_eq!(l.insert(ctx, a, &mut tags, &mut scratch, cell_out, 3, 20, 10), Some(true));
+                assert_eq!(l.insert(ctx, a, &mut tags, &mut scratch, cell_out, 4, 20, 10), Some(false));
                 assert!(l.contains(ctx, 20));
                 assert!(!l.contains(ctx, 15));
-                assert_eq!(l.delete(ctx, a, &mut tags, scratch, 20, 10), Some(true));
-                assert_eq!(l.delete(ctx, a, &mut tags, scratch, 20, 10), Some(false));
+                assert_eq!(l.delete(ctx, a, &mut tags, &mut scratch, cell_out, 20, 10), Some(true));
+                assert_eq!(l.delete(ctx, a, &mut tags, &mut scratch, cell_out, 20, 10), Some(false));
                 assert!(!l.contains(ctx, 20));
             })
             .run();
@@ -274,11 +280,12 @@ mod tests {
                 .spawn_all(|pid| {
                     move |ctx: &Ctx| {
                         let mut tags = TagSource::new(pid);
-                        let scratch = ctx.alloc(1);
+                        let mut scratch = Scratch::new();
+                        let cell_out = ctx.alloc(1);
                         for k in 0..per {
                             let node = 1 + (pid * per + k) as u32;
                             let key = (10 * (pid * per + k) + 5) as u32;
-                            let r = l.insert(ctx, a, &mut tags, scratch, node, key, 10_000);
+                            let r = l.insert(ctx, a, &mut tags, &mut scratch, cell_out, node, key, 10_000);
                             assert_eq!(r, Some(true), "seed {seed}: insert {key} failed");
                         }
                     }
@@ -314,14 +321,15 @@ mod tests {
                 .spawn_all(|pid| {
                     move |ctx: &Ctx| {
                         let mut tags = TagSource::new(pid);
-                        let scratch = ctx.alloc(1);
+                        let mut scratch = Scratch::new();
+                        let cell_out = ctx.alloc(1);
                         let n1 = 1 + (2 * pid) as u32;
                         let n2 = 2 + (2 * pid) as u32;
                         let k1 = (pid as u32 + 1) * 7;
                         let k2 = (pid as u32 + 1) * 7 + 3;
-                        assert_eq!(l.insert(ctx, a, &mut tags, scratch, n1, k1, 10_000), Some(true));
-                        assert_eq!(l.insert(ctx, a, &mut tags, scratch, n2, k2, 10_000), Some(true));
-                        assert_eq!(l.delete(ctx, a, &mut tags, scratch, k1, 10_000), Some(true));
+                        assert_eq!(l.insert(ctx, a, &mut tags, &mut scratch, cell_out, n1, k1, 10_000), Some(true));
+                        assert_eq!(l.insert(ctx, a, &mut tags, &mut scratch, cell_out, n2, k2, 10_000), Some(true));
+                        assert_eq!(l.delete(ctx, a, &mut tags, &mut scratch, cell_out, k1, 10_000), Some(true));
                     }
                 })
                 .run();

@@ -9,7 +9,7 @@
 //! experiment E4.
 
 use wfl_baselines::LockAlgo;
-use wfl_core::{LockId, TryLockRequest};
+use wfl_core::{LockId, Scratch, TryLockRequest};
 use wfl_idem::{IdemRun, Registry, TagSource, Thunk, ThunkId};
 use wfl_runtime::{Addr, Ctx, Heap};
 
@@ -58,12 +58,13 @@ impl Table {
         ctx: &Ctx<'_>,
         algo: &A,
         tags: &mut TagSource,
+        scratch: &mut Scratch,
         i: usize,
     ) -> wfl_baselines::AttemptOutcome {
         let locks = self.chopsticks(i);
         let args = [self.meals.off(i as u32).to_word()];
         let req = TryLockRequest { locks: &locks, thunk: self.eat, args: &args };
-        algo.attempt(ctx, tags, &req)
+        algo.attempt(ctx, tags, scratch, &req)
     }
 
     /// Meals philosopher `i` has eaten (uncounted inspection).
@@ -101,9 +102,10 @@ mod tests {
                 .spawn_all(|pid| {
                     move |ctx: &Ctx| {
                         let mut tags = TagSource::new(pid);
+                        let mut scratch = Scratch::new();
                         let mut w = 0u64;
                         for _ in 0..6 {
-                            if table_ref.attempt_eat(ctx, algo_ref, &mut tags, pid).won {
+                            if table_ref.attempt_eat(ctx, algo_ref, &mut tags, &mut scratch, pid).won {
                                 w += 1;
                             }
                             // Think for a random while.

@@ -10,7 +10,7 @@
 //! delay mechanism is what defeats it.
 
 use wfl_baselines::LockAlgo;
-use wfl_core::{Desc, LockId, TryLockRequest};
+use wfl_core::{Desc, LockId, Scratch, TryLockRequest};
 use wfl_idem::{TagSource, ThunkId};
 use wfl_runtime::sim::{Controller, Mailboxes};
 use wfl_runtime::{Addr, Ctx, Heap};
@@ -44,6 +44,7 @@ pub fn run_player_loop<A: LockAlgo + ?Sized>(
     ctx: &Ctx<'_>,
     algo: &A,
     tags: &mut TagSource,
+    scratch: &mut Scratch,
     thunk: ThunkId,
     results: Addr,
     max_attempts: u64,
@@ -56,7 +57,7 @@ pub fn run_player_loop<A: LockAlgo + ?Sized>(
         }
         let (locks, args) = decode_attempt(&cmd);
         let req = TryLockRequest { locks: &locks, thunk, args: &args };
-        let out = algo.attempt(ctx, tags, &req);
+        let out = algo.attempt(ctx, tags, scratch, &req);
         ctx.write(results.off(done as u32), 1 + out.won as u64);
         done += 1;
     }
@@ -90,7 +91,7 @@ pub struct TargetedStarter {
 impl Controller for TargetedStarter {
     fn on_step(&mut self, t: u64, heap: &Heap, mail: &Mailboxes<'_>) {
         // Keep the victim attempting on a fixed cadence.
-        if t % self.victim_period == 0 && mail.queued(self.victim) == 0 {
+        if t.is_multiple_of(self.victim_period) && mail.queued(self.victim) == 0 {
             mail.send(self.victim, encode_attempt(&self.locks, &self.args));
         }
         // Adaptive part: whenever the victim has a live, not-yet-revealed

@@ -9,7 +9,7 @@
 
 use wait_free_locks::baselines::WflKnown;
 use wait_free_locks::workloads::bank::Bank;
-use wait_free_locks::{Ctx, Heap, LockConfig, LockSpace, Registry, SeededRandom, SimBuilder, TagSource};
+use wait_free_locks::{Ctx, Heap, LockConfig, LockSpace, Registry, Scratch, SeededRandom, SimBuilder, TagSource};
 
 fn main() {
     let nprocs = 4;
@@ -35,6 +35,7 @@ fn main() {
         .spawn_all(|pid| {
             move |ctx: &Ctx| {
                 let mut tags = TagSource::new(pid);
+                let mut scratch = Scratch::new();
                 let mut wins = 0;
                 for _ in 0..rounds {
                     let a = ctx.rand_below(accounts as u64) as usize;
@@ -43,7 +44,7 @@ fn main() {
                         b = (b + 1) % accounts;
                     }
                     let amt = 1 + ctx.rand_below(100) as u32;
-                    if bank_ref.attempt_transfer(ctx, algo_ref, &mut tags, a, b, amt).won {
+                    if bank_ref.attempt_transfer(ctx, algo_ref, &mut tags, &mut scratch, a, b, amt).won {
                         wins += 1;
                     }
                 }

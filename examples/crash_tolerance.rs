@@ -11,8 +11,8 @@
 use wait_free_locks::baselines::{LockAlgo, WflKnown};
 use wait_free_locks::workloads::philosophers::Table;
 use wait_free_locks::{
-    Ctx, Heap, LockConfig, LockSpace, Registry, RoundRobin, SimBuilder, StallWindow, Stalls,
-    TagSource,
+    Ctx, Heap, LockConfig, LockSpace, Registry, RoundRobin, Scratch, SimBuilder, StallWindow,
+    Stalls, TagSource,
 };
 
 fn main() {
@@ -39,13 +39,14 @@ fn main() {
         .spawn_all(|pid| {
             move |ctx: &Ctx| {
                 let mut tags = TagSource::new(pid);
+                let mut scratch = Scratch::new();
                 let mut wins = 0u64;
                 let rounds = if pid == 0 { 100 } else { 12 };
                 for _ in 0..rounds {
                     if ctx.stop_requested() {
                         break;
                     }
-                    if table_ref.attempt_eat(ctx, algo_ref, &mut tags, pid).won {
+                    if table_ref.attempt_eat(ctx, algo_ref, &mut tags, &mut scratch, pid).won {
                         wins += 1;
                     }
                 }

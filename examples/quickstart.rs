@@ -5,7 +5,7 @@
 
 use wait_free_locks::{
     cell, lock_and_run, Addr, Ctx, Heap, IdemRun, LockConfig, LockId, LockSpace, Registry,
-    SeededRandom, SimBuilder, TagSource, Thunk, TryLockRequest,
+    Scratch, SeededRandom, SimBuilder, TagSource, Thunk, TryLockRequest,
 };
 
 /// The critical section: a non-atomic read-then-write increment. Only
@@ -42,13 +42,14 @@ fn main() {
         .spawn_all(|pid| {
             move |ctx: &Ctx| {
                 let mut tags = TagSource::new(pid);
+                let mut scratch = Scratch::new();
                 for _ in 0..10 {
                     let req = TryLockRequest {
                         locks: &[LockId(0)],
                         thunk: incr,
                         args: &[counter.to_word()],
                     };
-                    let m = lock_and_run(ctx, space, registry, &cfg, &mut tags, req);
+                    let m = lock_and_run(ctx, space, registry, &cfg, &mut tags, &mut scratch, req);
                     assert!(m.attempts >= 1);
                 }
             }

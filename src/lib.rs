@@ -36,7 +36,7 @@
 //! use wait_free_locks::{
 //!     Heap, SimBuilder, SeededRandom, Ctx,
 //!     Registry, TagSource, Thunk, IdemRun, cell,
-//!     LockConfig, LockSpace, LockId, TryLockRequest, lock_and_run,
+//!     LockConfig, LockSpace, LockId, Scratch, TryLockRequest, lock_and_run,
 //! };
 //!
 //! // A critical section: transfer-like read-modify-write.
@@ -63,8 +63,9 @@
 //!     .max_steps(10_000_000)
 //!     .spawn_all(|pid| move |ctx: &Ctx| {
 //!         let mut tags = TagSource::new(pid);
+//!         let mut scratch = Scratch::new();
 //!         let req = TryLockRequest { locks: &[LockId(0)], thunk: incr, args: &[counter.to_word()] };
-//!         lock_and_run(ctx, space, registry, &cfg, &mut tags, req);
+//!         lock_and_run(ctx, space, registry, &cfg, &mut tags, &mut scratch, req);
 //!     })
 //!     .run();
 //! report.assert_clean();
@@ -82,9 +83,9 @@ pub use wfl_workloads as workloads;
 // Common entry points at the top level.
 pub use wfl_core::{
     lock_and_run, lock_and_run_limited, try_locks, try_locks_unknown, AttemptMetrics, LockConfig,
-    LockId, LockSpace, RetryMetrics, TryLockRequest, UnknownConfig,
+    LockId, LockSpace, RetryMetrics, Scratch, TryLockRequest, UnknownConfig,
 };
 pub use wfl_idem::{cell, Frame, IdemRun, Registry, TagSource, Thunk, ThunkId};
 pub use wfl_runtime::schedule::{Bursty, RoundRobin, SeededRandom, StallWindow, Stalls, Weighted};
 pub use wfl_runtime::sim::SimBuilder;
-pub use wfl_runtime::{Addr, Ctx, Heap};
+pub use wfl_runtime::{run_threads, run_threads_with, Addr, ClockMode, Ctx, Heap, OrderTier, RealConfig};

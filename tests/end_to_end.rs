@@ -7,7 +7,7 @@ use wait_free_locks::workloads::bank::Bank;
 use wait_free_locks::workloads::philosophers::Table;
 use wait_free_locks::{
     cell, lock_and_run, Addr, Bursty, Ctx, Heap, IdemRun, LockConfig, LockId, LockSpace, Registry,
-    SeededRandom, SimBuilder, StallWindow, Stalls, TagSource, Thunk, TryLockRequest,
+    Scratch, SeededRandom, SimBuilder, StallWindow, Stalls, TagSource, Thunk, TryLockRequest,
 };
 
 struct Incr;
@@ -39,13 +39,14 @@ fn facade_lock_and_run_counts_exactly() {
         .spawn_all(|pid| {
             move |ctx: &Ctx| {
                 let mut tags = TagSource::new(pid);
+                let mut scratch = Scratch::new();
                 for _ in 0..5 {
                     let req = TryLockRequest {
                         locks: &[LockId(0)],
                         thunk: incr,
                         args: &[counter.to_word()],
                     };
-                    lock_and_run(ctx, space, registry, &cfg, &mut tags, req);
+                    lock_and_run(ctx, space, registry, &cfg, &mut tags, &mut scratch, req);
                 }
             }
         })
@@ -80,13 +81,14 @@ fn crashed_philosopher_does_not_starve_neighbors() {
             .spawn_all(|pid| {
                 move |ctx: &Ctx| {
                     let mut tags = TagSource::new(pid);
+                    let mut scratch = Scratch::new();
                     let mut w = 0u64;
                     let rounds = if pid == 0 { 10_000 } else { 8 };
                     for _ in 0..rounds {
                         if ctx.stop_requested() {
                             break;
                         }
-                        if table_ref.attempt_eat(ctx, algo_ref, &mut tags, pid).won {
+                        if table_ref.attempt_eat(ctx, algo_ref, &mut tags, &mut scratch, pid).won {
                             w += 1;
                         }
                         ctx.write(wins.off(pid as u32), w);
@@ -139,13 +141,14 @@ fn bank_conserves_money_with_delays_and_bursty_schedule() {
         .spawn_all(|pid| {
             move |ctx: &Ctx| {
                 let mut tags = TagSource::new(pid);
+                let mut scratch = Scratch::new();
                 for _ in 0..8 {
                     let a = ctx.rand_below(accounts as u64) as usize;
                     let mut b = ctx.rand_below(accounts as u64) as usize;
                     if a == b {
                         b = (b + 1) % accounts;
                     }
-                    bank_ref.attempt_transfer(ctx, algo_ref, &mut tags, a, b, 25);
+                    bank_ref.attempt_transfer(ctx, algo_ref, &mut tags, &mut scratch, a, b, 25);
                 }
             }
         })
@@ -172,6 +175,7 @@ fn unknown_bounds_end_to_end() {
         .spawn_all(|pid| {
             move |ctx: &Ctx| {
                 let mut tags = TagSource::new(pid);
+                let mut scratch = Scratch::new();
                 let mut w = 0u64;
                 for _ in 0..6 {
                     let req = TryLockRequest {
@@ -179,7 +183,7 @@ fn unknown_bounds_end_to_end() {
                         thunk: incr,
                         args: &[counter.to_word()],
                     };
-                    if try_locks_unknown(ctx, space, registry, ucfg, &mut tags, req).won {
+                    if try_locks_unknown(ctx, space, registry, ucfg, &mut tags, &mut scratch, req).won {
                         w += 1;
                     }
                 }
@@ -214,6 +218,7 @@ fn wfl_and_baseline_coexist_on_one_heap() {
         .spawn_all(|pid| {
             move |ctx: &Ctx| {
                 let mut tags = TagSource::new(pid);
+                let mut scratch = Scratch::new();
                 for _ in 0..5 {
                     if pid < 2 {
                         let req = TryLockRequest {
@@ -222,14 +227,14 @@ fn wfl_and_baseline_coexist_on_one_heap() {
                             args: &[c_wfl.to_word()],
                         };
                         // Retry until success so the count is deterministic.
-                        while !wfl_ref.attempt(ctx, &mut tags, &req).won {}
+                        while !wfl_ref.attempt(ctx, &mut tags, &mut scratch, &req).won {}
                     } else {
                         let req = TryLockRequest {
                             locks: &[LockId(0)],
                             thunk: incr,
                             args: &[c_tsp.to_word()],
                         };
-                        tsp_ref.attempt(ctx, &mut tags, &req);
+                        tsp_ref.attempt(ctx, &mut tags, &mut scratch, &req);
                     }
                 }
             }

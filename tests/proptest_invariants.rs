@@ -7,8 +7,8 @@ use proptest::prelude::*;
 use wait_free_locks::activeset::ActiveSet;
 use wait_free_locks::idem::{cell, Frame, IdemRun, Registry, TagSource, Thunk};
 use wait_free_locks::{
-    try_locks, Addr, Bursty, Ctx, Heap, LockConfig, LockId, LockSpace, SeededRandom, SimBuilder,
-    TryLockRequest, Weighted,
+    try_locks, Addr, Bursty, Ctx, Heap, LockConfig, LockId, LockSpace, Scratch, SeededRandom,
+    SimBuilder, TryLockRequest, Weighted,
 };
 
 struct IncrAll {
@@ -81,12 +81,13 @@ proptest! {
             .spawn_all(|pid| {
                 move |ctx: &Ctx| {
                     let mut tags = TagSource::new(pid);
+                    let mut scratch = Scratch::new();
                     for round in 0..rounds {
                         let locks = pick(pid, round);
                         let mut args = vec![locks.len() as u64];
                         args.extend(locks.iter().map(|lk| counters.off(lk.0).to_word()));
                         let req = TryLockRequest { locks: &locks, thunk: incr, args: &args };
-                        let m = try_locks(ctx, space_ref, reg_ref, cfg_ref, &mut tags, req);
+                        let m = try_locks(ctx, space_ref, reg_ref, cfg_ref, &mut tags, &mut scratch, req);
                         ctx.write(outcomes.off((pid * rounds + round) as u32), 1 + m.won as u64);
                     }
                 }
@@ -104,10 +105,10 @@ proptest! {
                 }
             }
         }
-        for lk in 0..nlocks {
+        for (lk, &e) in expected.iter().enumerate() {
             prop_assert_eq!(
                 cell::value(heap.peek(counters.off(lk as u32))) as u64,
-                expected[lk],
+                e,
                 "lock {} counter diverged", lk
             );
         }

@@ -1,0 +1,155 @@
+//! A minimal stand-in for the subset of the `criterion` API used by the
+//! workspace benches (`criterion_group!`/`criterion_main!`, benchmark
+//! groups, `bench_with_input`, `BenchmarkId`).
+//!
+//! The build environment has no access to crates.io. This shim keeps the
+//! bench sources compile-compatible and produces simple wall-clock
+//! statistics (median of N samples) instead of criterion's full analysis.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to each `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size.max(10), _c: self }
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id of the form `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _c: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size) };
+        for _ in 0..self.sample_size {
+            f(&mut b, input);
+        }
+        report(&self.name, &id.0, &mut b.samples);
+        self
+    }
+
+    /// Runs one benchmark with no input.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size) };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        report(&self.name, &id.to_string(), &mut b.samples);
+        self
+    }
+
+    /// Ends the group (printing is already done per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing harness passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times one invocation of `routine` (the shim takes one sample per
+    /// `iter` call; the group calls the closure `sample_size` times).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let t0 = Instant::now();
+        black_box(routine());
+        self.samples.push(t0.elapsed().as_secs_f64() * 1e9);
+    }
+}
+
+fn report(group: &str, id: &str, samples: &mut [f64]) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+    println!("{group}/{id}: median {median:.0} ns (min {lo:.0}, max {hi:.0}, n={})", samples.len());
+}
+
+/// Declares a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut runs = 0;
+        g.bench_with_input(BenchmarkId::new("work", 1), &1u32, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x + 1
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 3, "one iter per sample");
+    }
+}

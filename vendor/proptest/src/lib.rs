@@ -1,0 +1,198 @@
+//! A minimal, deterministic stand-in for the subset of `proptest` used by
+//! this workspace: the `proptest!` macro with `#![proptest_config(..)]`,
+//! integer-range and boolean strategies, and `prop_assert!`/
+//! `prop_assert_eq!`.
+//!
+//! The build environment has no access to crates.io. Instead of proptest's
+//! randomized shrinking search, this shim enumerates a deterministic,
+//! well-mixed sequence of cases per test (seeded from the test name), so
+//! failures are reproducible run-to-run; on failure it prints the sampled
+//! inputs before re-panicking. No shrinking is attempted.
+
+use std::ops::Range;
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+    /// Accepted for source compatibility; unused by the shim.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+    }
+}
+
+/// Deterministic per-test random stream (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A stream derived from the test name: stable across runs and
+    /// platforms.
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 well-mixed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A value generator: the sampling half of proptest's `Strategy`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value from the deterministic stream.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// The uniform boolean strategy type.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = core::primitive::bool;
+        fn sample(&self, rng: &mut TestRng) -> core::primitive::bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Common imports, as in proptest.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Property assertion (the shim panics immediately; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// The `proptest!` block: expands each property into a `#[test]` that
+/// runs `cases` deterministic samples, printing the inputs on failure.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_props! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_props! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_props {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        #[test]
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..cfg.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    $(let $arg = $arg.clone();)+
+                    $body
+                }));
+                if let Err(payload) = result {
+                    eprintln!(
+                        concat!(
+                            "proptest case {} of {} failed for ", stringify!($name), ":",
+                            $("\n  ", stringify!($arg), " = {:?}",)+
+                        ),
+                        case + 1, cfg.cases, $(&$arg),+
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_props! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds_and_are_deterministic() {
+        let mut a = crate::TestRng::deterministic("t");
+        let mut b = crate::TestRng::deterministic("t");
+        for _ in 0..100 {
+            let x = crate::Strategy::sample(&(3usize..17), &mut a);
+            assert!((3..17).contains(&x));
+            assert_eq!(x, crate::Strategy::sample(&(3usize..17), &mut b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        /// The macro itself: strategies sample, asserts work.
+        #[test]
+        fn macro_expands_and_runs(
+            x in 1u64..100,
+            flag in crate::bool::ANY,
+        ) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert_eq!(flag as u64 <= 1, true, "flag {} case {}", flag, x);
+        }
+    }
+}
