@@ -6,8 +6,12 @@
 //! Deadlock-free (ordered acquisition) but **blocking**: if the scheduler
 //! delays a lock holder forever, every contender spins forever — the
 //! failure mode the paper's helping mechanism eliminates. Attempts never
-//! "fail" (they wait instead), so `won` is always true when the attempt
-//! returns.
+//! "fail" under normal operation (they wait instead), so `won` is true
+//! whenever the critical section ran. The one exception is cooperative
+//! shutdown: once the driver raises the stop flag (a timed real-threads
+//! run ending, or the simulator entering its drain phase), a spinning
+//! acquisition releases whatever it already holds and returns `won ==
+//! false` instead of wedging the drain behind a stalled holder.
 
 use crate::api::{AttemptOutcome, LockAlgo};
 use wfl_core::{Scratch, TryLockRequest};
@@ -53,20 +57,31 @@ impl LockAlgo for BlockingTpl<'_> {
     ) -> AttemptOutcome {
         let start = ctx.steps();
         let me = ctx.pid() as u64 + 1;
-        let order = &mut scratch.order;
-        order.clear();
-        order.extend(req.locks.iter().map(|l| l.0));
-        order.sort_unstable();
+        {
+            let order = &mut scratch.order;
+            order.clear();
+            order.extend(req.locks.iter().map(|l| l.0));
+            order.sort_unstable();
+        }
         // Acquire in ascending order (deadlock freedom).
-        for &id in order.iter() {
-            let w = self.lock_word(id);
+        let mut acquired = 0usize;
+        for i in 0..scratch.order.len() {
+            let w = self.lock_word(scratch.order[i]);
             loop {
                 if ctx.read_acq(w) == 0 && ctx.cas_bool_sync(w, 0, me) {
+                    acquired += 1;
                     break;
                 }
                 // Spin; in the simulator this burns scheduled steps, and
-                // under a crashed holder it never terminates (by design —
-                // that is the baseline's failure mode).
+                // under a crashed holder it never terminates *unless* the
+                // driver is draining — then bail out so shutdown stays
+                // wait-free even for the blocking baseline.
+                if ctx.stop_requested() {
+                    for &held in scratch.order[..acquired].iter().rev() {
+                        ctx.write_rel(self.lock_word(held), 0);
+                    }
+                    return AttemptOutcome { won: false, steps: ctx.steps() - start };
+                }
             }
         }
         // Critical section, raw (no helpers exist to race with).
@@ -189,5 +204,93 @@ mod tests {
     fn heap_lock_word(_ctx: &Ctx<'_>) -> Addr {
         // BlockingTpl::create_root allocated the lock array first (word 1).
         Addr(1)
+    }
+
+    #[test]
+    fn drain_bails_out_spinners_with_a_failed_attempt() {
+        // A holder that never releases used to wedge every contender until
+        // the simulator poisoned them. With the stop-aware spin, the
+        // contender observes the drain's stop flag, releases nothing it
+        // doesn't hold, and returns `won == false` — only the genuinely
+        // stuck holder is poisoned, and the critical section never ran.
+        let mut registry = Registry::new();
+        let incr = registry.register(Incr);
+        let heap = Heap::new(1 << 16);
+        let algo = BlockingTpl::create_root(&heap, &registry, 1);
+        let counter = heap.alloc_root(1);
+        let outcome_out = heap.alloc_root(1);
+        let algo_ref = &algo;
+        let report = SimBuilder::new(&heap, 2)
+            .schedule(RoundRobin::new(2))
+            .max_steps(5_000)
+            .drain_cap(100_000)
+            .spawn(move |ctx: &Ctx| {
+                // pid 0: grab the lock word raw and never release (a crashed
+                // holder), ignoring the stop flag.
+                let w = heap_lock_word(ctx);
+                loop {
+                    if ctx.read(w) == 0 && ctx.cas_bool(w, 0, 1) {
+                        break;
+                    }
+                }
+                loop {
+                    ctx.local_step();
+                }
+            })
+            .spawn(move |ctx: &Ctx| {
+                let mut tags = TagSource::new(1);
+                let mut scratch = wfl_core::Scratch::new();
+                let locks = [LockId(0)];
+                let req =
+                    TryLockRequest { locks: &locks, thunk: incr, args: &[counter.to_word()] };
+                let out = algo_ref.attempt(ctx, &mut tags, &mut scratch, &req);
+                ctx.heap().poke(outcome_out, 1 + out.won as u64);
+            })
+            .run();
+        assert_eq!(report.poisoned, vec![0], "only the stuck holder is poisoned");
+        assert_eq!(heap.peek(outcome_out), 1, "spinner must bail with won == false");
+        assert_eq!(cell::value(heap.peek(counter)), 0, "bailed attempt must not run the thunk");
+    }
+
+    #[test]
+    fn bailout_releases_partially_acquired_locks() {
+        // The contender acquires lock 0, then spins on lock 1 (held by the
+        // crashed pid 0). On bail-out it must release lock 0, or shutdown
+        // would leak a held lock into any later inspection.
+        let mut registry = Registry::new();
+        let incr = registry.register(Incr);
+        let heap = Heap::new(1 << 16);
+        let algo = BlockingTpl::create_root(&heap, &registry, 2);
+        let counter = heap.alloc_root(1);
+        let algo_ref = &algo;
+        let report = SimBuilder::new(&heap, 2)
+            .schedule(RoundRobin::new(2))
+            .max_steps(5_000)
+            .drain_cap(100_000)
+            .spawn(move |ctx: &Ctx| {
+                // pid 0: hold lock word 1 forever.
+                let w = Addr(2); // second lock word of the array at Addr(1)
+                loop {
+                    if ctx.read(w) == 0 && ctx.cas_bool(w, 0, 1) {
+                        break;
+                    }
+                }
+                loop {
+                    ctx.local_step();
+                }
+            })
+            .spawn(move |ctx: &Ctx| {
+                let mut tags = TagSource::new(1);
+                let mut scratch = wfl_core::Scratch::new();
+                let locks = [LockId(0), LockId(1)];
+                let req =
+                    TryLockRequest { locks: &locks, thunk: incr, args: &[counter.to_word()] };
+                let out = algo_ref.attempt(ctx, &mut tags, &mut scratch, &req);
+                assert!(!out.won);
+            })
+            .run();
+        assert_eq!(report.poisoned, vec![0]);
+        assert_eq!(heap.peek(Addr(1)), 0, "lock 0 must be released on bail-out");
+        assert_eq!(heap.peek(Addr(2)), 1, "lock 1 still held by the crashed holder");
     }
 }

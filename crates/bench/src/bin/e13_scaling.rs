@@ -1,34 +1,32 @@
 //! E13 — real-threads scaling of the philosophers workload, and the proof
-//! obligation for the contention-free hot path: `legacy` re-creates the
-//! pre-optimization driver configuration (global per-step `SeqCst` clock
-//! `fetch_add`, all-`SeqCst` memory operations, and a fresh scratch — i.e.
-//! fresh `Vec` allocations — per attempt), while `fast` uses batched clock
-//! leases ([`RealConfig::fast`]), the acquire/release ordering tier, and
-//! one reused per-process [`Scratch`].
+//! obligation for the contention-free hot path: `legacy` is the historical
+//! driver configuration (global per-step `SeqCst` clock `fetch_add`,
+//! all-`SeqCst` memory operations — [`RealConfig::precise`]), `fast` is the
+//! batched clock leases + acquire/release ordering tier
+//! ([`RealConfig::fast`]).
 //!
-//! Sweeps 1..=N threads for wfl / tsp / naive, prints ops/sec tables, and
-//! emits `BENCH_scaling.json` so future changes have a perf trajectory to
-//! compare against. Delays are disabled for wfl: they are a simulator-model
-//! cost (fixed own-step padding), not a wall-clock one.
+//! Since PR 2 this binary is a thin client of the **unified workload
+//! harness** ([`run_philosophers_mode`] under [`ExecMode::Real`]) instead
+//! of a hand-rolled thread driver, so every timed cell also runs the
+//! meal-count safety check, and the wall clock ends when the bodies do
+//! (the driver parks on a completion signal rather than sleeping out a
+//! timer). Sweeps 2..=N threads for wfl / tsp / naive, prints ops/sec
+//! tables, and emits `BENCH_scaling.json` so future changes have a perf
+//! trajectory to compare against. Delays are disabled for wfl: they are a
+//! simulator-model cost (fixed own-step padding), not a wall-clock one.
 
 use std::fmt::Write as _;
-use wfl_baselines::{LockAlgo, NaiveTryLock, TspLock, WflKnown};
-use wfl_core::{LockConfig, LockSpace, Scratch};
-use wfl_idem::{Registry, TagSource};
-use wfl_runtime::real::{run_threads_with, RealConfig};
-use wfl_runtime::{Ctx, Heap};
-use wfl_workloads::philosophers::Table;
+use wfl_runtime::real::RealConfig;
+use wfl_workloads::harness::{run_philosophers_mode, AlgoKind, ExecMode, HarnessReport};
 
 const ATTEMPTS_PER_THREAD: usize = 2000;
 const REPEATS: usize = 3;
 
 #[derive(Clone, Copy, PartialEq)]
 enum Mode {
-    /// Pre-change hot path: precise global clock, SeqCst tier, per-attempt
-    /// scratch (= per-attempt Vec allocations).
+    /// Pre-change hot path: precise global clock, SeqCst tier.
     Legacy,
-    /// Contention-free hot path: leased clock, tiered orderings, reused
-    /// scratch.
+    /// Contention-free hot path: leased clock, tiered orderings.
     Fast,
 }
 
@@ -58,88 +56,56 @@ struct Sample {
     attempts: u64,
 }
 
+fn algo_kind(name: &str) -> AlgoKind {
+    match name {
+        "wfl" => AlgoKind::Wfl { kappa: 2, delays: false, helping: true },
+        "tsp" => AlgoKind::Tsp,
+        _ => AlgoKind::Naive,
+    }
+}
+
 /// One timed run: `threads` philosophers each make `ATTEMPTS_PER_THREAD`
-/// eating attempts. Returns the best of `REPEATS` runs (least-noise
-/// estimate on a shared machine) with the meal-count safety check applied
-/// to every run.
+/// eating attempts through the unified harness. Returns the best of
+/// `REPEATS` runs (least-noise estimate on a shared machine); the
+/// harness's meal-count safety check is asserted on every run.
 fn run_config(algo_name: &str, mode: Mode, threads: usize) -> Sample {
     let mut best: Option<Sample> = None;
     for _ in 0..REPEATS {
-        let n = threads.max(2);
-        let mut registry = Registry::new();
-        let heap = Heap::new(1 << 23);
-        let table = Table::create_root(&heap, &mut registry, n);
-        // Construct only the algorithm under test (the others would just
-        // churn heap roots).
-        let space;
-        let wfl;
-        let tsp;
-        let naive;
-        let algo: &dyn LockAlgo = match algo_name {
-            "wfl" => {
-                space = LockSpace::create_root(&heap, n, 3);
-                wfl = WflKnown {
-                    space: &space,
-                    registry: &registry,
-                    cfg: LockConfig::new(2, 2, 2).without_delays(),
-                };
-                &wfl
-            }
-            "tsp" => {
-                tsp = TspLock::create_root(&heap, &registry, n);
-                &tsp
-            }
-            _ => {
-                naive = NaiveTryLock::create_root(&heap, &registry, n);
-                &naive
-            }
-        };
-        let wins_out = heap.alloc_root(threads);
-        let table_ref = &table;
-        let report = run_threads_with(&heap, threads, 42, None, mode.real_config(), |pid| {
-            move |ctx: &Ctx<'_>| {
-                let mut tags = TagSource::new(pid);
-                let mut reused = Scratch::new();
-                let mut wins = 0u64;
-                for _ in 0..ATTEMPTS_PER_THREAD {
-                    let won = if mode == Mode::Legacy {
-                        // Fresh buffers every attempt, as the pre-change
-                        // code allocated.
-                        let mut fresh = Scratch::new();
-                        table_ref.attempt_eat(ctx, algo, &mut tags, &mut fresh, pid).won
-                    } else {
-                        table_ref.attempt_eat(ctx, algo, &mut tags, &mut reused, pid).won
-                    };
-                    wins += won as u64;
-                }
-                ctx.heap().poke(wins_out.off(pid as u32), wins);
-            }
-        });
-        report.assert_clean();
-        // Safety: meals match wins per philosopher (single-writer per meal
-        // cell pair protected by the chopsticks).
-        let mut wins_total = 0u64;
-        for pid in 0..threads {
-            let wins = heap.peek(wins_out.off(pid as u32));
-            let meals = table.meals_eaten(&heap, pid) as u64;
-            assert_eq!(meals, wins, "{algo_name}/{}/{threads}t: philosopher {pid} meals diverged", mode.name());
-            wins_total += wins;
-        }
-        let wall = report.wall.as_secs_f64();
-        let attempts = (threads * ATTEMPTS_PER_THREAD) as u64;
-        let ops = wins_total as f64 / wall;
+        let exec =
+            ExecMode::Real { threads, run_for: None, cfg: mode.real_config() };
+        let r: HarnessReport = run_philosophers_mode(
+            threads,
+            ATTEMPTS_PER_THREAD,
+            42,
+            algo_kind(algo_name),
+            1 << 23,
+            &exec,
+        );
+        assert!(
+            r.safety_ok,
+            "{algo_name}/{}/{threads}t: philosopher meal counters diverged",
+            mode.name()
+        );
+        let wall = r.wall.expect("real runs report wall time").as_secs_f64();
+        let ops = r.wins as f64 / wall;
         if best.as_ref().is_none_or(|b| ops > b.ops_per_sec) {
-            best = Some(Sample { ops_per_sec: ops, wall_secs: wall, wins: wins_total, attempts });
+            best = Some(Sample {
+                ops_per_sec: ops,
+                wall_secs: wall,
+                wins: r.wins,
+                attempts: r.attempts,
+            });
         }
     }
     best.expect("at least one repeat")
 }
 
 fn main() {
-    let thread_counts = [1usize, 2, 4, 8];
+    // Philosophers need a table of >= 2, so the sweep starts at 2 threads.
+    let thread_counts = [2usize, 4, 8];
     let algos = ["wfl", "tsp", "naive"];
     println!("# E13: real-threads scaling — legacy vs contention-free hot path");
-    println!("(philosophers workload, {ATTEMPTS_PER_THREAD} attempts/thread, best of {REPEATS})");
+    println!("(philosophers workload via the unified harness, {ATTEMPTS_PER_THREAD} attempts/thread, best of {REPEATS})");
     println!();
 
     let mut json = String::new();
@@ -187,6 +153,6 @@ fn main() {
     json.push_str("}\n");
 
     std::fs::write("BENCH_scaling.json", &json).expect("write BENCH_scaling.json");
-    println!("wfl fast/legacy at 8 threads: {wfl_speedup_at_max:.2}x (target >= 2x)");
+    println!("wfl fast/legacy at 8 threads: {wfl_speedup_at_max:.2}x");
     println!("wrote BENCH_scaling.json");
 }

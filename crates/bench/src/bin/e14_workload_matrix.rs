@@ -1,0 +1,221 @@
+//! E14 — the workload matrix: every workload × every algorithm × thread
+//! counts, on **both** execution backends of the unified harness
+//! (deterministic simulator and free-running real threads).
+//!
+//! Every cell runs its workload's built-in safety check — lock counters,
+//! meal counters, money conservation, list snapshots, graph update
+//! counters, all derived from the recorded per-attempt outcomes — so this
+//! binary is simultaneously a benchmark sweep and a mutual-exclusion
+//! test matrix. A safety violation in any cell aborts the run.
+//!
+//! Emits `BENCH_workloads.json` with one record per cell.
+//!
+//! Usage: `e14_workload_matrix [--smoke]`
+//!   --smoke : CI-sized matrix (1–2 threads, tiny attempt counts, short
+//!             timed budget) so the real-threads harness path cannot rot.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+use wfl_workloads::harness::{
+    run_bank_mode, run_graph_mode, run_list_mode, run_philosophers_mode,
+    run_random_conflict_mode, AlgoKind, ExecMode, HarnessReport, SchedKind, SimSpec,
+};
+
+#[derive(Clone, Copy)]
+struct MatrixParams {
+    thread_counts: &'static [usize],
+    /// Attempt/round counts per process per workload.
+    conflict_attempts: usize,
+    phil_attempts: usize,
+    bank_rounds: usize,
+    list_keys: usize,
+    graph_rounds: usize,
+    /// Scheduled-phase budget for sim cells.
+    sim_steps: u64,
+    /// Wall-clock budget for timed real cells (attempt caps usually finish
+    /// first; the budget is the backstop).
+    real_budget: Duration,
+    heap_words: usize,
+}
+
+const FULL: MatrixParams = MatrixParams {
+    thread_counts: &[2, 4, 8],
+    conflict_attempts: 400,
+    phil_attempts: 400,
+    bank_rounds: 400,
+    list_keys: 24,
+    graph_rounds: 400,
+    sim_steps: 600_000_000,
+    real_budget: Duration::from_millis(900),
+    heap_words: 1 << 24,
+};
+
+const SMOKE: MatrixParams = MatrixParams {
+    thread_counts: &[1, 2],
+    conflict_attempts: 40,
+    phil_attempts: 40,
+    bank_rounds: 40,
+    list_keys: 6,
+    graph_rounds: 40,
+    sim_steps: 200_000_000,
+    real_budget: Duration::from_millis(500),
+    heap_words: 1 << 22,
+};
+
+const WORKLOADS: [&str; 5] = ["random_conflict", "philosophers", "bank", "list", "graph"];
+
+/// The matrix's algorithm set. Wfl runs without delays: the delay padding
+/// is a simulator-model cost whose curves E1–E6/E11 validate; the matrix
+/// is about safety coverage and wall-clock throughput.
+fn algos(threads: usize) -> [AlgoKind; 5] {
+    [
+        AlgoKind::Wfl { kappa: threads.max(2), delays: false, helping: true },
+        AlgoKind::WflUnknown,
+        AlgoKind::Tsp,
+        AlgoKind::Blocking,
+        AlgoKind::Naive,
+    ]
+}
+
+fn run_cell(
+    workload: &str,
+    algo: AlgoKind,
+    threads: usize,
+    p: &MatrixParams,
+    mode: &ExecMode,
+) -> HarnessReport {
+    let seed = 42;
+    match workload {
+        "random_conflict" => {
+            let mut spec = SimSpec::new(threads, p.conflict_attempts, (2 * threads).max(3), 2);
+            spec.seed = seed;
+            spec.heap_words = p.heap_words;
+            run_random_conflict_mode(&spec, algo, mode)
+        }
+        "philosophers" => {
+            // A table needs >= 2 seats, so `cell_procs` already widened a
+            // 1-thread row to a 2-philosopher cell (and the row is labeled
+            // with the widened count — a 2-seat table fully contends).
+            run_philosophers_mode(threads, p.phil_attempts, seed, algo, p.heap_words, mode)
+        }
+        "bank" => run_bank_mode(
+            threads,
+            (threads + 2).max(4),
+            p.bank_rounds,
+            100,
+            seed,
+            algo,
+            p.heap_words,
+            mode,
+        ),
+        "list" => run_list_mode(threads, p.list_keys, seed, algo, p.heap_words, mode),
+        "graph" => run_graph_mode(
+            threads,
+            (2 * threads).max(4).max(3),
+            p.graph_rounds,
+            seed,
+            algo,
+            p.heap_words,
+            mode,
+        ),
+        other => unreachable!("unknown workload {other}"),
+    }
+}
+
+/// The process count a workload actually runs at for a sweep row —
+/// philosophers pin it to the table size, which needs at least 2 seats.
+/// Cells are labeled with this count, never the raw row value.
+fn cell_procs(workload: &str, threads: usize) -> usize {
+    if workload == "philosophers" {
+        threads.max(2)
+    } else {
+        threads
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let p = if smoke { SMOKE } else { FULL };
+
+    println!("# E14: workload matrix — algos x workloads x threads, sim + real");
+    println!("(every cell doubles as a mutual-exclusion test; smoke = {smoke})");
+    println!();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"e14_workload_matrix\",");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    json.push_str("  \"cells\": [\n");
+
+    let mut cells = 0u64;
+    let mut first = true;
+    for workload in WORKLOADS {
+        wfl_bench::header(&["cell", "mode", "attempts", "wins", "success", "p99 steps", "wall (s)", "safety"]);
+        for &row_threads in p.thread_counts {
+            let threads = cell_procs(workload, row_threads);
+            if threads != row_threads && p.thread_counts.contains(&threads) {
+                continue; // widened cell already covered by its own row
+            }
+            for algo in algos(threads) {
+                let modes = [
+                    ExecMode::Sim(SchedKind::Random, p.sim_steps),
+                    ExecMode::Real {
+                        threads,
+                        run_for: Some(p.real_budget),
+                        cfg: wfl_runtime::RealConfig::fast(),
+                    },
+                ];
+                for mode in &modes {
+                    let r = run_cell(workload, algo, threads, &p, mode);
+                    assert!(
+                        r.safety_ok,
+                        "SAFETY VIOLATION: {workload}/{}/{}t/{}",
+                        algo.label(),
+                        threads,
+                        mode.label()
+                    );
+                    cells += 1;
+                    let wall = r.wall.map_or(0.0, |w| w.as_secs_f64());
+                    wfl_bench::row(&[
+                        format!("{workload}/{}/{}t", algo.label(), threads),
+                        mode.label().to_string(),
+                        r.attempts.to_string(),
+                        r.wins.to_string(),
+                        format!("{:.3}", r.success.rate()),
+                        r.steps.percentile(0.99).to_string(),
+                        format!("{wall:.4}"),
+                        "ok".to_string(),
+                    ]);
+                    if !first {
+                        json.push_str(",\n");
+                    }
+                    first = false;
+                    let _ = write!(
+                        json,
+                        "    {{\"workload\": \"{workload}\", \"algo\": \"{}\", \"threads\": {threads}, \
+                         \"mode\": \"{}\", \"attempts\": {}, \"wins\": {}, \"success_rate\": {:.4}, \
+                         \"mean_steps\": {:.1}, \"p99_steps\": {}, \"wall_secs\": {:.6}, \
+                         \"wins_per_sec\": {:.1}, \"safety_ok\": true}}",
+                        algo.label(),
+                        mode.label(),
+                        r.attempts,
+                        r.wins,
+                        r.success.rate(),
+                        r.steps.mean(),
+                        r.steps.percentile(0.99),
+                        wall,
+                        r.wins_per_sec().unwrap_or(0.0),
+                    );
+                }
+            }
+        }
+        println!();
+    }
+    json.push_str("\n  ],\n");
+    let _ = writeln!(json, "  \"cells_total\": {cells}");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_workloads.json", &json).expect("write BENCH_workloads.json");
+    println!("all {cells} cells passed their safety checks");
+    println!("wrote BENCH_workloads.json");
+}

@@ -101,8 +101,10 @@ fn crash_table() {
     }
     println!();
     println!("expected shape: wfl and tsp keep all survivors eating with no one");
-    println!("blocked; blocking strands spinners on the crashed holder's lock;");
-    println!("naive leaves locks stuck so neighbors of the crash starve.");
+    println!("blocked; blocking wedges spinners on the crashed holder's lock until");
+    println!("the drain's stop flag bails them out with failed attempts (so their");
+    println!("meals stall even though nothing is poisoned); naive leaves locks");
+    println!("stuck so neighbors of the crash starve.");
 }
 
 fn main() {

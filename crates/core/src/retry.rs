@@ -43,9 +43,11 @@ pub fn lock_and_run(
     }
 }
 
-/// Like [`lock_and_run`], but gives up after `max_attempts` (for workloads
-/// that must honor a cooperative stop flag). Returns `None` on give-up;
-/// the thunk has then never run.
+/// Like [`lock_and_run`], but gives up after `max_attempts` **or** as soon
+/// as the driver's cooperative stop flag is raised between attempts (so a
+/// timed real-threads run, or the simulator's drain phase, is never wedged
+/// behind a long retry loop). Returns `None` on give-up; the thunk has then
+/// never run.
 #[allow(clippy::too_many_arguments)]
 pub fn lock_and_run_limited(
     ctx: &Ctx<'_>,
@@ -63,6 +65,9 @@ pub fn lock_and_run_limited(
         steps += m.steps;
         if m.won {
             return Some(RetryMetrics { attempts: attempt, steps });
+        }
+        if ctx.stop_requested() {
+            return None;
         }
     }
     None
@@ -165,5 +170,82 @@ mod tests {
             .run();
         report.assert_clean();
         assert_eq!(cell::value(heap.peek(counter)), 1);
+    }
+
+    #[test]
+    fn limited_retry_honors_the_stop_flag_in_timed_real_runs() {
+        // Two "victim" threads retry with an absurd attempt budget; their
+        // *only* exit is `lock_and_run_limited` returning `None`, which can
+        // only happen via the stop check (the budget is effectively
+        // infinite). A "contender" thread keeps attempting until both
+        // victims have exited, guaranteeing the victims keep seeing failed
+        // attempts after the timer fires. Without the stop check the
+        // victims never exit and attempt until they exhaust the per-process
+        // tag space — a loud failure instead of a hang. Delays with a large
+        // `c0` pace every attempt to tens of microseconds, so the tag space
+        // (4096 attempts/process/heap lifetime) comfortably outlasts the
+        // timer on the fixed path.
+        use wfl_runtime::real::{run_threads_with, RealConfig};
+
+        let mut registry = Registry::new();
+        let incr = registry.register(Incr);
+        let heap = Heap::new(1 << 23);
+        let space = LockSpace::create_root(&heap, 1, 3);
+        let counter = heap.alloc_root(1);
+        let victims_done = heap.alloc_root(1);
+        let wins_out = heap.alloc_root(3);
+        let mut cfg = LockConfig::new(3, 1, 2);
+        cfg.c0 = 2000;
+        let (space_ref, reg_ref, cfg_ref) = (&space, &registry, &cfg);
+        let report = run_threads_with(
+            &heap,
+            3,
+            5,
+            Some(std::time::Duration::from_millis(5)),
+            RealConfig::fast(),
+            |pid| {
+                move |ctx: &wfl_runtime::Ctx| {
+                    let mut tags = TagSource::new(pid);
+                    let mut scratch = Scratch::new();
+                    let mut wins = 0u64;
+                    let args = [counter.to_word()];
+                    if pid == 0 {
+                        // Contender: sustains failure pressure until both
+                        // victims have observed the stop flag and left.
+                        while ctx.heap().peek(victims_done) < 2 {
+                            let req =
+                                TryLockRequest { locks: &[LockId(0)], thunk: incr, args: &args };
+                            let m = try_locks(
+                                ctx, space_ref, reg_ref, cfg_ref, &mut tags, &mut scratch, req,
+                            );
+                            wins += m.won as u64;
+                        }
+                    } else {
+                        loop {
+                            let req =
+                                TryLockRequest { locks: &[LockId(0)], thunk: incr, args: &args };
+                            match lock_and_run_limited(
+                                ctx, space_ref, reg_ref, cfg_ref, &mut tags, &mut scratch, req,
+                                u64::MAX,
+                            ) {
+                                Some(_) => wins += 1,
+                                None => break, // stop flag observed mid-retry
+                            }
+                        }
+                        loop {
+                            let seen = ctx.heap().peek(victims_done);
+                            if ctx.heap().cas_raw(victims_done, seen, seen + 1) == seen {
+                                break;
+                            }
+                        }
+                    }
+                    ctx.heap().poke(wins_out.off(pid as u32), wins);
+                }
+            },
+        );
+        report.assert_clean();
+        let wins: u64 = (0..3).map(|i| heap.peek(wins_out.off(i as u32))).sum();
+        assert!(wins > 0);
+        assert_eq!(cell::value(heap.peek(counter)) as u64, wins);
     }
 }

@@ -16,7 +16,7 @@
 use crate::ctx::{ClockMode, Ctx, OrderTier};
 use crate::heap::Heap;
 use crate::history::{Event, History};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -120,6 +120,12 @@ where
     let event_slots: Vec<Mutex<Vec<Event>>> = (0..nprocs).map(|_| Mutex::new(Vec::new())).collect();
     let panic_slots: Vec<Mutex<Option<String>>> = (0..nprocs).map(|_| Mutex::new(None)).collect();
     let bodies: Vec<_> = (0..nprocs).map(&mut make_body).collect();
+    // Completion signal for timed runs: the driver parks on this instead of
+    // sleeping the full `run_for`, so a run whose bodies all return early
+    // reports the true wall time (`RealReport::wall` is every throughput
+    // denominator downstream).
+    let finished = Mutex::new(0usize);
+    let finished_cv = Condvar::new();
 
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -129,6 +135,8 @@ where
             let steps_out = &step_counts[pid];
             let events_out = &event_slots[pid];
             let panic_out = &panic_slots[pid];
+            let finished = &finished;
+            let finished_cv = &finished_cv;
             scope.spawn(move || {
                 let ctx = Ctx::new(
                     heap, pid, nprocs, seed, None, clock, stop, None, cfg.clock, cfg.order,
@@ -145,10 +153,21 @@ where
                         .unwrap_or_else(|| "non-string panic".to_string());
                     *panic_out.lock() = Some(msg);
                 }
+                *finished.lock() += 1;
+                finished_cv.notify_all();
             });
         }
         if let Some(d) = run_for {
-            std::thread::sleep(d);
+            let deadline = start + d;
+            let mut done = finished.lock();
+            while *done < nprocs {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                finished_cv.wait_for(&mut done, deadline - now);
+            }
+            drop(done);
             stop.store(true, Ordering::SeqCst);
         }
     });
@@ -227,6 +246,46 @@ mod tests {
         });
         report.assert_clean();
         assert!(heap.peek(c) > 0, "made progress before the stop flag");
+    }
+
+    #[test]
+    fn timed_run_returns_as_soon_as_all_bodies_finish() {
+        // Regression: the driver used to sleep the full `run_for` before
+        // joining, inflating `wall` (and deflating every ops/sec number)
+        // whenever bodies finished early. Instantly-returning bodies must
+        // yield a wall time far below the timer.
+        let heap = Heap::new(1 << 8);
+        let run_for = Duration::from_secs(5);
+        let report = run_threads(&heap, 4, 1, Some(run_for), |_pid| {
+            move |ctx: &Ctx| {
+                ctx.local_step();
+            }
+        });
+        report.assert_clean();
+        assert!(
+            report.wall < Duration::from_secs(1),
+            "instant bodies took {:?}; driver slept out the timer",
+            report.wall
+        );
+    }
+
+    #[test]
+    fn timed_run_still_stops_slow_bodies_at_the_deadline() {
+        // The early-return path must not break the timer path: a body that
+        // never returns on its own is still cut off by the stop flag.
+        let heap = Heap::new(1 << 8);
+        let c = heap.alloc_root(1);
+        let report = run_threads(&heap, 2, 1, Some(Duration::from_millis(40)), |_pid| {
+            move |ctx: &Ctx| {
+                while !ctx.stop_requested() {
+                    let v = ctx.read(c);
+                    ctx.cas_bool(c, v, v + 1);
+                }
+            }
+        });
+        report.assert_clean();
+        assert!(report.wall >= Duration::from_millis(40));
+        assert!(report.wall < Duration::from_secs(5), "stop flag never observed");
     }
 
     #[test]

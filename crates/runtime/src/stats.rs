@@ -3,10 +3,16 @@
 //! check that measured step curves grow no faster than the theorem
 //! exponents).
 
+use std::sync::OnceLock;
+
 /// Streaming summary of a sequence of `u64` samples.
 #[derive(Debug, Clone, Default)]
 pub struct Summary {
     samples: Vec<u64>,
+    /// Sorted copy of `samples`, built lazily on the first percentile query
+    /// and reused by subsequent ones (the bench binaries ask for several
+    /// percentiles per configuration). Invalidated by `push`.
+    sorted: OnceLock<Vec<u64>>,
 }
 
 impl Summary {
@@ -18,6 +24,9 @@ impl Summary {
     /// Adds one sample.
     pub fn push(&mut self, x: u64) {
         self.samples.push(x);
+        if self.sorted.get().is_some() {
+            self.sorted = OnceLock::new();
+        }
     }
 
     /// Number of samples.
@@ -48,13 +57,18 @@ impl Summary {
         self.samples.iter().copied().min().unwrap_or(0)
     }
 
-    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank on a sorted copy.
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank. The samples are sorted
+    /// once on the first query and the sorted copy is cached, so repeated
+    /// percentile calls cost O(1) sorts total rather than one sort each.
     pub fn percentile(&self, q: f64) -> u64 {
         if self.samples.is_empty() {
             return 0;
         }
-        let mut v = self.samples.clone();
-        v.sort_unstable();
+        let v = self.sorted.get_or_init(|| {
+            let mut v = self.samples.clone();
+            v.sort_unstable();
+            v
+        });
         let rank = ((v.len() as f64 - 1.0) * q).round() as usize;
         v[rank.min(v.len() - 1)]
     }
@@ -168,6 +182,28 @@ mod tests {
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.max(), 0);
         assert_eq!(s.percentile(0.9), 0);
+    }
+
+    #[test]
+    fn repeated_percentile_calls_agree_and_survive_pushes() {
+        let mut s = Summary::new();
+        for x in [9u64, 1, 7, 3, 5] {
+            s.push(x);
+        }
+        // Repeated queries hit the cached sorted copy and must agree with
+        // each other (and with the nearest-rank definition).
+        for _ in 0..3 {
+            assert_eq!(s.percentile(0.0), 1);
+            assert_eq!(s.percentile(0.5), 5);
+            assert_eq!(s.percentile(1.0), 9);
+        }
+        // A push after a query must invalidate the cache.
+        s.push(100);
+        assert_eq!(s.percentile(1.0), 100);
+        assert_eq!(s.percentile(0.0), 1);
+        // Cloned summaries answer identically.
+        let c = s.clone();
+        assert_eq!(c.percentile(0.5), s.percentile(0.5));
     }
 
     #[test]

@@ -13,7 +13,11 @@ use wfl_idem::{cell, IdemRun, Registry, TagSource, Thunk, ThunkId};
 use wfl_runtime::{Addr, Ctx, Heap};
 
 /// The update critical section: `val[v] = min(val[u] for u in N(v)) + 1`
-/// (reads each neighbor, one write).
+/// (reads each neighbor, one write), plus one read-modify-write on the
+/// vertex's update counter. The counter is written only while holding `v`'s
+/// lock, so two concurrent relaxations of the same vertex racing on it is a
+/// mutual-exclusion violation — this is what lets the harness check graph
+/// runs the same way it checks counter workloads.
 pub struct RelaxThunk {
     /// Maximum degree in the graph (bounds the op count).
     pub max_degree: usize,
@@ -23,15 +27,18 @@ impl Thunk for RelaxThunk {
     fn run(&self, run: &mut IdemRun<'_, '_>) {
         let deg = run.arg(0) as usize;
         let target = Addr::from_word(run.arg(1));
+        let count = Addr::from_word(run.arg(2));
         let mut min = u32::MAX;
         for i in 0..deg {
-            let nb = Addr::from_word(run.arg(2 + i));
+            let nb = Addr::from_word(run.arg(3 + i));
             min = min.min(run.read(nb));
         }
         run.write(target, min.saturating_add(1));
+        let c = run.read(count);
+        run.write(count, c + 1);
     }
     fn max_ops(&self) -> usize {
-        self.max_degree + 1
+        self.max_degree + 3
     }
 }
 
@@ -42,6 +49,9 @@ pub struct Graph {
     pub adj: Vec<Vec<u32>>,
     /// Base address of the per-vertex values (tagged cells).
     pub values: Addr,
+    /// Base address of the per-vertex update counters (tagged cells),
+    /// each protected by its vertex's lock.
+    pub counts: Addr,
     /// The registered relax thunk.
     pub relax: ThunkId,
 }
@@ -84,10 +94,11 @@ impl Graph {
         let n = adj.len();
         let max_degree = adj.iter().map(Vec::len).max().unwrap_or(0);
         let values = heap.alloc_root(n);
+        let counts = heap.alloc_root(n);
         for (i, &v) in init.iter().enumerate() {
             heap.poke(values.off(i as u32), cell::untagged(v));
         }
-        Graph { adj, values, relax: registry.register(RelaxThunk { max_degree }) }
+        Graph { adj, values, counts, relax: registry.register(RelaxThunk { max_degree }) }
     }
 
     /// Number of vertices.
@@ -108,6 +119,17 @@ impl Graph {
         ids.into_iter().map(LockId).collect()
     }
 
+    /// Fills `args` with the relax-thunk arguments for vertex `v` (the
+    /// layout [`RelaxThunk`] decodes). Exposed so drivers can pre-build
+    /// request buffers outside their hot loop.
+    pub fn relax_args(&self, v: usize, args: &mut Vec<u64>) {
+        args.clear();
+        args.push(self.adj[v].len() as u64);
+        args.push(self.values.off(v as u32).to_word());
+        args.push(self.counts.off(v as u32).to_word());
+        args.extend(self.adj[v].iter().map(|&u| self.values.off(u).to_word()));
+    }
+
     /// One relax attempt on vertex `v` under `algo`.
     pub fn attempt_relax<A: LockAlgo + ?Sized>(
         &self,
@@ -118,8 +140,8 @@ impl Graph {
         v: usize,
     ) -> wfl_baselines::AttemptOutcome {
         let locks = self.lock_set(v);
-        let mut args = vec![self.adj[v].len() as u64, self.values.off(v as u32).to_word()];
-        args.extend(self.adj[v].iter().map(|&u| self.values.off(u).to_word()));
+        let mut args = Vec::new();
+        self.relax_args(v, &mut args);
         let req = TryLockRequest { locks: &locks, thunk: self.relax, args: &args };
         algo.attempt(ctx, tags, scratch, &req)
     }
@@ -127,6 +149,12 @@ impl Graph {
     /// Value of vertex `v` (uncounted inspection).
     pub fn value(&self, heap: &Heap, v: usize) -> u32 {
         cell::value(heap.peek(self.values.off(v as u32)))
+    }
+
+    /// Number of successful relaxations of vertex `v` (uncounted
+    /// inspection of the lock-protected update counter).
+    pub fn updates(&self, heap: &Heap, v: usize) -> u32 {
+        cell::value(heap.peek(self.counts.off(v as u32)))
     }
 }
 
@@ -159,7 +187,7 @@ mod tests {
         let algo = WflKnown {
             space: &space,
             registry: &registry,
-            cfg: LockConfig::new(2, 3, 3).without_delays(),
+            cfg: LockConfig::new(2, 3, 5).without_delays(),
         };
         let (g_ref, a_ref) = (&g, &algo);
         let report = SimBuilder::new(&heap, 1)
@@ -173,6 +201,8 @@ mod tests {
         report.assert_clean();
         // N(0) = {1, 3} with values {0, 3}: min+1 = 1.
         assert_eq!(g.value(&heap, 0), 1);
+        assert_eq!(g.updates(&heap, 0), 1, "update counter tracks the successful relax");
+        assert_eq!(g.updates(&heap, 1), 0);
     }
 
     #[test]
@@ -193,8 +223,9 @@ mod tests {
             let algo = WflKnown {
                 space: &space,
                 registry: &registry,
-                cfg: LockConfig::new(4, 3, 3).without_delays(),
+                cfg: LockConfig::new(4, 3, 5).without_delays(),
             };
+            let wins = heap.alloc_root(n);
             let (g_ref, a_ref) = (&g, &algo);
             let report = SimBuilder::new(&heap, 3)
                 .schedule(SeededRandom::new(3, seed))
@@ -205,7 +236,16 @@ mod tests {
                         let mut scratch = Scratch::new();
                         for round in 0..4 {
                             let v = (pid * 2 + round) % 6;
-                            g_ref.attempt_relax(ctx, a_ref, &mut tags, &mut scratch, v);
+                            if g_ref.attempt_relax(ctx, a_ref, &mut tags, &mut scratch, v).won {
+                                // Tally wins per vertex with counted CAS
+                                // (vertices are shared across processes).
+                                loop {
+                                    let w = ctx.read(wins.off(v as u32));
+                                    if ctx.cas_bool(wins.off(v as u32), w, w + 1) {
+                                        break;
+                                    }
+                                }
+                            }
                         }
                     }
                 })
@@ -214,6 +254,11 @@ mod tests {
             for v in 0..n {
                 let val = g.value(&heap, v);
                 assert!(val <= 5 + 12, "seed {seed}: vertex {v} value {val} out of range");
+                assert_eq!(
+                    g.updates(&heap, v) as u64,
+                    heap.peek(wins.off(v as u32)),
+                    "seed {seed}: vertex {v} update counter diverged from wins"
+                );
             }
         }
     }

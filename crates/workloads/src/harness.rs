@@ -1,27 +1,40 @@
-//! An algorithm-agnostic experiment harness.
+//! An algorithm-agnostic, backend-agnostic experiment harness.
 //!
-//! Runs a *random-conflict workload* — every attempt draws a random set of
-//! `L` distinct locks from `nlocks` and a critical section that increments
-//! one counter per acquired lock — under any [`LockAlgo`], any schedule,
-//! in the deterministic simulator; collects per-attempt step counts and
-//! success rates; and **checks safety as a side effect** (each lock's
-//! counter must equal the number of successful attempts that covered it).
+//! Every workload driver in this module runs under **either execution
+//! backend** behind [`ExecMode`]:
 //!
-//! Every experiment built on this harness is therefore also a
-//! mutual-exclusion test, which keeps the benchmark numbers honest.
+//! * [`ExecMode::Sim`] — the deterministic simulator (any schedule family,
+//!   bounded scheduled steps), for adversarial and replayable runs;
+//! * [`ExecMode::Real`] — one free-running OS thread per process via
+//!   [`wfl_runtime::real::run_threads_with`], optionally timed, for
+//!   throughput and hardware-race stress.
+//!
+//! The drivers record one outcome word per `(process, round)` attempt into
+//! the shared heap and derive the post-run **safety check from the recorded
+//! outcomes** — each lock counter (or meal counter, update counter, list
+//! snapshot, bank total) must match exactly what the recorded wins imply.
+//! Timed real runs complete a variable number of attempts, so nothing about
+//! the check assumes every round ran; unfinished rounds are simply absent
+//! from both sides of the comparison. Every experiment built on this
+//! harness is therefore also a mutual-exclusion test — on the simulator
+//! *and* on real hardware — which keeps the benchmark numbers honest.
 
+use crate::graph::Graph;
+use crate::list::SortedList;
 use crate::philosophers;
 use wfl_baselines::{BlockingTpl, LockAlgo, NaiveTryLock, TspLock, WflKnown, WflUnknown};
 use wfl_core::{LockConfig, LockId, LockSpace, Scratch, TryLockRequest, UnknownConfig};
 use wfl_idem::{cell, IdemRun, Registry, TagSource, Thunk};
+use wfl_runtime::real::{run_threads_with, RealConfig};
 use wfl_runtime::rng::Pcg;
 use wfl_runtime::schedule::{Bursty, RoundRobin, Schedule, SeededRandom, Weighted};
 use wfl_runtime::sim::SimBuilder;
 use wfl_runtime::stats::{Bernoulli, Summary};
 use wfl_runtime::{Addr, Ctx, Heap};
+use std::time::Duration;
 
-/// Critical section used by the harness: increment the counter of every
-/// acquired lock (read+write per counter).
+/// Critical section used by the random-conflict workload: increment the
+/// counter of every acquired lock (read+write per counter).
 pub struct TouchAll {
     /// Maximum locks per attempt (sizes the op log).
     pub max_locks: usize,
@@ -41,7 +54,7 @@ impl Thunk for TouchAll {
     }
 }
 
-/// Scheduler families for experiments.
+/// Scheduler families for simulated experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedKind {
     /// Fair round-robin.
@@ -68,6 +81,197 @@ impl SchedKind {
     }
 }
 
+/// Which backend executes a workload's process bodies.
+///
+/// The bodies themselves are identical across backends — they are written
+/// against [`Ctx`] — so switching the mode changes *only* who grants steps.
+#[derive(Debug, Clone, Copy)]
+pub enum ExecMode {
+    /// Deterministic simulator: schedule family + scheduled-phase budget
+    /// (the simulator drains cooperatively past the budget).
+    Sim(SchedKind, u64),
+    /// Free-running OS threads. `threads` must equal the workload's process
+    /// count (it is spelled out so a matrix sweep reads naturally). With
+    /// `run_for` set, the driver raises the cooperative stop flag at the
+    /// deadline and every attempt loop drains; recorded outcomes then cover
+    /// a variable number of completed rounds.
+    Real {
+        /// OS threads == workload processes.
+        threads: usize,
+        /// Optional wall-clock budget (timed run).
+        run_for: Option<Duration>,
+        /// Hot-path configuration of the real driver.
+        cfg: RealConfig,
+    },
+}
+
+impl ExecMode {
+    /// An untimed real-threads mode with the contention-free hot path.
+    pub fn real(threads: usize) -> ExecMode {
+        ExecMode::Real { threads, run_for: None, cfg: RealConfig::fast() }
+    }
+
+    /// A timed real-threads mode with the contention-free hot path.
+    pub fn real_timed(threads: usize, run_for: Duration) -> ExecMode {
+        ExecMode::Real { threads, run_for: Some(run_for), cfg: RealConfig::fast() }
+    }
+
+    /// Short label for tables and JSON ("sim" / "real").
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecMode::Sim(..) => "sim",
+            ExecMode::Real { .. } => "real",
+        }
+    }
+}
+
+/// Runs every process body under the chosen backend and asserts the run
+/// was clean. Returns the wall-clock duration for real runs (`None` in the
+/// simulator, where wall time is meaningless).
+fn drive<'h, F, G>(
+    heap: &'h Heap,
+    nprocs: usize,
+    seed: u64,
+    mode: &ExecMode,
+    make_body: F,
+) -> Option<Duration>
+where
+    F: FnMut(usize) -> G,
+    G: FnOnce(&Ctx<'_>) + Send + 'h,
+{
+    match *mode {
+        ExecMode::Sim(sched, max_steps) => {
+            let report = SimBuilder::new(heap, nprocs)
+                .seed(seed)
+                .schedule_box(sched.build(nprocs, seed))
+                .max_steps(max_steps)
+                .spawn_all(make_body)
+                .run();
+            report.assert_clean();
+            None
+        }
+        ExecMode::Real { threads, run_for, cfg } => {
+            assert_eq!(
+                threads, nprocs,
+                "ExecMode::Real.threads must equal the workload's process count"
+            );
+            let report = run_threads_with(heap, nprocs, seed, run_for, cfg, make_body);
+            report.assert_clean();
+            Some(report.wall)
+        }
+    }
+}
+
+/// Results of a harness run.
+#[derive(Debug, Clone)]
+pub struct HarnessReport {
+    /// Total attempts made (completed rounds; timed real runs stop early).
+    pub attempts: u64,
+    /// Total successful attempts.
+    pub wins: u64,
+    /// Per-attempt own-step counts.
+    pub steps: Summary,
+    /// Success-rate estimator over all attempts.
+    pub success: Bernoulli,
+    /// Per-process (wins, attempts).
+    pub per_pid: Vec<(u64, u64)>,
+    /// Whether the workload's invariant matched the recorded outcomes
+    /// exactly (the mutual-exclusion check).
+    pub safety_ok: bool,
+    /// Wall-clock duration (real runs only).
+    pub wall: Option<Duration>,
+}
+
+impl HarnessReport {
+    /// Successful acquisitions per wall-clock second (real runs only).
+    pub fn wins_per_sec(&self) -> Option<f64> {
+        self.wall.map(|w| self.wins as f64 / w.as_secs_f64().max(1e-12))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Outcome recording
+// ---------------------------------------------------------------------------
+
+/// Per-`(process, round)` outcome slots in the shared heap: 0 = round not
+/// run (timed run stopped first), 1 = attempt lost, 2 = attempt won; plus a
+/// parallel word of own-steps per attempt.
+struct Outcomes {
+    outcomes: Addr,
+    steps: Addr,
+    cap: usize,
+    nprocs: usize,
+}
+
+impl Outcomes {
+    fn create_root(heap: &Heap, nprocs: usize, cap: usize) -> Outcomes {
+        // One tag base is drawn per attempt, and the tag space is per heap
+        // lifetime — a cap beyond it could never be recorded anyway.
+        assert!(
+            cap < wfl_idem::tag::MAX_ATTEMPTS as usize,
+            "attempts/process cap {cap} exceeds the tag space"
+        );
+        Outcomes {
+            outcomes: heap.alloc_root(nprocs * cap),
+            steps: heap.alloc_root(nprocs * cap),
+            cap,
+            nprocs,
+        }
+    }
+
+    fn idx(&self, pid: usize, round: usize) -> u32 {
+        (pid * self.cap + round) as u32
+    }
+
+    /// Records one attempt (counted heap writes from the process itself).
+    fn record(&self, ctx: &Ctx<'_>, pid: usize, round: usize, won: bool, steps: u64) {
+        let idx = self.idx(pid, round);
+        ctx.write(self.outcomes.off(idx), 1 + won as u64);
+        ctx.write(self.steps.off(idx), steps);
+    }
+
+    /// Folds the recorded outcomes into a [`HarnessReport`] (with
+    /// `safety_ok` left `true` for the caller to refine), invoking
+    /// `on_win(pid, round)` for every recorded win so the caller can
+    /// reconstruct the workload-specific expectation.
+    fn aggregate(
+        &self,
+        heap: &Heap,
+        wall: Option<Duration>,
+        mut on_win: impl FnMut(usize, usize),
+    ) -> HarnessReport {
+        let mut steps = Summary::new();
+        let mut success = Bernoulli::default();
+        let mut per_pid = vec![(0u64, 0u64); self.nprocs];
+        let mut attempts = 0u64;
+        let mut wins = 0u64;
+        for (pid, pp) in per_pid.iter_mut().enumerate() {
+            for round in 0..self.cap {
+                let idx = self.idx(pid, round);
+                let o = heap.peek(self.outcomes.off(idx));
+                if o == 0 {
+                    continue; // round not run (timed run stopped first)
+                }
+                attempts += 1;
+                pp.1 += 1;
+                let won = o == 2;
+                success.record(won);
+                steps.push(heap.peek(self.steps.off(idx)));
+                if won {
+                    wins += 1;
+                    pp.0 += 1;
+                    on_win(pid, round);
+                }
+            }
+        }
+        HarnessReport { attempts, wins, steps, success, per_pid, safety_ok: true, wall }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm instantiation
+// ---------------------------------------------------------------------------
+
 /// Algorithms the harness can instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AlgoKind {
@@ -86,19 +290,142 @@ pub enum AlgoKind {
     WflUnknown,
     /// Turek–Shasha–Prakash-style lock-free locks (always succeed).
     Tsp,
-    /// Blocking ordered two-phase locking (always succeeds; blocks under
-    /// crashes).
+    /// Blocking ordered two-phase locking (always succeeds outside of
+    /// cooperative shutdown; blocks under crashes).
     Blocking,
     /// No-helping tryLock (may fail; never blocks).
     Naive,
 }
+
+impl AlgoKind {
+    /// Short name for tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlgoKind::Wfl { .. } => "wfl",
+            AlgoKind::WflUnknown => "wfl-unknown",
+            AlgoKind::Tsp => "tsp",
+            AlgoKind::Blocking => "blocking",
+            AlgoKind::Naive => "naive",
+        }
+    }
+
+    /// The five kinds with default wfl parameters (κ = `nprocs`).
+    pub fn all(nprocs: usize) -> [AlgoKind; 5] {
+        [
+            AlgoKind::Wfl { kappa: nprocs.max(2), delays: true, helping: true },
+            AlgoKind::WflUnknown,
+            AlgoKind::Tsp,
+            AlgoKind::Blocking,
+            AlgoKind::Naive,
+        ]
+    }
+}
+
+/// Creates only the algorithm under test on the heap and passes it to `f`
+/// (the paper's algorithms need a [`LockSpace`]; the baselines allocate
+/// their own lock words).
+fn with_algo<R>(
+    heap: &Heap,
+    registry: &Registry,
+    algo: AlgoKind,
+    nlocks: usize,
+    aset: usize,
+    known_cfg: LockConfig,
+    f: impl FnOnce(&dyn LockAlgo) -> R,
+) -> R {
+    match algo {
+        AlgoKind::Wfl { .. } => {
+            let space = LockSpace::create_root(heap, nlocks, aset);
+            f(&WflKnown { space: &space, registry, cfg: known_cfg })
+        }
+        AlgoKind::WflUnknown => {
+            let space = LockSpace::create_root(heap, nlocks, aset);
+            f(&WflUnknown { space: &space, registry, cfg: UnknownConfig::new() })
+        }
+        AlgoKind::Tsp => f(&TspLock::create_root(heap, registry, nlocks)),
+        AlgoKind::Blocking => f(&BlockingTpl::create_root(heap, registry, nlocks)),
+        AlgoKind::Naive => f(&NaiveTryLock::create_root(heap, registry, nlocks)),
+    }
+}
+
+/// The known-bounds configuration a workload hands to [`with_algo`]:
+/// the `AlgoKind`'s κ/ablation switches with the workload's `L` and `T`.
+fn known_cfg(algo: AlgoKind, default_kappa: usize, l_max: usize, t_max: usize) -> LockConfig {
+    let (kappa, delays, helping) = match algo {
+        AlgoKind::Wfl { kappa, delays, helping } => (kappa, delays, helping),
+        _ => (default_kappa, true, true),
+    };
+    let mut cfg = LockConfig::new(kappa.max(1), l_max, t_max);
+    cfg.delays = delays;
+    cfg.helping = helping;
+    cfg
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic lock-set choice
+// ---------------------------------------------------------------------------
+
+/// Allocation-free deterministic lock-set draws: `L` distinct locks,
+/// uniform without replacement, as a pure function of `(seed, pid, round)`.
+///
+/// The draw is a partial Fisher–Yates shuffle over a reusable pool; the
+/// swaps are undone after each draw so the mapping is independent of call
+/// history (the aggregation pass recomputes the same sets from a fresh
+/// picker). In the driver hot loop this replaces a fresh `Vec` plus an
+/// O(L²) `contains` scan per attempt.
+pub struct LockPicker {
+    pool: Vec<u32>,
+    swaps: Vec<u32>,
+}
+
+impl LockPicker {
+    /// A picker over locks `0..nlocks`.
+    pub fn new(nlocks: usize) -> LockPicker {
+        LockPicker { pool: (0..nlocks as u32).collect(), swaps: Vec::new() }
+    }
+
+    /// Writes the sorted lock set for `(seed, pid, round)` into `out`.
+    pub fn pick_into(&mut self, seed: u64, pid: usize, round: usize, l: usize, out: &mut Vec<LockId>) {
+        let n = self.pool.len();
+        assert!(l <= n, "cannot draw {l} distinct locks from {n}");
+        let mut rng = Pcg::new(seed ^ 0xD1CE, ((pid as u64) << 32) | round as u64);
+        self.swaps.clear();
+        for i in 0..l {
+            let j = i + rng.below((n - i) as u64) as usize;
+            self.pool.swap(i, j);
+            self.swaps.push(j as u32);
+        }
+        out.clear();
+        out.extend(self.pool[..l].iter().map(|&c| LockId(c)));
+        // Undo the swaps (reverse order) so the pool is the identity again:
+        // the mapping must depend only on (seed, pid, round).
+        for i in (0..l).rev() {
+            self.pool.swap(i, self.swaps[i] as usize);
+        }
+        out.sort_unstable();
+    }
+}
+
+/// Deterministic lock-set choice for `(seed, pid, round)`: `L` distinct
+/// locks, uniform without replacement, sorted. Convenience wrapper around
+/// [`LockPicker`] for cold paths and tests.
+pub fn pick_locks(seed: u64, pid: usize, round: usize, nlocks: usize, l: usize) -> Vec<LockId> {
+    let mut picker = LockPicker::new(nlocks);
+    let mut out = Vec::with_capacity(l);
+    picker.pick_into(seed, pid, round, l, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Random-conflict workload
+// ---------------------------------------------------------------------------
 
 /// Workload shape for [`run_random_conflict`].
 #[derive(Debug, Clone, Copy)]
 pub struct SimSpec {
     /// Number of processes.
     pub nprocs: usize,
-    /// Attempts per process.
+    /// Attempts per process (in timed real runs: an upper bound).
     pub attempts_per_proc: usize,
     /// Number of locks in the system.
     pub nlocks: usize,
@@ -108,9 +435,10 @@ pub struct SimSpec {
     pub think_max: u64,
     /// Workload + schedule seed.
     pub seed: u64,
-    /// Scheduler family.
+    /// Scheduler family (used by the [`run_random_conflict`] legacy entry
+    /// point, which runs `ExecMode::Sim(self.sched, self.max_steps)`).
     pub sched: SchedKind,
-    /// Scheduled-phase budget.
+    /// Scheduled-phase budget for the legacy entry point.
     pub max_steps: u64,
     /// Heap size in words.
     pub heap_words: usize,
@@ -131,151 +459,86 @@ impl SimSpec {
             heap_words: 1 << 23,
         }
     }
-}
 
-/// Results of a harness run.
-#[derive(Debug, Clone)]
-pub struct HarnessReport {
-    /// Total attempts made.
-    pub attempts: u64,
-    /// Total successful attempts.
-    pub wins: u64,
-    /// Per-attempt own-step counts.
-    pub steps: Summary,
-    /// Success-rate estimator over all attempts.
-    pub success: Bernoulli,
-    /// Per-process (wins, attempts).
-    pub per_pid: Vec<(u64, u64)>,
-    /// Whether every lock counter matched the recorded wins covering it.
-    pub safety_ok: bool,
-}
-
-/// Deterministic lock-set choice for `(seed, pid, round)`: `L` distinct
-/// locks, uniform without replacement.
-pub fn pick_locks(seed: u64, pid: usize, round: usize, nlocks: usize, l: usize) -> Vec<LockId> {
-    let mut rng = Pcg::new(seed ^ 0xD1CE, ((pid as u64) << 32) | round as u64);
-    let mut chosen: Vec<u32> = Vec::with_capacity(l);
-    while chosen.len() < l {
-        let c = rng.below(nlocks as u64) as u32;
-        if !chosen.contains(&c) {
-            chosen.push(c);
-        }
+    /// The execution mode the legacy sim-only entry points use.
+    pub fn sim_mode(&self) -> ExecMode {
+        ExecMode::Sim(self.sched, self.max_steps)
     }
-    chosen.sort_unstable();
-    chosen.into_iter().map(LockId).collect()
 }
 
-/// Runs the random-conflict workload under the given algorithm and
-/// returns aggregated metrics (with the built-in safety check).
+/// Runs the random-conflict workload in the simulator (legacy entry point;
+/// equivalent to [`run_random_conflict_mode`] with [`SimSpec::sim_mode`]).
 pub fn run_random_conflict(spec: &SimSpec, algo: AlgoKind) -> HarnessReport {
+    run_random_conflict_mode(spec, algo, &spec.sim_mode())
+}
+
+/// Runs the random-conflict workload under the given algorithm on either
+/// backend and returns aggregated metrics. Safety check: each lock's
+/// counter must equal the number of *recorded* winning attempts covering
+/// it (recomputed from the deterministic `(seed, pid, round)` lock sets).
+pub fn run_random_conflict_mode(spec: &SimSpec, algo: AlgoKind, mode: &ExecMode) -> HarnessReport {
     assert!(spec.locks_per_attempt <= spec.nlocks);
     let mut registry = Registry::new();
     let touch = registry.register(TouchAll { max_locks: spec.locks_per_attempt });
     let heap = Heap::new(spec.heap_words);
     let counters = heap.alloc_root(spec.nlocks);
-    let n_attempts = spec.nprocs * spec.attempts_per_proc;
-    // outcome word per attempt: 0 not run, 1 lost, 2 won; plus steps word.
-    let outcomes = heap.alloc_root(n_attempts);
-    let steps_out = heap.alloc_root(n_attempts);
-
-    // Algorithm-specific setup (all reference setup-time state).
-    let space = LockSpace::create_root(&heap, spec.nlocks, spec.nprocs.max(2));
-    let blocking = BlockingTpl::create_root(&heap, &registry, spec.nlocks);
-    let naive = NaiveTryLock::create_root(&heap, &registry, spec.nlocks);
-    let tsp = TspLock::create_root(&heap, &registry, spec.nlocks);
-    let wfl_cfg = |kappa: usize, delays: bool, helping: bool| {
-        let mut cfg = LockConfig::new(kappa, spec.locks_per_attempt, 2 * spec.locks_per_attempt);
-        cfg.delays = delays;
-        cfg.helping = helping;
-        cfg
-    };
-    let known_cfg = match algo {
-        AlgoKind::Wfl { kappa, delays, helping } => wfl_cfg(kappa, delays, helping),
-        _ => wfl_cfg(spec.nprocs, true, true),
-    };
-    let wfl = WflKnown { space: &space, registry: &registry, cfg: known_cfg };
-    let wfl_unknown =
-        WflUnknown { space: &space, registry: &registry, cfg: UnknownConfig::new() };
-    let algo_ref: &dyn LockAlgo = match algo {
-        AlgoKind::Wfl { .. } => &wfl,
-        AlgoKind::WflUnknown => &wfl_unknown,
-        AlgoKind::Tsp => &tsp,
-        AlgoKind::Blocking => &blocking,
-        AlgoKind::Naive => &naive,
-    };
+    let rec = Outcomes::create_root(&heap, spec.nprocs, spec.attempts_per_proc);
+    let cfg = known_cfg(algo, spec.nprocs, spec.locks_per_attempt, 2 * spec.locks_per_attempt);
 
     let spec_copy = *spec;
-    let report = SimBuilder::new(&heap, spec.nprocs)
-        .seed(spec.seed)
-        .schedule_box(spec.sched.build(spec.nprocs, spec.seed))
-        .max_steps(spec.max_steps)
-        .spawn_all(|pid| {
+    let (rec_ref, counters_ref) = (&rec, &counters);
+    let wall = with_algo(&heap, &registry, algo, spec.nlocks, spec.nprocs.max(2), cfg, |algo_ref| {
+        drive(&heap, spec_copy.nprocs, spec_copy.seed, mode, |pid| {
             let s = spec_copy;
             move |ctx: &Ctx| {
                 let mut tags = TagSource::new(pid);
                 let mut scratch = Scratch::new();
-                let mut args: Vec<u64> = Vec::new();
+                let mut picker = LockPicker::new(s.nlocks);
+                let mut locks: Vec<LockId> = Vec::with_capacity(s.locks_per_attempt);
+                let mut args: Vec<u64> = Vec::with_capacity(1 + s.locks_per_attempt);
                 for round in 0..s.attempts_per_proc {
-                    let locks = pick_locks(s.seed, pid, round, s.nlocks, s.locks_per_attempt);
+                    if ctx.stop_requested() {
+                        break;
+                    }
+                    picker.pick_into(s.seed, pid, round, s.locks_per_attempt, &mut locks);
                     args.clear();
                     args.push(locks.len() as u64);
-                    args.extend(locks.iter().map(|l| counters.off(l.0).to_word()));
+                    args.extend(locks.iter().map(|l| counters_ref.off(l.0).to_word()));
                     let req = TryLockRequest { locks: &locks, thunk: touch, args: &args };
                     let out = algo_ref.attempt(ctx, &mut tags, &mut scratch, &req);
-                    let idx = (pid * s.attempts_per_proc + round) as u32;
-                    ctx.write(outcomes.off(idx), 1 + out.won as u64);
-                    ctx.write(steps_out.off(idx), out.steps);
+                    rec_ref.record(ctx, pid, round, out.won, out.steps);
                     if s.think_max > 0 {
                         let think = ctx.rand_below(s.think_max);
                         for _ in 0..think {
                             ctx.local_step();
                         }
                     }
-                    if ctx.stop_requested() {
-                        break;
-                    }
                 }
             }
         })
-        .run();
-    report.assert_clean();
+    });
 
-    // Aggregate + safety check.
-    let mut steps = Summary::new();
-    let mut success = Bernoulli::default();
-    let mut per_pid = vec![(0u64, 0u64); spec.nprocs];
+    // Expected counter values from the recorded wins.
     let mut expected = vec![0u64; spec.nlocks];
-    let mut attempts = 0u64;
-    let mut wins = 0u64;
-    for (pid, pp) in per_pid.iter_mut().enumerate() {
-        for round in 0..spec.attempts_per_proc {
-            let idx = (pid * spec.attempts_per_proc + round) as u32;
-            let o = heap.peek(outcomes.off(idx));
-            if o == 0 {
-                continue; // not run (stopped early)
-            }
-            attempts += 1;
-            pp.1 += 1;
-            let won = o == 2;
-            success.record(won);
-            steps.push(heap.peek(steps_out.off(idx)));
-            if won {
-                wins += 1;
-                pp.0 += 1;
-                for l in pick_locks(spec.seed, pid, round, spec.nlocks, spec.locks_per_attempt) {
-                    expected[l.0 as usize] += 1;
-                }
-            }
+    let mut picker = LockPicker::new(spec.nlocks);
+    let mut locks: Vec<LockId> = Vec::with_capacity(spec.locks_per_attempt);
+    let mut report = rec.aggregate(&heap, wall, |pid, round| {
+        picker.pick_into(spec.seed, pid, round, spec.locks_per_attempt, &mut locks);
+        for l in &locks {
+            expected[l.0 as usize] += 1;
         }
-    }
-    let safety_ok = (0..spec.nlocks)
+    });
+    report.safety_ok = (0..spec.nlocks)
         .all(|l| cell::value(heap.peek(counters.off(l as u32))) as u64 == expected[l]);
-    HarnessReport { attempts, wins, steps, success, per_pid, safety_ok }
+    report
 }
 
-/// Runs the dining-philosophers workload (E4): `n` philosophers, each
-/// making `attempts` eating attempts with random think time. Returns the
-/// harness report (steps/success) with the meal-count safety check.
+// ---------------------------------------------------------------------------
+// Dining philosophers
+// ---------------------------------------------------------------------------
+
+/// Runs the dining-philosophers workload (E4) in the simulator (legacy
+/// entry point).
 pub fn run_philosophers(
     n: usize,
     attempts: usize,
@@ -284,47 +547,39 @@ pub fn run_philosophers(
     algo: AlgoKind,
     heap_words: usize,
 ) -> HarnessReport {
+    run_philosophers_mode(n, attempts, seed, algo, heap_words, &ExecMode::Sim(sched, 600_000_000))
+}
+
+/// Runs the dining-philosophers workload on either backend: `n`
+/// philosophers, each making up to `attempts` eating attempts with random
+/// think time. Safety check: each philosopher's meal counter must equal
+/// their recorded wins.
+pub fn run_philosophers_mode(
+    n: usize,
+    attempts: usize,
+    seed: u64,
+    algo: AlgoKind,
+    heap_words: usize,
+    mode: &ExecMode,
+) -> HarnessReport {
     let mut registry = Registry::new();
     let heap = Heap::new(heap_words);
     let table = philosophers::Table::create_root(&heap, &mut registry, n);
-    let space = LockSpace::create_root(&heap, n, 3);
-    let outcomes = heap.alloc_root(n * attempts);
-    let steps_out = heap.alloc_root(n * attempts);
-    let known_cfg = match algo {
-        AlgoKind::Wfl { kappa, delays, helping } => {
-            let mut cfg = LockConfig::new(kappa, 2, 2);
-            cfg.delays = delays;
-            cfg.helping = helping;
-            cfg
-        }
-        _ => LockConfig::new(2, 2, 2),
-    };
-    let blocking = BlockingTpl::create_root(&heap, &registry, n);
-    let naive = NaiveTryLock::create_root(&heap, &registry, n);
-    let tsp = TspLock::create_root(&heap, &registry, n);
-    let wfl = WflKnown { space: &space, registry: &registry, cfg: known_cfg };
-    let wfl_unknown = WflUnknown { space: &space, registry: &registry, cfg: UnknownConfig::new() };
-    let algo_ref: &dyn LockAlgo = match algo {
-        AlgoKind::Wfl { .. } => &wfl,
-        AlgoKind::WflUnknown => &wfl_unknown,
-        AlgoKind::Tsp => &tsp,
-        AlgoKind::Blocking => &blocking,
-        AlgoKind::Naive => &naive,
-    };
-    let table_ref = &table;
-    let report = SimBuilder::new(&heap, n)
-        .seed(seed)
-        .schedule_box(sched.build(n, seed))
-        .max_steps(600_000_000)
-        .spawn_all(|pid| {
+    let rec = Outcomes::create_root(&heap, n, attempts);
+    let cfg = known_cfg(algo, 2, 2, 2);
+
+    let (rec_ref, table_ref) = (&rec, &table);
+    let wall = with_algo(&heap, &registry, algo, n, 3, cfg, |algo_ref| {
+        drive(&heap, n, seed, mode, |pid| {
             move |ctx: &Ctx| {
                 let mut tags = TagSource::new(pid);
                 let mut scratch = Scratch::new();
                 for round in 0..attempts {
+                    if ctx.stop_requested() {
+                        break;
+                    }
                     let out = table_ref.attempt_eat(ctx, algo_ref, &mut tags, &mut scratch, pid);
-                    let idx = (pid * attempts + round) as u32;
-                    ctx.write(outcomes.off(idx), 1 + out.won as u64);
-                    ctx.write(steps_out.off(idx), out.steps);
+                    rec_ref.record(ctx, pid, round, out.won, out.steps);
                     let think = ctx.rand_below(24);
                     for _ in 0..think {
                         ctx.local_step();
@@ -332,34 +587,217 @@ pub fn run_philosophers(
                 }
             }
         })
-        .run();
-    report.assert_clean();
+    });
 
-    let mut steps = Summary::new();
-    let mut success = Bernoulli::default();
-    let mut per_pid = vec![(0u64, 0u64); n];
-    let mut attempts_total = 0u64;
-    let mut wins = 0u64;
-    for (pid, pp) in per_pid.iter_mut().enumerate() {
-        for round in 0..attempts {
-            let idx = (pid * attempts + round) as u32;
-            let o = heap.peek(outcomes.off(idx));
-            if o == 0 {
-                continue;
+    let mut report = rec.aggregate(&heap, wall, |_pid, _round| {});
+    report.safety_ok =
+        (0..n).all(|i| table.meals_eaten(&heap, i) as u64 == report.per_pid[i].0);
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Bank transfers
+// ---------------------------------------------------------------------------
+
+/// Runs the bank-transfer workload on either backend: `nprocs` processes
+/// each make up to `rounds` two-account transfers with deterministic
+/// `(seed, pid, round)` account/amount choices. Safety check: the sum of
+/// all balances equals the initial total (conservation — any
+/// mutual-exclusion or idempotence failure moves money).
+#[allow(clippy::too_many_arguments)]
+pub fn run_bank_mode(
+    nprocs: usize,
+    accounts: usize,
+    rounds: usize,
+    initial: u32,
+    seed: u64,
+    algo: AlgoKind,
+    heap_words: usize,
+    mode: &ExecMode,
+) -> HarnessReport {
+    assert!(accounts >= 2);
+    let mut registry = Registry::new();
+    let heap = Heap::new(heap_words);
+    let bank = crate::bank::Bank::create_root(&heap, &mut registry, accounts, initial);
+    let rec = Outcomes::create_root(&heap, nprocs, rounds);
+    let initial_total = bank.total(&heap);
+    let cfg = known_cfg(algo, nprocs, 2, 4);
+
+    let (rec_ref, bank_ref) = (&rec, &bank);
+    let wall = with_algo(&heap, &registry, algo, accounts, nprocs.max(2), cfg, |algo_ref| {
+        drive(&heap, nprocs, seed, mode, |pid| {
+            move |ctx: &Ctx| {
+                let mut tags = TagSource::new(pid);
+                let mut scratch = Scratch::new();
+                for round in 0..rounds {
+                    if ctx.stop_requested() {
+                        break;
+                    }
+                    let mut rng = Pcg::new(seed ^ 0xBA2C, ((pid as u64) << 32) | round as u64);
+                    let a = rng.below(accounts as u64) as usize;
+                    let mut b = rng.below(accounts as u64 - 1) as usize;
+                    if b >= a {
+                        b += 1;
+                    }
+                    let amt = 1 + rng.below(30) as u32;
+                    let out =
+                        bank_ref.attempt_transfer(ctx, algo_ref, &mut tags, &mut scratch, a, b, amt);
+                    rec_ref.record(ctx, pid, round, out.won, out.steps);
+                    let think = ctx.rand_below(16);
+                    for _ in 0..think {
+                        ctx.local_step();
+                    }
+                }
             }
-            attempts_total += 1;
-            pp.1 += 1;
-            let won = o == 2;
-            success.record(won);
-            steps.push(heap.peek(steps_out.off(idx)));
-            if won {
-                wins += 1;
-                pp.0 += 1;
+        })
+    });
+
+    let mut report = rec.aggregate(&heap, wall, |_pid, _round| {});
+    report.safety_ok = bank.total(&heap) == initial_total;
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Sorted list
+// ---------------------------------------------------------------------------
+
+/// Per-operation tryLock attempt budget for the list workload (each retry
+/// draws one tag, so `keys_per_proc * LIST_ATTEMPT_BUDGET` must stay well
+/// inside the per-process tag space).
+const LIST_ATTEMPT_BUDGET: u64 = 64;
+
+/// Runs the sorted-list workload on either backend: each process inserts
+/// `keys_per_proc` globally-unique keys (dedicated pool slots, so the only
+/// contention is on adjacent splice points). Safety check: the final list
+/// snapshot is exactly the sorted set of keys whose inserts were recorded
+/// as wins.
+pub fn run_list_mode(
+    nprocs: usize,
+    keys_per_proc: usize,
+    seed: u64,
+    algo: AlgoKind,
+    heap_words: usize,
+    mode: &ExecMode,
+) -> HarnessReport {
+    let pool = 1 + nprocs * keys_per_proc;
+    // Unlike the one-tag-per-round workloads, each list round may draw up
+    // to LIST_ATTEMPT_BUDGET tags (one per tryLock retry) — bound the whole
+    // run against the per-process tag space up front.
+    assert!(
+        (keys_per_proc as u64) * LIST_ATTEMPT_BUDGET < wfl_idem::tag::MAX_ATTEMPTS as u64,
+        "keys_per_proc {keys_per_proc} x retry budget {LIST_ATTEMPT_BUDGET} exceeds the tag space"
+    );
+    let mut registry = Registry::new();
+    let heap = Heap::new(heap_words);
+    let list = SortedList::create_root(&heap, &mut registry, pool);
+    let rec = Outcomes::create_root(&heap, nprocs, keys_per_proc);
+    let cfg = known_cfg(algo, nprocs, 2, 4);
+    // Interleave keys across processes so splice points genuinely contend.
+    let key_of = |pid: usize, round: usize| (1 + round * nprocs + pid) as u32 * 10 + 3;
+
+    let (rec_ref, list_ref) = (&rec, &list);
+    let wall = with_algo(&heap, &registry, algo, pool, nprocs.max(2), cfg, |algo_ref| {
+        drive(&heap, nprocs, seed, mode, |pid| {
+            move |ctx: &Ctx| {
+                let mut tags = TagSource::new(pid);
+                let mut scratch = Scratch::new();
+                let result_cell = ctx.alloc(1);
+                for round in 0..keys_per_proc {
+                    if ctx.stop_requested() {
+                        break;
+                    }
+                    let node = (1 + pid * keys_per_proc + round) as u32;
+                    let start = ctx.steps();
+                    let r = list_ref.insert(
+                        ctx,
+                        algo_ref,
+                        &mut tags,
+                        &mut scratch,
+                        result_cell,
+                        node,
+                        key_of(pid, round),
+                        LIST_ATTEMPT_BUDGET,
+                    );
+                    rec_ref.record(ctx, pid, round, r == Some(true), ctx.steps() - start);
+                }
             }
-        }
-    }
-    let safety_ok = (0..n).all(|i| table.meals_eaten(&heap, i) as u64 == per_pid[i].0);
-    HarnessReport { attempts: attempts_total, wins, steps, success, per_pid, safety_ok }
+        })
+    });
+
+    let mut expected: Vec<u32> = Vec::new();
+    let mut report = rec.aggregate(&heap, wall, |pid, round| {
+        expected.push(key_of(pid, round));
+    });
+    expected.sort_unstable();
+    report.safety_ok = list.snapshot(&heap) == expected;
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Graph relaxations
+// ---------------------------------------------------------------------------
+
+/// Runs the graph workload on either backend: a ring of `vertices`, each
+/// process making up to `rounds` relax attempts on deterministic
+/// `(seed, pid, round)` vertices (`L = 3`: the vertex and both neighbors).
+/// Safety check: every vertex's lock-protected update counter equals the
+/// number of recorded wins targeting it.
+#[allow(clippy::too_many_arguments)]
+pub fn run_graph_mode(
+    nprocs: usize,
+    vertices: usize,
+    rounds: usize,
+    seed: u64,
+    algo: AlgoKind,
+    heap_words: usize,
+    mode: &ExecMode,
+) -> HarnessReport {
+    assert!(vertices >= 3);
+    let mut registry = Registry::new();
+    let heap = Heap::new(heap_words);
+    let init = vec![1u32; vertices];
+    let graph = Graph::ring(&heap, &mut registry, vertices, &init);
+    let rec = Outcomes::create_root(&heap, nprocs, rounds);
+    let cfg = known_cfg(algo, nprocs, 3, 5);
+    let vertex_of = move |pid: usize, round: usize| {
+        Pcg::new(seed ^ 0x62AF, ((pid as u64) << 32) | round as u64).below(vertices as u64) as usize
+    };
+
+    let (rec_ref, graph_ref) = (&rec, &graph);
+    let wall = with_algo(&heap, &registry, algo, vertices, nprocs.max(2), cfg, |algo_ref| {
+        drive(&heap, nprocs, seed, mode, |pid| {
+            move |ctx: &Ctx| {
+                let mut tags = TagSource::new(pid);
+                let mut scratch = Scratch::new();
+                // Pre-build every vertex's request buffers outside the hot
+                // loop (the ring is small; attempts stay allocation-free).
+                let reqs: Vec<(Vec<LockId>, Vec<u64>)> = (0..vertices)
+                    .map(|v| {
+                        let mut args = Vec::new();
+                        graph_ref.relax_args(v, &mut args);
+                        (graph_ref.lock_set(v), args)
+                    })
+                    .collect();
+                for round in 0..rounds {
+                    if ctx.stop_requested() {
+                        break;
+                    }
+                    let (locks, args) = &reqs[vertex_of(pid, round)];
+                    let req = TryLockRequest { locks, thunk: graph_ref.relax, args };
+                    let out = algo_ref.attempt(ctx, &mut tags, &mut scratch, &req);
+                    rec_ref.record(ctx, pid, round, out.won, out.steps);
+                }
+            }
+        })
+    });
+
+    let mut expected = vec![0u64; vertices];
+    let mut report = rec.aggregate(&heap, wall, |pid, round| {
+        expected[vertex_of(pid, round)] += 1;
+    });
+    report.safety_ok =
+        (0..vertices).all(|v| graph.updates(&heap, v) as u64 == expected[v]);
+    report
 }
 
 #[cfg(test)]
@@ -379,6 +817,30 @@ mod tests {
     }
 
     #[test]
+    fn lock_picker_matches_one_shot_and_is_history_independent() {
+        // The reusable picker must give the same set regardless of what it
+        // drew before (the aggregation pass recomputes with a fresh one).
+        let mut picker = LockPicker::new(12);
+        let mut out = Vec::new();
+        picker.pick_into(9, 1, 4, 5, &mut out);
+        let first = out.clone();
+        for (pid, round) in [(0usize, 0usize), (3, 17), (2, 2)] {
+            picker.pick_into(9, pid, round, 5, &mut out);
+            assert_eq!(out, pick_locks(9, pid, round, 12, 5));
+        }
+        picker.pick_into(9, 1, 4, 5, &mut out);
+        assert_eq!(out, first, "picker state leaked between draws");
+    }
+
+    #[test]
+    fn lock_picker_draws_full_pool() {
+        let mut picker = LockPicker::new(6);
+        let mut out = Vec::new();
+        picker.pick_into(3, 0, 0, 6, &mut out);
+        assert_eq!(out, (0..6).map(LockId).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn harness_runs_wfl_and_checks_safety() {
         let mut spec = SimSpec::new(3, 4, 3, 2);
         spec.seed = 11;
@@ -387,6 +849,7 @@ mod tests {
         assert_eq!(r.attempts, 12);
         assert!(r.wins >= 1);
         assert_eq!(r.per_pid.len(), 3);
+        assert!(r.wall.is_none(), "sim runs have no wall clock");
     }
 
     #[test]
@@ -415,5 +878,118 @@ mod tests {
         );
         assert!(r.safety_ok);
         assert_eq!(r.attempts, 20);
+    }
+
+    // ----- unified-backend coverage: the same drivers on real threads -----
+
+    /// Every algorithm must pass the random-conflict safety check on free
+    /// -running threads with the contention-free hot path — this is the
+    /// acceptance gate for the unified harness, and (for `WflUnknown` and
+    /// `Naive`) the only real-hardware race coverage those paths get.
+    #[test]
+    fn real_threads_random_conflict_all_algos_safe() {
+        for algo in AlgoKind::all(4) {
+            let mut spec = SimSpec::new(4, 60, 4, 2);
+            spec.seed = 9;
+            spec.heap_words = 1 << 22;
+            let r = run_random_conflict_mode(&spec, algo, &ExecMode::real(4));
+            assert!(r.safety_ok, "{algo:?}: real-threads safety check failed");
+            assert_eq!(r.attempts, 240, "{algo:?}: untimed real runs complete every round");
+            assert!(r.wall.is_some());
+        }
+    }
+
+    /// Heavier real-threads stress for the two paths that previously had no
+    /// real-hardware lost-update coverage at all.
+    #[test]
+    fn real_threads_stress_wfl_unknown_and_naive() {
+        for algo in [AlgoKind::WflUnknown, AlgoKind::Naive] {
+            let mut spec = SimSpec::new(8, 400, 2, 2);
+            spec.seed = 31;
+            spec.think_max = 0;
+            spec.heap_words = 1 << 24;
+            let r = run_random_conflict_mode(&spec, algo, &ExecMode::real(8));
+            assert!(r.safety_ok, "{algo:?}: lost update under real-threads stress");
+            assert_eq!(r.attempts, 3200, "{algo:?}");
+            assert!(r.wins >= 1, "{algo:?}: some attempt must succeed");
+        }
+    }
+
+    #[test]
+    fn timed_real_run_records_variable_attempts_and_stays_safe() {
+        // A timed run stops early via the cooperative flag; the safety
+        // check must hold for whatever subset of rounds completed, and the
+        // early-return driver fix keeps the wall near the actual finish.
+        let mut spec = SimSpec::new(2, 3000, 3, 2);
+        spec.seed = 17;
+        spec.think_max = 4;
+        spec.heap_words = 1 << 24;
+        let mode = ExecMode::real_timed(2, Duration::from_millis(20));
+        let r = run_random_conflict_mode(&spec, AlgoKind::Naive, &mode);
+        assert!(r.safety_ok, "timed real run failed the safety check");
+        assert!(r.attempts > 0, "no attempts completed in the window");
+        assert!(r.attempts <= 6000);
+        assert!(r.wall.is_some());
+    }
+
+    #[test]
+    fn philosophers_run_on_real_threads() {
+        for algo in [
+            AlgoKind::Wfl { kappa: 2, delays: false, helping: true },
+            AlgoKind::Blocking,
+        ] {
+            let r = run_philosophers_mode(4, 50, 7, algo, 1 << 22, &ExecMode::real(4));
+            assert!(r.safety_ok, "{algo:?}: meal counters diverged on real threads");
+            assert_eq!(r.attempts, 200, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn bank_conserves_money_on_both_backends() {
+        for mode in [ExecMode::Sim(SchedKind::Random, 100_000_000), ExecMode::real(3)] {
+            for algo in [
+                AlgoKind::Wfl { kappa: 3, delays: false, helping: true },
+                AlgoKind::Tsp,
+            ] {
+                let r = run_bank_mode(3, 4, 12, 100, 23, algo, 1 << 22, &mode);
+                assert!(r.safety_ok, "{}/{algo:?}: money not conserved", mode.label());
+                assert_eq!(r.attempts, 36, "{}/{algo:?}", mode.label());
+            }
+        }
+    }
+
+    #[test]
+    fn list_snapshot_matches_recorded_wins_on_both_backends() {
+        for mode in [ExecMode::Sim(SchedKind::Random, 100_000_000), ExecMode::real(3)] {
+            for algo in [
+                AlgoKind::Wfl { kappa: 4, delays: false, helping: true },
+                AlgoKind::Naive,
+            ] {
+                let r = run_list_mode(3, 4, 41, algo, 1 << 22, &mode);
+                assert!(r.safety_ok, "{}/{algo:?}: snapshot != recorded wins", mode.label());
+                assert_eq!(r.attempts, 12, "{}/{algo:?}", mode.label());
+            }
+        }
+    }
+
+    #[test]
+    fn graph_update_counters_match_recorded_wins_on_both_backends() {
+        for mode in [ExecMode::Sim(SchedKind::Random, 100_000_000), ExecMode::real(3)] {
+            for algo in [
+                AlgoKind::Wfl { kappa: 3, delays: false, helping: true },
+                AlgoKind::WflUnknown,
+            ] {
+                let r = run_graph_mode(3, 6, 10, 13, algo, 1 << 22, &mode);
+                assert!(r.safety_ok, "{}/{algo:?}: update counters diverged", mode.label());
+                assert_eq!(r.attempts, 30, "{}/{algo:?}", mode.label());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threads must equal")]
+    fn real_mode_thread_mismatch_is_rejected() {
+        let spec = SimSpec::new(3, 2, 3, 2);
+        run_random_conflict_mode(&spec, AlgoKind::Tsp, &ExecMode::real(4));
     }
 }

@@ -129,9 +129,11 @@ impl SortedList {
 
     /// Inserts `key` using the free pool slot `node_idx` (caller-managed
     /// slot ownership; slots are never reused within a run). Retries
-    /// traversal+tryLock until the splice validates or `max_attempts`
-    /// attempts are spent. Returns `Some(true)` on insert, `Some(false)`
-    /// if the key was already present, `None` if attempts ran out.
+    /// traversal+tryLock until the splice validates, `max_attempts`
+    /// attempts are spent, or the driver requests a cooperative stop.
+    /// Returns `Some(true)` on insert, `Some(false)` if the key was
+    /// already present, `None` if attempts ran out (or the stop flag cut
+    /// the retry loop short); on `None` the key is guaranteed absent.
     #[allow(clippy::too_many_arguments)]
     pub fn insert<A: LockAlgo + ?Sized>(
         &self,
@@ -165,13 +167,18 @@ impl SortedList {
             {
                 return Some(true);
             }
-            // Lost the tryLock or validation failed: retraverse and retry.
+            // Lost the tryLock or validation failed: retraverse and retry
+            // (unless the driver is draining).
+            if ctx.stop_requested() {
+                return None;
+            }
         }
         None
     }
 
     /// Deletes `key`. `Some(true)` on delete, `Some(false)` if absent,
-    /// `None` if attempts ran out.
+    /// `None` if attempts ran out (or the stop flag cut the retry loop
+    /// short).
     #[allow(clippy::too_many_arguments)]
     pub fn delete<A: LockAlgo + ?Sized>(
         &self,
@@ -201,6 +208,9 @@ impl SortedList {
             if algo.attempt(ctx, tags, scratch, &req).won && cell::value(ctx.read(result_cell)) == 1
             {
                 return Some(true);
+            }
+            if ctx.stop_requested() {
+                return None;
             }
         }
         None

@@ -59,6 +59,17 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Result of [`Condvar::wait_for`]: whether the wait timed out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True if the wait ended because the timeout elapsed (not a notify).
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 /// A condition variable compatible with [`MutexGuard`].
 #[derive(Debug, Default)]
 pub struct Condvar(std::sync::Condvar);
@@ -74,6 +85,20 @@ impl Condvar {
         let inner = guard.0.take().expect("guard vacated mid-wait");
         let inner = self.0.wait(inner).unwrap_or_else(PoisonError::into_inner);
         guard.0 = Some(inner);
+    }
+
+    /// Blocks until notified or `timeout` elapses, releasing the guard's
+    /// mutex while waiting. Matches parking_lot's `wait_for` shape.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard vacated mid-wait");
+        let (inner, result) =
+            self.0.wait_timeout(inner, timeout).unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
     }
 
     /// Wakes all waiting threads.
