@@ -54,6 +54,11 @@ struct Sample {
     wall_secs: f64,
     wins: u64,
     attempts: u64,
+    /// Heap lifetimes spanned (1: this bench stays single-epoch so its
+    /// trajectory remains comparable across PRs).
+    epochs: u64,
+    /// Arena pressure: highest heap usage at any epoch boundary, in words.
+    heap_high_water: usize,
 }
 
 fn algo_kind(name: &str) -> AlgoKind {
@@ -71,8 +76,12 @@ fn algo_kind(name: &str) -> AlgoKind {
 fn run_config(algo_name: &str, mode: Mode, threads: usize) -> Sample {
     let mut best: Option<Sample> = None;
     for _ in 0..REPEATS {
-        let exec =
-            ExecMode::Real { threads, run_for: None, cfg: mode.real_config() };
+        let exec = ExecMode::Real {
+            threads,
+            run_for: None,
+            cfg: mode.real_config(),
+            epoch_rounds: None,
+        };
         let r: HarnessReport = run_philosophers_mode(
             threads,
             ATTEMPTS_PER_THREAD,
@@ -94,6 +103,8 @@ fn run_config(algo_name: &str, mode: Mode, threads: usize) -> Sample {
                 wall_secs: wall,
                 wins: r.wins,
                 attempts: r.attempts,
+                epochs: r.epochs,
+                heap_high_water: r.heap_high_water,
             });
         }
     }
@@ -141,8 +152,9 @@ fn main() {
                 let _ = write!(
                     json,
                     "    {{\"algo\": \"{algo}\", \"mode\": \"{mode_name}\", \"threads\": {threads}, \
-                     \"ops_per_sec\": {:.1}, \"wall_secs\": {:.6}, \"wins\": {}, \"attempts\": {}}}",
-                    s.ops_per_sec, s.wall_secs, s.wins, s.attempts
+                     \"ops_per_sec\": {:.1}, \"wall_secs\": {:.6}, \"wins\": {}, \"attempts\": {}, \
+                     \"epochs\": {}, \"heap_high_water\": {}}}",
+                    s.ops_per_sec, s.wall_secs, s.wins, s.attempts, s.epochs, s.heap_high_water
                 );
             }
         }

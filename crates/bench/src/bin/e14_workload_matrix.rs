@@ -8,11 +8,21 @@
 //! binary is simultaneously a benchmark sweep and a mutual-exclusion
 //! test matrix. A safety violation in any cell aborts the run.
 //!
-//! Emits `BENCH_workloads.json` with one record per cell.
+//! Emits `BENCH_workloads.json` with one record per cell (including each
+//! cell's `epochs` and `heap_high_water`, so the JSON tracks arena
+//! pressure across the perf trajectory).
 //!
-//! Usage: `e14_workload_matrix [--smoke]`
+//! Usage: `e14_workload_matrix [--smoke] [--soak]`
 //!   --smoke : CI-sized matrix (1–2 threads, tiny attempt counts, short
 //!             timed budget) so the real-threads harness path cannot rot.
+//!   --soak  : the **multi-epoch soak** matrix instead of the standard one:
+//!             timed real cells with a deliberately small heap and short
+//!             epoch batches, so every cell crosses several quiescent
+//!             resets (heap rewind + tag rewind + re-root). Each cell must
+//!             complete >= 3 epochs, run for its full wall budget (within
+//!             10%), and pass every safety check aggregated across epochs.
+//!             Sim cells run the same lifecycle deterministically. Emits
+//!             `BENCH_soak.json`.
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -62,6 +72,41 @@ const SMOKE: MatrixParams = MatrixParams {
     heap_words: 1 << 22,
 };
 
+/// Soak sizing: the heap is deliberately small and the epoch batches short,
+/// so the wall budget forces many quiescent resets. `rounds` caps a single
+/// epoch (the timed run keeps opening epochs until the deadline); the sim
+/// leg runs `sim_total_rounds` split into the same epoch length.
+#[derive(Clone, Copy)]
+struct SoakParams {
+    thread_counts: &'static [usize],
+    real_budget: Duration,
+    epoch_rounds: usize,
+    list_epoch_keys: usize,
+    sim_total_rounds: usize,
+    sim_steps: u64,
+    heap_words: usize,
+}
+
+const FULL_SOAK: SoakParams = SoakParams {
+    thread_counts: &[2, 4, 8],
+    real_budget: Duration::from_millis(800),
+    epoch_rounds: 48,
+    list_epoch_keys: 12,
+    sim_total_rounds: 96,
+    sim_steps: 600_000_000,
+    heap_words: 1 << 21,
+};
+
+const SMOKE_SOAK: SoakParams = SoakParams {
+    thread_counts: &[2],
+    real_budget: Duration::from_millis(300),
+    epoch_rounds: 24,
+    list_epoch_keys: 6,
+    sim_total_rounds: 48,
+    sim_steps: 200_000_000,
+    heap_words: 1 << 20,
+};
+
 const WORKLOADS: [&str; 5] = ["random_conflict", "philosophers", "bank", "list", "graph"];
 
 /// The matrix's algorithm set. Wfl runs without delays: the delay padding
@@ -77,11 +122,20 @@ fn algos(threads: usize) -> [AlgoKind; 5] {
     ]
 }
 
+struct CellShape {
+    conflict_attempts: usize,
+    phil_attempts: usize,
+    bank_rounds: usize,
+    list_keys: usize,
+    graph_rounds: usize,
+    heap_words: usize,
+}
+
 fn run_cell(
     workload: &str,
     algo: AlgoKind,
     threads: usize,
-    p: &MatrixParams,
+    p: &CellShape,
     mode: &ExecMode,
 ) -> HarnessReport {
     let seed = 42;
@@ -133,10 +187,40 @@ fn cell_procs(workload: &str, threads: usize) -> usize {
     }
 }
 
-fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let p = if smoke { SMOKE } else { FULL };
+fn json_cell(
+    json: &mut String,
+    first: &mut bool,
+    workload: &str,
+    algo: AlgoKind,
+    threads: usize,
+    mode_label: &str,
+    r: &HarnessReport,
+) {
+    if !*first {
+        json.push_str(",\n");
+    }
+    *first = false;
+    let wall = r.wall.map_or(0.0, |w| w.as_secs_f64());
+    let _ = write!(
+        json,
+        "    {{\"workload\": \"{workload}\", \"algo\": \"{}\", \"threads\": {threads}, \
+         \"mode\": \"{mode_label}\", \"attempts\": {}, \"wins\": {}, \"success_rate\": {:.4}, \
+         \"mean_steps\": {:.1}, \"p99_steps\": {}, \"wall_secs\": {:.6}, \
+         \"wins_per_sec\": {:.1}, \"epochs\": {}, \"heap_high_water\": {}, \"safety_ok\": true}}",
+        algo.label(),
+        r.attempts,
+        r.wins,
+        r.success.rate(),
+        r.steps.mean(),
+        r.steps.percentile(0.99),
+        wall,
+        r.wins_per_sec().unwrap_or(0.0),
+        r.epochs,
+        r.heap_high_water,
+    );
+}
 
+fn run_matrix(p: &MatrixParams, smoke: bool) {
     println!("# E14: workload matrix — algos x workloads x threads, sim + real");
     println!("(every cell doubles as a mutual-exclusion test; smoke = {smoke})");
     println!();
@@ -146,6 +230,15 @@ fn main() {
     let _ = writeln!(json, "  \"bench\": \"e14_workload_matrix\",");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     json.push_str("  \"cells\": [\n");
+
+    let shape = CellShape {
+        conflict_attempts: p.conflict_attempts,
+        phil_attempts: p.phil_attempts,
+        bank_rounds: p.bank_rounds,
+        list_keys: p.list_keys,
+        graph_rounds: p.graph_rounds,
+        heap_words: p.heap_words,
+    };
 
     let mut cells = 0u64;
     let mut first = true;
@@ -158,15 +251,11 @@ fn main() {
             }
             for algo in algos(threads) {
                 let modes = [
-                    ExecMode::Sim(SchedKind::Random, p.sim_steps),
-                    ExecMode::Real {
-                        threads,
-                        run_for: Some(p.real_budget),
-                        cfg: wfl_runtime::RealConfig::fast(),
-                    },
+                    ExecMode::sim(SchedKind::Random, p.sim_steps),
+                    ExecMode::real_timed(threads, p.real_budget),
                 ];
                 for mode in &modes {
-                    let r = run_cell(workload, algo, threads, &p, mode);
+                    let r = run_cell(workload, algo, threads, &shape, mode);
                     assert!(
                         r.safety_ok,
                         "SAFETY VIOLATION: {workload}/{}/{}t/{}",
@@ -186,26 +275,7 @@ fn main() {
                         format!("{wall:.4}"),
                         "ok".to_string(),
                     ]);
-                    if !first {
-                        json.push_str(",\n");
-                    }
-                    first = false;
-                    let _ = write!(
-                        json,
-                        "    {{\"workload\": \"{workload}\", \"algo\": \"{}\", \"threads\": {threads}, \
-                         \"mode\": \"{}\", \"attempts\": {}, \"wins\": {}, \"success_rate\": {:.4}, \
-                         \"mean_steps\": {:.1}, \"p99_steps\": {}, \"wall_secs\": {:.6}, \
-                         \"wins_per_sec\": {:.1}, \"safety_ok\": true}}",
-                        algo.label(),
-                        mode.label(),
-                        r.attempts,
-                        r.wins,
-                        r.success.rate(),
-                        r.steps.mean(),
-                        r.steps.percentile(0.99),
-                        wall,
-                        r.wins_per_sec().unwrap_or(0.0),
-                    );
+                    json_cell(&mut json, &mut first, workload, algo, threads, mode.label(), &r);
                 }
             }
         }
@@ -218,4 +288,128 @@ fn main() {
     std::fs::write("BENCH_workloads.json", &json).expect("write BENCH_workloads.json");
     println!("all {cells} cells passed their safety checks");
     println!("wrote BENCH_workloads.json");
+}
+
+fn run_soak(p: &SoakParams, smoke: bool) {
+    println!("# E14 --soak: multi-epoch soak — quiescent resets under wall-clock pressure");
+    println!(
+        "(heap {} words, {} rounds/epoch, real budget {:?}; every real cell must cross >= 3 epochs; smoke = {smoke})",
+        p.heap_words, p.epoch_rounds, p.real_budget
+    );
+    println!();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"e14_workload_matrix_soak\",");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"heap_words\": {},", p.heap_words);
+    let _ = writeln!(json, "  \"epoch_rounds\": {},", p.epoch_rounds);
+    let _ = writeln!(json, "  \"real_budget_secs\": {:.3},", p.real_budget.as_secs_f64());
+    json.push_str("  \"cells\": [\n");
+
+    // In soak cells the per-workload round counts are the *epoch* batch
+    // size; timed real cells keep opening epochs until the deadline.
+    let shape = CellShape {
+        conflict_attempts: p.epoch_rounds,
+        phil_attempts: p.epoch_rounds,
+        bank_rounds: p.epoch_rounds,
+        list_keys: p.list_epoch_keys,
+        graph_rounds: p.epoch_rounds,
+        heap_words: p.heap_words,
+    };
+    // The sim leg runs a fixed multi-epoch total with the same batch size,
+    // so the epoch-crossing path is also exercised deterministically.
+    let sim_shape = CellShape {
+        conflict_attempts: p.sim_total_rounds,
+        phil_attempts: p.sim_total_rounds,
+        bank_rounds: p.sim_total_rounds,
+        list_keys: 2 * p.list_epoch_keys,
+        graph_rounds: p.sim_total_rounds,
+        heap_words: p.heap_words,
+    };
+
+    let mut cells = 0u64;
+    let mut first = true;
+    for workload in WORKLOADS {
+        wfl_bench::header(&["cell", "mode", "attempts", "wins", "epochs", "high water", "wall (s)", "safety"]);
+        for &row_threads in p.thread_counts {
+            let threads = cell_procs(workload, row_threads);
+            if threads != row_threads && p.thread_counts.contains(&threads) {
+                continue;
+            }
+            for algo in algos(threads) {
+                // The list workload uses a smaller epoch (each round may
+                // draw up to 64 retry tags, so its batch must stay well
+                // inside the per-process tag space).
+                let epoch_len = if workload == "list" { p.list_epoch_keys } else { p.epoch_rounds };
+                let modes = [
+                    (
+                        ExecMode::sim(SchedKind::Random, p.sim_steps).with_epoch_rounds(epoch_len),
+                        &sim_shape,
+                    ),
+                    (
+                        ExecMode::real_timed(threads, p.real_budget).with_epoch_rounds(epoch_len),
+                        &shape,
+                    ),
+                ];
+                for (mode, cell_shape) in &modes {
+                    let r = run_cell(workload, algo, threads, cell_shape, mode);
+                    let cell = format!("{workload}/{}/{}t/{}", algo.label(), threads, mode.label());
+                    assert!(r.safety_ok, "SAFETY VIOLATION across epochs: {cell}");
+                    if let ExecMode::Real { run_for: Some(budget), .. } = mode {
+                        // The acceptance criteria of the epoch lifecycle:
+                        // several boundaries crossed, the full wall budget
+                        // used (within 10% plus scheduling slack), the
+                        // arena never grew past its small capacity.
+                        assert!(r.epochs >= 3, "{cell}: only {} epochs", r.epochs);
+                        let wall = r.wall.expect("real cells report wall");
+                        let lo = budget.mul_f64(0.9);
+                        let hi = *budget + budget.mul_f64(0.10).max(Duration::from_millis(250));
+                        assert!(
+                            wall >= lo && wall <= hi,
+                            "{cell}: wall {wall:?} not within 10% of requested {budget:?}"
+                        );
+                    } else {
+                        assert!(r.epochs >= 2, "{cell}: sim soak must cross an epoch boundary");
+                    }
+                    assert!(
+                        r.heap_high_water <= p.heap_words,
+                        "{cell}: high water {} exceeds the arena",
+                        r.heap_high_water
+                    );
+                    cells += 1;
+                    let wall = r.wall.map_or(0.0, |w| w.as_secs_f64());
+                    wfl_bench::row(&[
+                        cell,
+                        mode.label().to_string(),
+                        r.attempts.to_string(),
+                        r.wins.to_string(),
+                        r.epochs.to_string(),
+                        r.heap_high_water.to_string(),
+                        format!("{wall:.4}"),
+                        "ok".to_string(),
+                    ]);
+                    json_cell(&mut json, &mut first, workload, algo, threads, mode.label(), &r);
+                }
+            }
+        }
+        println!();
+    }
+    json.push_str("\n  ],\n");
+    let _ = writeln!(json, "  \"cells_total\": {cells}");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_soak.json", &json).expect("write BENCH_soak.json");
+    println!("all {cells} soak cells crossed their epoch boundaries safely");
+    println!("wrote BENCH_soak.json");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let soak = std::env::args().any(|a| a == "--soak");
+    if soak {
+        run_soak(if smoke { &SMOKE_SOAK } else { &FULL_SOAK }, smoke);
+    } else {
+        run_matrix(if smoke { &SMOKE } else { &FULL }, smoke);
+    }
 }

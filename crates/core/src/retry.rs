@@ -43,11 +43,14 @@ pub fn lock_and_run(
     }
 }
 
-/// Like [`lock_and_run`], but gives up after `max_attempts` **or** as soon
-/// as the driver's cooperative stop flag is raised between attempts (so a
-/// timed real-threads run, or the simulator's drain phase, is never wedged
-/// behind a long retry loop). Returns `None` on give-up; the thunk has then
-/// never run.
+/// Like [`lock_and_run`], but gives up after `max_attempts`, as soon as the
+/// driver's cooperative stop flag is raised between attempts (so a timed
+/// real-threads run, or the simulator's drain phase, is never wedged behind
+/// a long retry loop), **or** when the caller's tag source is exhausted
+/// (each retry draws one attempt tag; giving up cleanly lets a multi-epoch
+/// driver close the batch and rewind tags at the next quiescent reset
+/// instead of panicking mid-retry). Returns `None` on give-up; the thunk
+/// has then never run.
 #[allow(clippy::too_many_arguments)]
 pub fn lock_and_run_limited(
     ctx: &Ctx<'_>,
@@ -61,6 +64,9 @@ pub fn lock_and_run_limited(
 ) -> Option<RetryMetrics> {
     let mut steps = 0;
     for attempt in 1..=max_attempts {
+        if tags.remaining() == 0 {
+            return None;
+        }
         let m = try_locks(ctx, space, registry, cfg, tags, scratch, req);
         steps += m.steps;
         if m.won {
@@ -166,6 +172,48 @@ mod tests {
                 )
                 .expect("uncontended attempt must succeed within the limit");
                 assert_eq!(m.attempts, 1, "solo attempts succeed first try");
+            })
+            .run();
+        report.assert_clean();
+        assert_eq!(cell::value(heap.peek(counter)), 1);
+    }
+
+    #[test]
+    fn limited_retry_gives_up_cleanly_on_tag_exhaustion() {
+        // Drain the tag source to its last serial before calling: the retry
+        // wrapper must return `None` (attempt never started) rather than
+        // panicking inside `try_locks` — this is what lets an epoch batch
+        // end at the tag boundary and rewind at the next quiescent reset.
+        let mut registry = Registry::new();
+        let incr = registry.register(Incr);
+        let heap = Heap::new(1 << 20);
+        let space = LockSpace::create_root(&heap, 1, 1);
+        let counter = heap.alloc_root(1);
+        let cfg = LockConfig::new(1, 1, 2).without_delays();
+        let (space_ref, reg_ref, cfg_ref) = (&space, &registry, &cfg);
+        let report = SimBuilder::new(&heap, 1)
+            .spawn(move |ctx: &wfl_runtime::Ctx| {
+                let mut tags = TagSource::new(0);
+                while tags.remaining() > 0 {
+                    tags.next_base();
+                }
+                let mut scratch = Scratch::new();
+                let req = TryLockRequest {
+                    locks: &[LockId(0)],
+                    thunk: incr,
+                    args: &[counter.to_word()],
+                };
+                let m = lock_and_run_limited(
+                    ctx, space_ref, reg_ref, cfg_ref, &mut tags, &mut scratch, req, 10,
+                );
+                assert!(m.is_none(), "exhausted tags must give up, not panic");
+                // After a rewind (as the epoch boundary performs) the same
+                // request succeeds.
+                tags.reset();
+                let m = lock_and_run_limited(
+                    ctx, space_ref, reg_ref, cfg_ref, &mut tags, &mut scratch, req, 10,
+                );
+                assert!(m.is_some(), "rewound tags must work again");
             })
             .run();
         report.assert_clean();

@@ -5,14 +5,26 @@
 //! Uniqueness is what makes tagged writes apply at most once (no cell state
 //! ever repeats, so no ABA); it is guaranteed *per heap lifetime* without
 //! any shared coordination: each process draws attempt serials from its own
-//! counter. After a quiescent [`wfl_runtime::Heap::reset_to`] the counters
-//! may be rewound (the harness does this), because no helper from before
-//! the reset can still be poised to apply a stale operation.
+//! counter. After a quiescent [`wfl_runtime::Heap::reset_to`] /
+//! [`wfl_runtime::Heap::reset_to_quiescent`] the counters may be rewound
+//! (the harness's epoch lifecycle does this at every boundary), because no
+//! helper from before the reset can still be poised to apply a stale
+//! operation.
+//!
+//! Tag 0 is reserved for untagged cells, which costs exactly one encoding:
+//! `pid 0, serial 0, op 0`. Process 0 therefore starts its serials at 1
+//! ([`MAX_ATTEMPTS`]` - 1` usable attempts); every other process uses the
+//! full range of [`MAX_ATTEMPTS`] serials. [`MIN_PROCESS_CAPACITY`] is the
+//! bound that holds for every process.
 
 /// Maximum processes whose pids fit the tag layout.
 pub const MAX_PIDS: usize = 1 << 10;
-/// Maximum attempts per process per heap lifetime.
+/// Attempt serials in the tag layout (the per-process capacity is this for
+/// every pid except 0, which loses one serial to the reserved tag 0).
 pub const MAX_ATTEMPTS: u32 = 1 << 12;
+/// Attempts per process per heap lifetime guaranteed for **every** process
+/// (process 0's capacity; see module docs).
+pub const MIN_PROCESS_CAPACITY: u32 = MAX_ATTEMPTS - 1;
 /// Maximum shared operations per thunk.
 pub const MAX_OPS: usize = 1 << 8;
 
@@ -21,6 +33,8 @@ pub const MAX_OPS: usize = 1 << 8;
 pub struct TagSource {
     pid: u32,
     counter: u32,
+    /// First usable serial (1 for pid 0, else 0); `reset` rewinds to it.
+    start: u32,
 }
 
 impl TagSource {
@@ -30,27 +44,42 @@ impl TagSource {
     /// Panics if `pid >= MAX_PIDS`.
     pub fn new(pid: usize) -> TagSource {
         assert!(pid < MAX_PIDS, "pid {pid} exceeds tag space ({MAX_PIDS} pids)");
-        TagSource { pid: pid as u32, counter: 0 }
+        // Serial 0 of pid 0 would make `op_tag(base, 0) == 0`, the reserved
+        // untagged-cell encoding — skip exactly that one serial.
+        let start = if pid == 0 { 1 } else { 0 };
+        TagSource { pid: pid as u32, counter: start, start }
     }
 
     /// Returns a fresh attempt tag base. Op tags are `base | op_index`.
     ///
     /// # Panics
-    /// Panics if the process exceeds [`MAX_ATTEMPTS`] attempts without a
-    /// heap reset (the experiment harness resets well before this).
+    /// Panics if the process exceeds its attempt capacity without a heap
+    /// reset (the harness's epoch lifecycle resets well before this).
     pub fn next_base(&mut self) -> u32 {
-        self.counter += 1;
         assert!(
             self.counter < MAX_ATTEMPTS,
-            "tag space exhausted for pid {}: reset the heap between batches",
+            "tag space exhausted for pid {}: reset the heap between epochs",
             self.pid
         );
-        (self.pid << 20) | (self.counter << 8)
+        let base = (self.pid << 20) | (self.counter << 8);
+        self.counter += 1;
+        base
+    }
+
+    /// Attempt serials this source can ever draw per heap lifetime.
+    pub fn capacity(&self) -> u32 {
+        MAX_ATTEMPTS - self.start
+    }
+
+    /// Attempt serials still available before [`TagSource::next_base`]
+    /// panics (0 = exhausted; reset the heap and rewind).
+    pub fn remaining(&self) -> u32 {
+        MAX_ATTEMPTS - self.counter
     }
 
     /// Rewinds the counter after a quiescent heap reset.
     pub fn reset(&mut self) {
-        self.counter = 0;
+        self.counter = self.start;
     }
 }
 
@@ -97,19 +126,66 @@ mod tests {
         assert!(op_tag(base, 0) > 0, "tag 0 is reserved for untagged cells");
         let mut src_max = TagSource::new(MAX_PIDS - 1);
         let mut last = 0;
-        for _ in 0..(MAX_ATTEMPTS - 1) {
+        for _ in 0..MAX_ATTEMPTS {
             last = src_max.next_base();
         }
-        assert!(op_tag(last, MAX_OPS - 1) <= crate::cell::TAG_MAX);
+        assert_eq!(
+            op_tag(last, MAX_OPS - 1),
+            crate::cell::TAG_MAX,
+            "the very last drawable tag is exactly the 30-bit maximum"
+        );
+    }
+
+    #[test]
+    fn nonzero_pids_use_the_full_serial_range() {
+        // Regression for the off-by-one: the counter used to be
+        // pre-incremented then asserted, wasting serial 0 for every pid.
+        let mut src = TagSource::new(7);
+        assert_eq!(src.capacity(), MAX_ATTEMPTS);
+        assert_eq!(src.remaining(), MAX_ATTEMPTS);
+        let first = src.next_base();
+        assert_eq!(first, 7 << 20, "serial 0 is usable for pid != 0");
+        let mut seen = HashSet::new();
+        seen.insert(first);
+        for _ in 1..MAX_ATTEMPTS {
+            let base = src.next_base();
+            assert!(seen.insert(base), "duplicate base inside the full range");
+            assert!(op_tag(base, 0) != 0, "no pid-7 tag can collide with the reserved 0");
+        }
+        assert_eq!(seen.len() as u32, MAX_ATTEMPTS);
+        assert_eq!(src.remaining(), 0);
+    }
+
+    #[test]
+    fn pid_zero_reserves_only_serial_zero() {
+        let mut src = TagSource::new(0);
+        assert_eq!(src.capacity(), MIN_PROCESS_CAPACITY);
+        for _ in 0..MIN_PROCESS_CAPACITY {
+            assert!(src.next_base() != 0, "pid 0 must never emit the reserved base");
+        }
+        assert_eq!(src.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tag space exhausted")]
+    fn draw_past_capacity_panics_at_the_boundary() {
+        let mut src = TagSource::new(1);
+        for _ in 0..MAX_ATTEMPTS {
+            src.next_base();
+        }
+        src.next_base(); // one past the boundary
     }
 
     #[test]
     fn reset_rewinds_counter() {
-        let mut src = TagSource::new(1);
-        let first = src.next_base();
-        src.next_base();
-        src.reset();
-        assert_eq!(src.next_base(), first);
+        for pid in [0usize, 1] {
+            let mut src = TagSource::new(pid);
+            let first = src.next_base();
+            src.next_base();
+            src.reset();
+            assert_eq!(src.next_base(), first, "pid {pid}");
+            assert_eq!(src.remaining(), src.capacity() - 1, "pid {pid}");
+        }
     }
 
     #[test]

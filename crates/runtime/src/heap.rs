@@ -210,6 +210,30 @@ impl Heap {
         *self.bump.get_mut() = mark;
     }
 
+    /// Like [`Heap::reset_to`], but callable through a shared reference —
+    /// the form the epoch protocol needs, where the resetting thread is one
+    /// of the worker threads and cannot hold `&mut Heap`.
+    ///
+    /// # Safety (logical)
+    /// Only sound at *quiescent points*: every other thread must be parked
+    /// at an epoch barrier (see [`crate::epoch::EpochSync`]) whose release
+    /// happens-after this call returns. The barrier's lock provides the
+    /// happens-before edges in both directions: the workers' final writes of
+    /// the old epoch are visible to the resetter (they arrived through the
+    /// barrier's mutex before it ran), and the zeroing below is visible to
+    /// every worker the barrier releases afterwards. Violating quiescence
+    /// (any thread still running algorithm code) corrupts live records.
+    pub fn reset_to_quiescent(&self, mark: usize) {
+        let used = self.bump.load(Ordering::SeqCst);
+        assert!(mark <= used, "reset mark {mark} beyond used {used}");
+        for w in &self.words[mark..used] {
+            // Relaxed would suffice (the barrier publishes the zeroes), but
+            // this is a cold path — keep the conservative ordering.
+            w.store(0, Ordering::SeqCst);
+        }
+        self.bump.store(mark, Ordering::SeqCst);
+    }
+
     /// A 64-bit FNV-1a hash of the allocated portion of the heap. Used by
     /// tests to assert that simulated executions are deterministic.
     pub fn fingerprint(&self) -> u64 {
@@ -275,6 +299,22 @@ mod tests {
         assert_eq!(t2, t, "bump rolled back");
         assert_eq!(heap.peek(t2), 0, "transient region re-zeroed");
         assert_eq!(heap.peek(t2.off(1)), 0);
+    }
+
+    #[test]
+    fn quiescent_reset_matches_exclusive_reset() {
+        let heap = Heap::new(64);
+        let root = heap.alloc_root(1);
+        heap.poke(root, 7);
+        let mark = heap.mark();
+        let t = heap.alloc_root(3);
+        heap.poke(t.off(2), 9);
+        heap.reset_to_quiescent(mark);
+        assert_eq!(heap.used(), mark);
+        assert_eq!(heap.peek(root), 7, "pre-mark words survive");
+        let t2 = heap.alloc_root(3);
+        assert_eq!(t2, t, "bump rolled back");
+        assert_eq!(heap.peek(t2.off(2)), 0, "transient region re-zeroed");
     }
 
     #[test]

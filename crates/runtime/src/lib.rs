@@ -52,6 +52,7 @@
 //! ```
 
 pub mod ctx;
+pub mod epoch;
 pub mod gate;
 pub mod heap;
 pub mod history;
@@ -63,7 +64,8 @@ pub mod stats;
 pub mod trace;
 
 pub use ctx::{ClockMode, Ctx, OrderTier};
+pub use epoch::{run_epoch_worker, Arrival, EpochState, EpochSync};
 pub use heap::{Addr, Heap, NULL};
 pub use history::{Event, History};
-pub use real::{run_threads, run_threads_with, RealConfig};
+pub use real::{run_threads, run_threads_epochs, run_threads_with, RealConfig};
 pub use schedule::Schedule;

@@ -14,6 +14,7 @@
 //! contends on. See `DESIGN.md` §2.
 
 use crate::ctx::{ClockMode, Ctx, OrderTier};
+use crate::epoch::{EpochState, EpochSync};
 use crate::heap::Heap;
 use crate::history::{Event, History};
 use parking_lot::{Condvar, Mutex};
@@ -67,6 +68,10 @@ pub struct RealReport {
     pub history: History,
     /// Panics caught in process bodies: `(pid, message)`.
     pub panics: Vec<(usize, String)>,
+    /// Heap lifetimes (epochs) the run spanned: 1 for a plain
+    /// [`run_threads_with`] run, the boundary count reported by the
+    /// [`EpochState`] for a [`run_threads_epochs`] run.
+    pub epochs: u64,
 }
 
 impl RealReport {
@@ -180,7 +185,48 @@ where
         .enumerate()
         .filter_map(|(pid, m)| m.lock().take().map(|msg| (pid, msg)))
         .collect();
-    RealReport { steps, wall, history: History::from_parts(events), panics }
+    RealReport { steps, wall, history: History::from_parts(events), panics, epochs: 1 }
+}
+
+/// Like [`run_threads_with`], but for **multi-epoch** runs.
+///
+/// This entry point does not itself rendezvous — the worker bodies **must**
+/// drive their batches through [`crate::epoch::run_epoch_worker`] over the
+/// same `sync`/`state` pair, with a leader closure that performs the
+/// quiescent `EpochState::advance` (heap rewind) and re-roots the workload
+/// while everyone else is parked. What this wrapper owns is the contract
+/// around that protocol: the barrier must be sized to the process group
+/// (asserted below), and the returned report's `epochs` field is stamped
+/// from `state` after the run so callers can cross-check it against their
+/// own boundary accounting (the workload harness asserts the two agree).
+///
+/// # Panics
+/// Panics if the barrier's membership does not equal `nprocs` (a mis-sized
+/// barrier either deadlocks or lets epochs overlap).
+#[allow(clippy::too_many_arguments)]
+pub fn run_threads_epochs<'a, F, G>(
+    heap: &Heap,
+    nprocs: usize,
+    seed: u64,
+    run_for: Option<Duration>,
+    cfg: RealConfig,
+    state: &EpochState,
+    sync: &EpochSync,
+    make_body: F,
+) -> RealReport
+where
+    F: FnMut(usize) -> G,
+    G: FnOnce(&Ctx<'_>) + Send + 'a,
+{
+    assert_eq!(
+        sync.members(),
+        nprocs,
+        "epoch barrier sized for {} members but the run has {nprocs} processes",
+        sync.members()
+    );
+    let mut report = run_threads_with(heap, nprocs, seed, run_for, cfg, make_body);
+    report.epochs = state.epochs();
+    report
 }
 
 #[cfg(test)]
@@ -286,6 +332,49 @@ mod tests {
         report.assert_clean();
         assert!(report.wall >= Duration::from_millis(40));
         assert!(report.wall < Duration::from_secs(5), "stop flag never observed");
+    }
+
+    #[test]
+    fn epoch_run_reports_boundary_count_and_reuses_the_arena() {
+        use crate::epoch::{run_epoch_worker, EpochState};
+
+        let heap = Heap::new(1 << 8);
+        let persistent = heap.alloc_root(1);
+        let state = EpochState::new(&heap);
+        let sync = EpochSync::new(3);
+        let report = run_threads_epochs(&heap, 3, 1, None, RealConfig::fast(), &state, &sync, |_pid| {
+            let (state, sync) = (&state, &sync);
+            move |ctx: &Ctx| {
+                run_epoch_worker(
+                    ctx,
+                    sync,
+                    |ctx, _epoch| {
+                        // Per-epoch transient allocation plus a counted
+                        // write: both must be wiped by each boundary.
+                        let t = ctx.alloc(4);
+                        ctx.write(t, 1);
+                    },
+                    |ctx, epoch| {
+                        let heap = ctx.heap();
+                        heap.poke(persistent, heap.peek(persistent) + 1);
+                        if epoch < 3 {
+                            state.advance(heap);
+                            true
+                        } else {
+                            state.finish(heap);
+                            false
+                        }
+                    },
+                );
+            }
+        });
+        report.assert_clean();
+        assert_eq!(report.epochs, 4, "three resets plus the final epoch");
+        assert_eq!(heap.peek(persistent), 4, "one boundary visit per epoch");
+        // Every epoch allocated the same 3x4 transient words; resets
+        // recycled them, so usage never compounds across epochs.
+        assert_eq!(state.high_water(), state.mark() + 12);
+        assert_eq!(heap.used(), state.mark() + 12);
     }
 
     #[test]

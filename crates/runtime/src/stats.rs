@@ -29,6 +29,14 @@ impl Summary {
         }
     }
 
+    /// Appends every sample of `other` (used by the epoch harness to fold
+    /// per-epoch summaries into a whole-run summary). Invalidates the
+    /// cached sorted copy like [`Summary::push`].
+    pub fn merge(&mut self, other: &Summary) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = OnceLock::new();
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.samples.len()
@@ -204,6 +212,25 @@ mod tests {
         // Cloned summaries answer identically.
         let c = s.clone();
         assert_eq!(c.percentile(0.5), s.percentile(0.5));
+    }
+
+    #[test]
+    fn merge_concatenates_samples_and_invalidates_cache() {
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for x in [1u64, 3, 5] {
+            a.push(x);
+        }
+        for x in [2u64, 100] {
+            b.push(x);
+        }
+        assert_eq!(a.percentile(1.0), 5, "prime the sorted cache");
+        a.merge(&b);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.percentile(1.0), 100, "merge must invalidate the cache");
+        assert_eq!(a.min(), 1);
+        a.merge(&Summary::new());
+        assert_eq!(a.len(), 5, "merging an empty summary is a no-op");
     }
 
     #[test]

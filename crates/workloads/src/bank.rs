@@ -47,12 +47,19 @@ pub struct Bank {
 impl Bank {
     /// Allocates `n` accounts with `initial` balance each.
     pub fn create_root(heap: &Heap, registry: &mut Registry, n: usize, initial: u32) -> Bank {
+        Bank::re_root(heap, n, initial, registry.register(TransferThunk))
+    }
+
+    /// (Re-)allocates the accounts against a pre-registered transfer thunk
+    /// — the epoch-lifecycle hook (thunks register once per run, heap
+    /// roots are re-created after every quiescent reset).
+    pub fn re_root(heap: &Heap, n: usize, initial: u32, transfer: ThunkId) -> Bank {
         assert!(n >= 2, "need at least two accounts");
         let balances = heap.alloc_root(n);
         for i in 0..n {
             heap.poke(balances.off(i as u32), cell::untagged(initial));
         }
-        Bank { n, balances, transfer: registry.register(TransferThunk) }
+        Bank { n, balances, transfer }
     }
 
     /// One transfer attempt of `amt` from account `a` to account `b`.

@@ -59,12 +59,20 @@ pub struct Graph {
 impl Graph {
     /// Builds a ring of `n` vertices (degree 2) with initial values.
     pub fn ring(heap: &Heap, registry: &mut Registry, n: usize, init: &[u32]) -> Graph {
+        Self::ring_rooted(heap, n, init, registry.register(RelaxThunk { max_degree: 2 }))
+    }
+
+    /// Ring topology against a pre-registered relax thunk (must have been
+    /// registered with `max_degree >= 2`) — the epoch-lifecycle hook
+    /// (thunks register once per run, heap roots are re-created after
+    /// every quiescent reset).
+    pub fn ring_rooted(heap: &Heap, n: usize, init: &[u32], relax: ThunkId) -> Graph {
         assert!(n >= 3, "a ring needs at least 3 vertices");
         assert_eq!(init.len(), n);
-        let adj = (0..n as u32)
+        let adj: Vec<Vec<u32>> = (0..n as u32)
             .map(|v| vec![(v + n as u32 - 1) % n as u32, (v + 1) % n as u32])
             .collect();
-        Self::with_adj(heap, registry, adj, init)
+        Self::with_adj_rooted(heap, adj, init, relax)
     }
 
     /// Builds a 2-D grid graph of `rows × cols` vertices (degree ≤ 4).
@@ -91,14 +99,21 @@ impl Graph {
 
     /// Builds a graph from explicit (symmetric) adjacency lists.
     pub fn with_adj(heap: &Heap, registry: &mut Registry, adj: Vec<Vec<u32>>, init: &[u32]) -> Graph {
-        let n = adj.len();
         let max_degree = adj.iter().map(Vec::len).max().unwrap_or(0);
+        let relax = registry.register(RelaxThunk { max_degree });
+        Self::with_adj_rooted(heap, adj, init, relax)
+    }
+
+    /// Adjacency-list topology against a pre-registered relax thunk (its
+    /// `max_degree` must cover this graph's maximum degree).
+    pub fn with_adj_rooted(heap: &Heap, adj: Vec<Vec<u32>>, init: &[u32], relax: ThunkId) -> Graph {
+        let n = adj.len();
         let values = heap.alloc_root(n);
         let counts = heap.alloc_root(n);
         for (i, &v) in init.iter().enumerate() {
             heap.poke(values.off(i as u32), cell::untagged(v));
         }
-        Graph { adj, values, counts, relax: registry.register(RelaxThunk { max_degree }) }
+        Graph { adj, values, counts, relax }
     }
 
     /// Number of vertices.

@@ -1,4 +1,5 @@
-//! An algorithm-agnostic, backend-agnostic experiment harness.
+//! An algorithm-agnostic, backend-agnostic experiment harness with a
+//! first-class **epoch lifecycle**.
 //!
 //! Every workload driver in this module runs under **either execution
 //! backend** behind [`ExecMode`]:
@@ -6,31 +7,61 @@
 //! * [`ExecMode::Sim`] — the deterministic simulator (any schedule family,
 //!   bounded scheduled steps), for adversarial and replayable runs;
 //! * [`ExecMode::Real`] — one free-running OS thread per process via
-//!   [`wfl_runtime::real::run_threads_with`], optionally timed, for
-//!   throughput and hardware-race stress.
+//!   [`wfl_runtime::real`], optionally timed, for throughput and
+//!   hardware-race stress.
+//!
+//! # Epochs
+//!
+//! The tagged-write idempotence scheme is sound *per heap lifetime*, and
+//! each process's attempt serials are finite (`wfl_idem::tag`), so a run
+//! that should outlast one tag space proceeds in **epochs**: batches of
+//! rounds separated by quiescent resets. [`ExecMode::with_epoch_rounds`]
+//! sets the batch length; at every boundary the recorded outcomes are
+//! aggregated and safety-checked, the arena is rewound to the pre-root
+//! watermark, the per-process tag counters are rewound, and the workload's
+//! roots (data structure, outcome slots, the algorithm's lock records) are
+//! re-created from scratch via each workload's `re_root` hook. Timed real
+//! runs with an epoch length keep opening fresh epochs until the deadline —
+//! they run for their full `run_for`, no longer bounded by the tag space —
+//! while untimed (and simulator) runs split their fixed round total into
+//! deterministic epochs, so epoch-crossing bugs are schedulable and
+//! replayable. Without an explicit epoch length every run is a single
+//! epoch, exactly the historical behavior.
+//!
+//! In real mode the epoch boundary is a barrier rendezvous
+//! ([`wfl_runtime::epoch::EpochSync`]): workers park, one leader
+//! aggregates, checks, resets and re-roots, and everyone resumes. In sim
+//! mode epochs are consecutive simulator runs with the reset performed
+//! between them on the host thread — same lifecycle, fully deterministic.
+//!
+//! # Safety checking
 //!
 //! The drivers record one outcome word per `(process, round)` attempt into
-//! the shared heap and derive the post-run **safety check from the recorded
-//! outcomes** — each lock counter (or meal counter, update counter, list
-//! snapshot, bank total) must match exactly what the recorded wins imply.
-//! Timed real runs complete a variable number of attempts, so nothing about
-//! the check assumes every round ran; unfinished rounds are simply absent
-//! from both sides of the comparison. Every experiment built on this
+//! the shared heap and derive the post-epoch **safety check from the
+//! recorded outcomes** — each lock counter (or meal counter, update
+//! counter, list snapshot, bank total) must match exactly what the recorded
+//! wins imply. Checks run at *every* epoch boundary and aggregate across
+//! epochs ([`HarnessReport::safety_ok`] is the conjunction), so nothing is
+//! lost or double-counted across a reset. Every experiment built on this
 //! harness is therefore also a mutual-exclusion test — on the simulator
 //! *and* on real hardware — which keeps the benchmark numbers honest.
 
 use crate::graph::Graph;
 use crate::list::SortedList;
 use crate::philosophers;
-use wfl_baselines::{BlockingTpl, LockAlgo, NaiveTryLock, TspLock, WflKnown, WflUnknown};
+use wfl_baselines::{
+    AttemptOutcome, BlockingTpl, LockAlgo, NaiveTryLock, TspLock, WflKnown, WflUnknown,
+};
 use wfl_core::{LockConfig, LockId, LockSpace, Scratch, TryLockRequest, UnknownConfig};
-use wfl_idem::{cell, IdemRun, Registry, TagSource, Thunk};
-use wfl_runtime::real::{run_threads_with, RealConfig};
+use wfl_idem::{cell, IdemRun, Registry, TagSource, Thunk, ThunkId};
+use wfl_runtime::epoch::{run_epoch_worker, EpochState, EpochSync};
+use wfl_runtime::real::{run_threads_epochs, RealConfig};
 use wfl_runtime::rng::Pcg;
 use wfl_runtime::schedule::{Bursty, RoundRobin, Schedule, SeededRandom, Weighted};
 use wfl_runtime::sim::SimBuilder;
 use wfl_runtime::stats::{Bernoulli, Summary};
-use wfl_runtime::{Addr, Ctx, Heap};
+use wfl_runtime::{Addr, Ctx, Event, Heap, History};
+use std::sync::{Mutex, RwLock};
 use std::time::Duration;
 
 /// Critical section used by the random-conflict workload: increment the
@@ -81,15 +112,25 @@ impl SchedKind {
     }
 }
 
-/// Which backend executes a workload's process bodies.
+/// Which backend executes a workload's process bodies, and how the run is
+/// batched into epochs.
 ///
 /// The bodies themselves are identical across backends — they are written
-/// against [`Ctx`] — so switching the mode changes *only* who grants steps.
+/// against [`Ctx`] — so switching the mode changes *only* who grants steps
+/// and where the epoch boundaries fall.
 #[derive(Debug, Clone, Copy)]
 pub enum ExecMode {
-    /// Deterministic simulator: schedule family + scheduled-phase budget
-    /// (the simulator drains cooperatively past the budget).
-    Sim(SchedKind, u64),
+    /// Deterministic simulator.
+    Sim {
+        /// Schedule family.
+        sched: SchedKind,
+        /// Scheduled-phase budget **per epoch** (the simulator drains
+        /// cooperatively past the budget).
+        max_steps: u64,
+        /// Rounds per process per epoch (`None` = the whole run is one
+        /// epoch). Deterministic, so epoch-crossing bugs are replayable.
+        epoch_rounds: Option<usize>,
+    },
     /// Free-running OS threads. `threads` must equal the workload's process
     /// count (it is spelled out so a matrix sweep reads naturally). With
     /// `run_for` set, the driver raises the cooperative stop flag at the
@@ -102,70 +143,67 @@ pub enum ExecMode {
         run_for: Option<Duration>,
         /// Hot-path configuration of the real driver.
         cfg: RealConfig,
+        /// Rounds per process per epoch. With `run_for` also set, the run
+        /// keeps opening fresh epochs until the deadline — wall-clock
+        /// soaks unbounded by the tag space. `None` = single epoch
+        /// (historical behavior).
+        epoch_rounds: Option<usize>,
     },
 }
 
 impl ExecMode {
+    /// A simulator mode (single epoch).
+    pub fn sim(sched: SchedKind, max_steps: u64) -> ExecMode {
+        ExecMode::Sim { sched, max_steps, epoch_rounds: None }
+    }
+
     /// An untimed real-threads mode with the contention-free hot path.
     pub fn real(threads: usize) -> ExecMode {
-        ExecMode::Real { threads, run_for: None, cfg: RealConfig::fast() }
+        ExecMode::Real { threads, run_for: None, cfg: RealConfig::fast(), epoch_rounds: None }
     }
 
     /// A timed real-threads mode with the contention-free hot path.
     pub fn real_timed(threads: usize, run_for: Duration) -> ExecMode {
-        ExecMode::Real { threads, run_for: Some(run_for), cfg: RealConfig::fast() }
+        ExecMode::Real { threads, run_for: Some(run_for), cfg: RealConfig::fast(), epoch_rounds: None }
+    }
+
+    /// Batches the run into epochs of `rounds` rounds per process (clamped
+    /// to at least 1). See the variant docs for the timed/untimed split.
+    pub fn with_epoch_rounds(mut self, rounds: usize) -> ExecMode {
+        let r = Some(rounds.max(1));
+        match &mut self {
+            ExecMode::Sim { epoch_rounds, .. } => *epoch_rounds = r,
+            ExecMode::Real { epoch_rounds, .. } => *epoch_rounds = r,
+        }
+        self
+    }
+
+    /// The configured epoch length, if any.
+    pub fn epoch_rounds(&self) -> Option<usize> {
+        match self {
+            ExecMode::Sim { epoch_rounds, .. } | ExecMode::Real { epoch_rounds, .. } => *epoch_rounds,
+        }
+    }
+
+    /// Rounds per process per epoch for a run of `total_rounds`.
+    pub fn epoch_len(&self, total_rounds: usize) -> usize {
+        self.epoch_rounds().unwrap_or(total_rounds).max(1)
     }
 
     /// Short label for tables and JSON ("sim" / "real").
     pub fn label(&self) -> &'static str {
         match self {
-            ExecMode::Sim(..) => "sim",
+            ExecMode::Sim { .. } => "sim",
             ExecMode::Real { .. } => "real",
         }
     }
 }
 
-/// Runs every process body under the chosen backend and asserts the run
-/// was clean. Returns the wall-clock duration for real runs (`None` in the
-/// simulator, where wall time is meaningless).
-fn drive<'h, F, G>(
-    heap: &'h Heap,
-    nprocs: usize,
-    seed: u64,
-    mode: &ExecMode,
-    make_body: F,
-) -> Option<Duration>
-where
-    F: FnMut(usize) -> G,
-    G: FnOnce(&Ctx<'_>) + Send + 'h,
-{
-    match *mode {
-        ExecMode::Sim(sched, max_steps) => {
-            let report = SimBuilder::new(heap, nprocs)
-                .seed(seed)
-                .schedule_box(sched.build(nprocs, seed))
-                .max_steps(max_steps)
-                .spawn_all(make_body)
-                .run();
-            report.assert_clean();
-            None
-        }
-        ExecMode::Real { threads, run_for, cfg } => {
-            assert_eq!(
-                threads, nprocs,
-                "ExecMode::Real.threads must equal the workload's process count"
-            );
-            let report = run_threads_with(heap, nprocs, seed, run_for, cfg, make_body);
-            report.assert_clean();
-            Some(report.wall)
-        }
-    }
-}
-
-/// Results of a harness run.
+/// Results of a harness run, aggregated across every epoch.
 #[derive(Debug, Clone)]
 pub struct HarnessReport {
-    /// Total attempts made (completed rounds; timed real runs stop early).
+    /// Total attempts made (completed rounds; timed real runs stop early —
+    /// or, with epochs, keep going until the deadline).
     pub attempts: u64,
     /// Total successful attempts.
     pub wins: u64,
@@ -175,11 +213,18 @@ pub struct HarnessReport {
     pub success: Bernoulli,
     /// Per-process (wins, attempts).
     pub per_pid: Vec<(u64, u64)>,
-    /// Whether the workload's invariant matched the recorded outcomes
-    /// exactly (the mutual-exclusion check).
+    /// Whether **every epoch's** workload invariant matched its recorded
+    /// outcomes exactly (the mutual-exclusion check).
     pub safety_ok: bool,
     /// Wall-clock duration (real runs only).
     pub wall: Option<Duration>,
+    /// Heap lifetimes the run spanned (1 = no epoch batching).
+    pub epochs: u64,
+    /// Highest arena usage observed at any epoch boundary, in words.
+    pub heap_high_water: usize,
+    /// Recorded invoke/respond history (empty unless the workload records
+    /// one, e.g. [`run_bank_mode_recorded`]).
+    pub history: History,
 }
 
 impl HarnessReport {
@@ -193,61 +238,63 @@ impl HarnessReport {
 // Outcome recording
 // ---------------------------------------------------------------------------
 
-/// Per-`(process, round)` outcome slots in the shared heap: 0 = round not
-/// run (timed run stopped first), 1 = attempt lost, 2 = attempt won; plus a
-/// parallel word of own-steps per attempt.
+/// Per-`(process, round)` outcome slots in the shared heap for **one
+/// epoch**: 0 = round not run (timed run stopped first), 1 = attempt lost,
+/// 2 = attempt won; plus a parallel word of own-steps per attempt. The
+/// recorder knows its epoch's base round so aggregation reports *global*
+/// round numbers, which is what keeps deterministic `(seed, pid, round)`
+/// reconstructions exact across resets.
 struct Outcomes {
     outcomes: Addr,
     steps: Addr,
     cap: usize,
     nprocs: usize,
+    base_round: usize,
 }
 
 impl Outcomes {
-    fn create_root(heap: &Heap, nprocs: usize, cap: usize) -> Outcomes {
+    fn create_root(heap: &Heap, nprocs: usize, cap: usize, base_round: usize) -> Outcomes {
         // One tag base is drawn per attempt, and the tag space is per heap
-        // lifetime — a cap beyond it could never be recorded anyway.
+        // lifetime (= per epoch) — a cap beyond the guaranteed per-process
+        // capacity could never be recorded anyway.
         assert!(
-            cap < wfl_idem::tag::MAX_ATTEMPTS as usize,
-            "attempts/process cap {cap} exceeds the tag space"
+            cap <= wfl_idem::tag::MIN_PROCESS_CAPACITY as usize,
+            "epoch length {cap} exceeds the per-process tag capacity"
         );
         Outcomes {
             outcomes: heap.alloc_root(nprocs * cap),
             steps: heap.alloc_root(nprocs * cap),
             cap,
             nprocs,
+            base_round,
         }
     }
 
-    fn idx(&self, pid: usize, round: usize) -> u32 {
-        (pid * self.cap + round) as u32
+    fn idx(&self, pid: usize, slot: usize) -> u32 {
+        (pid * self.cap + slot) as u32
     }
 
     /// Records one attempt (counted heap writes from the process itself).
-    fn record(&self, ctx: &Ctx<'_>, pid: usize, round: usize, won: bool, steps: u64) {
-        let idx = self.idx(pid, round);
+    /// `slot` is the round index *within this epoch*.
+    fn record(&self, ctx: &Ctx<'_>, pid: usize, slot: usize, won: bool, steps: u64) {
+        let idx = self.idx(pid, slot);
         ctx.write(self.outcomes.off(idx), 1 + won as u64);
         ctx.write(self.steps.off(idx), steps);
     }
 
-    /// Folds the recorded outcomes into a [`HarnessReport`] (with
+    /// Folds this epoch's recorded outcomes into a [`HarnessReport`] (with
     /// `safety_ok` left `true` for the caller to refine), invoking
-    /// `on_win(pid, round)` for every recorded win so the caller can
+    /// `on_win(pid, global_round)` for every recorded win so the caller can
     /// reconstruct the workload-specific expectation.
-    fn aggregate(
-        &self,
-        heap: &Heap,
-        wall: Option<Duration>,
-        mut on_win: impl FnMut(usize, usize),
-    ) -> HarnessReport {
+    fn aggregate(&self, heap: &Heap, mut on_win: impl FnMut(usize, usize)) -> HarnessReport {
         let mut steps = Summary::new();
         let mut success = Bernoulli::default();
         let mut per_pid = vec![(0u64, 0u64); self.nprocs];
         let mut attempts = 0u64;
         let mut wins = 0u64;
         for (pid, pp) in per_pid.iter_mut().enumerate() {
-            for round in 0..self.cap {
-                let idx = self.idx(pid, round);
+            for slot in 0..self.cap {
+                let idx = self.idx(pid, slot);
                 let o = heap.peek(self.outcomes.off(idx));
                 if o == 0 {
                     continue; // round not run (timed run stopped first)
@@ -260,11 +307,76 @@ impl Outcomes {
                 if won {
                     wins += 1;
                     pp.0 += 1;
-                    on_win(pid, round);
+                    on_win(pid, self.base_round + slot);
                 }
             }
         }
-        HarnessReport { attempts, wins, steps, success, per_pid, safety_ok: true, wall }
+        HarnessReport {
+            attempts,
+            wins,
+            steps,
+            success,
+            per_pid,
+            safety_ok: true,
+            wall: None,
+            epochs: 1,
+            heap_high_water: 0,
+            history: History::default(),
+        }
+    }
+}
+
+/// Accumulates per-epoch reports into the whole-run report.
+struct Totals {
+    attempts: u64,
+    wins: u64,
+    steps: Summary,
+    success: Bernoulli,
+    per_pid: Vec<(u64, u64)>,
+    safety_ok: bool,
+    epochs: u64,
+}
+
+impl Totals {
+    fn new(nprocs: usize) -> Totals {
+        Totals {
+            attempts: 0,
+            wins: 0,
+            steps: Summary::new(),
+            success: Bernoulli::default(),
+            per_pid: vec![(0, 0); nprocs],
+            safety_ok: true,
+            epochs: 0,
+        }
+    }
+
+    fn merge(&mut self, epoch_report: &HarnessReport, safe: bool) {
+        self.attempts += epoch_report.attempts;
+        self.wins += epoch_report.wins;
+        self.steps.merge(&epoch_report.steps);
+        self.success.successes += epoch_report.success.successes;
+        self.success.trials += epoch_report.success.trials;
+        for (acc, e) in self.per_pid.iter_mut().zip(&epoch_report.per_pid) {
+            acc.0 += e.0;
+            acc.1 += e.1;
+        }
+        self.safety_ok &= safe;
+        self.epochs += 1;
+    }
+
+    fn into_report(self, wall: Option<Duration>, state: &EpochState, history: History) -> HarnessReport {
+        HarnessReport {
+            attempts: self.attempts,
+            wins: self.wins,
+            steps: self.steps,
+            success: self.success,
+            per_pid: self.per_pid,
+            safety_ok: self.safety_ok,
+            wall,
+            epochs: self.epochs,
+            heap_high_water: state.high_water(),
+            history,
+        }
     }
 }
 
@@ -321,34 +433,63 @@ impl AlgoKind {
     }
 }
 
-/// Creates only the algorithm under test on the heap and passes it to `f`
-/// (the paper's algorithms need a [`LockSpace`]; the baselines allocate
-/// their own lock words).
-fn with_algo<R>(
-    heap: &Heap,
-    registry: &Registry,
-    algo: AlgoKind,
+/// Everything needed to (re-)create the algorithm under test on a fresh
+/// heap: kind, lock-space shape, and the known-bounds configuration.
+#[derive(Debug, Clone, Copy)]
+struct AlgoSpec {
+    kind: AlgoKind,
     nlocks: usize,
     aset: usize,
-    known_cfg: LockConfig,
-    f: impl FnOnce(&dyn LockAlgo) -> R,
-) -> R {
-    match algo {
-        AlgoKind::Wfl { .. } => {
-            let space = LockSpace::create_root(heap, nlocks, aset);
-            f(&WflKnown { space: &space, registry, cfg: known_cfg })
+    cfg: LockConfig,
+}
+
+/// The per-epoch heap instantiation of an [`AlgoSpec`]: owns the on-heap
+/// lock records (or the lock-word arrays of the baselines) so the epoch
+/// boundary can drop and re-create them wholesale.
+enum AlgoInstance<'reg> {
+    Wfl { space: LockSpace, cfg: LockConfig },
+    Unknown { space: LockSpace },
+    Tsp(TspLock<'reg>),
+    Blocking(BlockingTpl<'reg>),
+    Naive(NaiveTryLock<'reg>),
+}
+
+impl<'reg> AlgoInstance<'reg> {
+    fn create(heap: &Heap, registry: &'reg Registry, spec: &AlgoSpec) -> AlgoInstance<'reg> {
+        match spec.kind {
+            AlgoKind::Wfl { .. } => AlgoInstance::Wfl {
+                space: LockSpace::create_root(heap, spec.nlocks, spec.aset),
+                cfg: spec.cfg,
+            },
+            AlgoKind::WflUnknown => AlgoInstance::Unknown {
+                space: LockSpace::create_root(heap, spec.nlocks, spec.aset),
+            },
+            AlgoKind::Tsp => AlgoInstance::Tsp(TspLock::create_root(heap, registry, spec.nlocks)),
+            AlgoKind::Blocking => {
+                AlgoInstance::Blocking(BlockingTpl::create_root(heap, registry, spec.nlocks))
+            }
+            AlgoKind::Naive => {
+                AlgoInstance::Naive(NaiveTryLock::create_root(heap, registry, spec.nlocks))
+            }
         }
-        AlgoKind::WflUnknown => {
-            let space = LockSpace::create_root(heap, nlocks, aset);
-            f(&WflUnknown { space: &space, registry, cfg: UnknownConfig::new() })
+    }
+
+    /// Lends the instance as a `&dyn LockAlgo` (the paper's algorithms
+    /// borrow the space per call; the baselines are the algo themselves).
+    fn with<R>(&self, registry: &Registry, f: impl FnOnce(&dyn LockAlgo) -> R) -> R {
+        match self {
+            AlgoInstance::Wfl { space, cfg } => f(&WflKnown { space, registry, cfg: *cfg }),
+            AlgoInstance::Unknown { space } => {
+                f(&WflUnknown { space, registry, cfg: UnknownConfig::new() })
+            }
+            AlgoInstance::Tsp(a) => f(a),
+            AlgoInstance::Blocking(a) => f(a),
+            AlgoInstance::Naive(a) => f(a),
         }
-        AlgoKind::Tsp => f(&TspLock::create_root(heap, registry, nlocks)),
-        AlgoKind::Blocking => f(&BlockingTpl::create_root(heap, registry, nlocks)),
-        AlgoKind::Naive => f(&NaiveTryLock::create_root(heap, registry, nlocks)),
     }
 }
 
-/// The known-bounds configuration a workload hands to [`with_algo`]:
+/// The known-bounds configuration a workload hands to the harness:
 /// the `AlgoKind`'s κ/ablation switches with the workload's `L` and `T`.
 fn known_cfg(algo: AlgoKind, default_kappa: usize, l_max: usize, t_max: usize) -> LockConfig {
     let (kappa, delays, helping) = match algo {
@@ -359,6 +500,236 @@ fn known_cfg(algo: AlgoKind, default_kappa: usize, l_max: usize, t_max: usize) -
     cfg.delays = delays;
     cfg.helping = helping;
     cfg
+}
+
+// ---------------------------------------------------------------------------
+// The generic epoch driver
+// ---------------------------------------------------------------------------
+
+/// One workload's epoch-lifecycle hooks. The generic driver
+/// ([`drive_epochs`]) owns batching, recording, rendezvous, reset and
+/// aggregation; a workload supplies root (re-)creation, per-round behavior
+/// and the boundary safety check.
+trait EpochWorkload: Sync {
+    /// Per-epoch heap roots (shared by every worker through the world
+    /// slot).
+    type Roots: Send + Sync;
+    /// Per-worker per-epoch scratch (request buffers, result cells, ...).
+    type Local;
+
+    /// (Re-)creates the workload's heap roots on a fresh (or freshly
+    /// reset) arena.
+    fn re_root(&self, heap: &Heap) -> Self::Roots;
+
+    /// Builds a worker's per-epoch scratch (may allocate from the heap via
+    /// `ctx`; such allocations are reclaimed by the next reset).
+    fn local(&self, ctx: &Ctx<'_>, roots: &Self::Roots) -> Self::Local;
+
+    /// Runs one round. `round` is the global round number (deterministic
+    /// draws key off it, so behavior varies across epochs); `slot` is the
+    /// index within the current epoch.
+    #[allow(clippy::too_many_arguments)]
+    fn round(
+        &self,
+        ctx: &Ctx<'_>,
+        roots: &Self::Roots,
+        local: &mut Self::Local,
+        algo: &dyn LockAlgo,
+        tags: &mut TagSource,
+        scratch: &mut Scratch,
+        pid: usize,
+        round: usize,
+        slot: usize,
+    ) -> AttemptOutcome;
+
+    /// Epoch-boundary check at quiescence: aggregate this epoch's recorded
+    /// outcomes (via [`Outcomes::aggregate`]) and compare the heap state
+    /// against them. Returns the epoch report and whether it was safe.
+    fn check(&self, heap: &Heap, roots: &Self::Roots, rec: &Outcomes) -> (HarnessReport, bool);
+}
+
+/// A world: everything re-created at each epoch boundary.
+struct World<'reg, R> {
+    algo: AlgoInstance<'reg>,
+    roots: R,
+    rec: Outcomes,
+}
+
+/// One worker's batch for one epoch: build the per-epoch scratch, run up to
+/// `rounds` rounds (bailing at the cooperative stop flag), record each
+/// outcome. Shared verbatim by the simulator and real-threads arms of
+/// [`drive_epochs`] — the bodies must stay identical across backends.
+#[allow(clippy::too_many_arguments)]
+fn run_batch<WL: EpochWorkload>(
+    ctx: &Ctx<'_>,
+    wl: &WL,
+    world: &World<'_, WL::Roots>,
+    registry: &Registry,
+    tags: &mut TagSource,
+    scratch: &mut Scratch,
+    pid: usize,
+    base: usize,
+    rounds: usize,
+) {
+    let mut local = wl.local(ctx, &world.roots);
+    world.algo.with(registry, |algo| {
+        for slot in 0..rounds {
+            if ctx.stop_requested() {
+                break;
+            }
+            let out =
+                wl.round(ctx, &world.roots, &mut local, algo, tags, scratch, pid, base + slot, slot);
+            world.rec.record(ctx, pid, slot, out.won, out.steps);
+        }
+    });
+}
+
+/// Runs `wl` for `total_rounds` rounds per process (timed epoch runs:
+/// unbounded) under `mode`, driving the full epoch lifecycle on either
+/// backend. See the module docs for the protocol.
+#[allow(clippy::too_many_arguments)]
+fn drive_epochs<WL: EpochWorkload>(
+    heap: &Heap,
+    registry: &Registry,
+    spec: AlgoSpec,
+    nprocs: usize,
+    seed: u64,
+    total_rounds: usize,
+    mode: &ExecMode,
+    wl: &WL,
+) -> HarnessReport {
+    // The epoch mark precedes every root: a boundary rewinds *everything*
+    // (workload roots, outcome slots, lock records, transients), which is
+    // what makes rewinding the tag counters sound.
+    let state = EpochState::new(heap);
+    let epoch_len = mode.epoch_len(total_rounds);
+    let make_world = |epoch: usize| World {
+        algo: AlgoInstance::create(heap, registry, &spec),
+        roots: wl.re_root(heap),
+        rec: Outcomes::create_root(heap, nprocs, epoch_len, epoch * epoch_len),
+    };
+
+    match *mode {
+        ExecMode::Sim { sched, max_steps, .. } => {
+            let mut totals = Totals::new(nprocs);
+            let mut events: Vec<Event> = Vec::new();
+            let mut epoch = 0usize;
+            loop {
+                let base = epoch * epoch_len;
+                // The loop only opens an epoch while base < total_rounds,
+                // so this is >= 1 except in the degenerate total == 0 run
+                // (which must execute zero rounds).
+                let rounds = epoch_len.min(total_rounds.saturating_sub(base));
+                let world = make_world(epoch);
+                let world_ref = &world;
+                let report = SimBuilder::new(heap, nprocs)
+                    .seed(seed)
+                    // Re-seed the schedule per epoch so boundaries land at
+                    // fresh interleavings (still fully deterministic).
+                    .schedule_box(sched.build(nprocs, seed.wrapping_add(epoch as u64)))
+                    .max_steps(max_steps)
+                    .spawn_all(|pid| {
+                        move |ctx: &Ctx| {
+                            let mut tags = TagSource::new(pid);
+                            let mut scratch = Scratch::new();
+                            run_batch(ctx, wl, world_ref, registry, &mut tags, &mut scratch, pid, base, rounds);
+                        }
+                    })
+                    .run();
+                report.assert_clean();
+                // Each epoch's sim clock restarts near zero, so events from
+                // different epochs must never be mixed into one ordered
+                // history: recording is only meaningful inside epoch 0
+                // (run_bank_mode_recorded caps itself accordingly).
+                debug_assert!(
+                    epoch == 0 || report.history.is_empty(),
+                    "sim history recorded past epoch 0 would interleave as falsely concurrent"
+                );
+                events.extend(report.history.events);
+                let (erep, safe) = wl.check(heap, &world.roots, &world.rec);
+                totals.merge(&erep, safe);
+                epoch += 1;
+                if epoch * epoch_len >= total_rounds {
+                    state.finish(heap);
+                    break;
+                }
+                state.advance(heap);
+            }
+            totals.into_report(None, &state, History::from_parts(vec![events]))
+        }
+        ExecMode::Real { threads, run_for, cfg, epoch_rounds } => {
+            assert_eq!(
+                threads, nprocs,
+                "ExecMode::Real.threads must equal the workload's process count"
+            );
+            // A timed run with an explicit epoch length keeps opening
+            // epochs until the deadline; otherwise the run covers exactly
+            // `total_rounds`.
+            let unbounded = run_for.is_some() && epoch_rounds.is_some();
+            let sync = EpochSync::new(nprocs);
+            let slot_world = RwLock::new(make_world(0));
+            let totals = Mutex::new(Totals::new(nprocs));
+            let (sync_ref, state_ref, world_ref, totals_ref, make_world_ref) =
+                (&sync, &state, &slot_world, &totals, &make_world);
+            let report = run_threads_epochs(heap, nprocs, seed, run_for, cfg, &state, &sync, |pid| {
+                move |ctx: &Ctx| {
+                    let mut tags = TagSource::new(pid);
+                    let mut scratch = Scratch::new();
+                    run_epoch_worker(
+                        ctx,
+                        sync_ref,
+                        |ctx, epoch| {
+                            // A fresh heap lifetime begins: rewind the tag
+                            // counters (sound — see the quiescence argument
+                            // in DESIGN.md §1.1).
+                            tags.reset();
+                            let world = world_ref.read().unwrap();
+                            let base = epoch as usize * epoch_len;
+                            let rounds = if unbounded {
+                                epoch_len
+                            } else {
+                                // The leader only continues while the next
+                                // base is below the total, so this is >= 1
+                                // except in the degenerate total == 0 run.
+                                epoch_len.min(total_rounds.saturating_sub(base))
+                            };
+                            run_batch(ctx, wl, &world, registry, &mut tags, &mut scratch, pid, base, rounds);
+                        },
+                        |ctx, epoch| {
+                            // Leader, at quiescence: aggregate + check this
+                            // epoch, then either close the run or reset the
+                            // arena and re-root the next epoch.
+                            let heap = ctx.heap();
+                            let mut world = world_ref.write().unwrap();
+                            let (erep, safe) = wl.check(heap, &world.roots, &world.rec);
+                            totals_ref.lock().unwrap().merge(&erep, safe);
+                            let next_base = (epoch as usize + 1) * epoch_len;
+                            let done = ctx.stop_requested()
+                                || (!unbounded && next_base >= total_rounds);
+                            if done {
+                                state_ref.finish(heap);
+                                false
+                            } else {
+                                state_ref.advance(heap);
+                                *world = make_world_ref(epoch as usize + 1);
+                                true
+                            }
+                        },
+                    );
+                }
+            });
+            report.assert_clean();
+            let totals = totals.into_inner().unwrap();
+            // The driver-stamped epoch count (from the EpochState the
+            // leaders advanced) must agree with the boundary merges — a
+            // divergence means a worker body skipped the epoch protocol.
+            assert_eq!(
+                report.epochs, totals.epochs,
+                "driver epoch count disagrees with boundary aggregation"
+            );
+            totals.into_report(Some(report.wall), &state, report.history)
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -425,7 +796,8 @@ pub fn pick_locks(seed: u64, pid: usize, round: usize, nlocks: usize, l: usize) 
 pub struct SimSpec {
     /// Number of processes.
     pub nprocs: usize,
-    /// Attempts per process (in timed real runs: an upper bound).
+    /// Attempts per process (in timed real runs: an upper bound, or with
+    /// epochs the per-epoch batch size base).
     pub attempts_per_proc: usize,
     /// Number of locks in the system.
     pub nlocks: usize,
@@ -436,7 +808,7 @@ pub struct SimSpec {
     /// Workload + schedule seed.
     pub seed: u64,
     /// Scheduler family (used by the [`run_random_conflict`] legacy entry
-    /// point, which runs `ExecMode::Sim(self.sched, self.max_steps)`).
+    /// point, which runs `ExecMode::sim(self.sched, self.max_steps)`).
     pub sched: SchedKind,
     /// Scheduled-phase budget for the legacy entry point.
     pub max_steps: u64,
@@ -462,7 +834,74 @@ impl SimSpec {
 
     /// The execution mode the legacy sim-only entry points use.
     pub fn sim_mode(&self) -> ExecMode {
-        ExecMode::Sim(self.sched, self.max_steps)
+        ExecMode::sim(self.sched, self.max_steps)
+    }
+}
+
+/// The random-conflict workload behind the epoch hooks.
+struct ConflictWl {
+    spec: SimSpec,
+    touch: ThunkId,
+}
+
+impl EpochWorkload for ConflictWl {
+    type Roots = Addr; // counters base
+    type Local = (LockPicker, Vec<LockId>, Vec<u64>);
+
+    fn re_root(&self, heap: &Heap) -> Addr {
+        heap.alloc_root(self.spec.nlocks)
+    }
+
+    fn local(&self, _ctx: &Ctx<'_>, _roots: &Addr) -> Self::Local {
+        (
+            LockPicker::new(self.spec.nlocks),
+            Vec::with_capacity(self.spec.locks_per_attempt),
+            Vec::with_capacity(1 + self.spec.locks_per_attempt),
+        )
+    }
+
+    fn round(
+        &self,
+        ctx: &Ctx<'_>,
+        counters: &Addr,
+        (picker, locks, args): &mut Self::Local,
+        algo: &dyn LockAlgo,
+        tags: &mut TagSource,
+        scratch: &mut Scratch,
+        pid: usize,
+        round: usize,
+        _slot: usize,
+    ) -> AttemptOutcome {
+        let s = &self.spec;
+        picker.pick_into(s.seed, pid, round, s.locks_per_attempt, locks);
+        args.clear();
+        args.push(locks.len() as u64);
+        args.extend(locks.iter().map(|l| counters.off(l.0).to_word()));
+        let req = TryLockRequest { locks, thunk: self.touch, args };
+        let out = algo.attempt(ctx, tags, scratch, &req);
+        if s.think_max > 0 {
+            let think = ctx.rand_below(s.think_max);
+            for _ in 0..think {
+                ctx.local_step();
+            }
+        }
+        out
+    }
+
+    fn check(&self, heap: &Heap, counters: &Addr, rec: &Outcomes) -> (HarnessReport, bool) {
+        let s = &self.spec;
+        let mut expected = vec![0u64; s.nlocks];
+        let mut picker = LockPicker::new(s.nlocks);
+        let mut locks: Vec<LockId> = Vec::with_capacity(s.locks_per_attempt);
+        let report = rec.aggregate(heap, |pid, round| {
+            picker.pick_into(s.seed, pid, round, s.locks_per_attempt, &mut locks);
+            for l in &locks {
+                expected[l.0 as usize] += 1;
+            }
+        });
+        let safe = (0..s.nlocks)
+            .all(|l| cell::value(heap.peek(counters.off(l as u32))) as u64 == expected[l]);
+        (report, safe)
     }
 }
 
@@ -473,69 +912,67 @@ pub fn run_random_conflict(spec: &SimSpec, algo: AlgoKind) -> HarnessReport {
 }
 
 /// Runs the random-conflict workload under the given algorithm on either
-/// backend and returns aggregated metrics. Safety check: each lock's
-/// counter must equal the number of *recorded* winning attempts covering
-/// it (recomputed from the deterministic `(seed, pid, round)` lock sets).
+/// backend and returns aggregated metrics. Safety check (every epoch):
+/// each lock's counter must equal the number of *recorded* winning
+/// attempts covering it (recomputed from the deterministic
+/// `(seed, pid, round)` lock sets).
 pub fn run_random_conflict_mode(spec: &SimSpec, algo: AlgoKind, mode: &ExecMode) -> HarnessReport {
     assert!(spec.locks_per_attempt <= spec.nlocks);
     let mut registry = Registry::new();
     let touch = registry.register(TouchAll { max_locks: spec.locks_per_attempt });
     let heap = Heap::new(spec.heap_words);
-    let counters = heap.alloc_root(spec.nlocks);
-    let rec = Outcomes::create_root(&heap, spec.nprocs, spec.attempts_per_proc);
     let cfg = known_cfg(algo, spec.nprocs, spec.locks_per_attempt, 2 * spec.locks_per_attempt);
-
-    let spec_copy = *spec;
-    let (rec_ref, counters_ref) = (&rec, &counters);
-    let wall = with_algo(&heap, &registry, algo, spec.nlocks, spec.nprocs.max(2), cfg, |algo_ref| {
-        drive(&heap, spec_copy.nprocs, spec_copy.seed, mode, |pid| {
-            let s = spec_copy;
-            move |ctx: &Ctx| {
-                let mut tags = TagSource::new(pid);
-                let mut scratch = Scratch::new();
-                let mut picker = LockPicker::new(s.nlocks);
-                let mut locks: Vec<LockId> = Vec::with_capacity(s.locks_per_attempt);
-                let mut args: Vec<u64> = Vec::with_capacity(1 + s.locks_per_attempt);
-                for round in 0..s.attempts_per_proc {
-                    if ctx.stop_requested() {
-                        break;
-                    }
-                    picker.pick_into(s.seed, pid, round, s.locks_per_attempt, &mut locks);
-                    args.clear();
-                    args.push(locks.len() as u64);
-                    args.extend(locks.iter().map(|l| counters_ref.off(l.0).to_word()));
-                    let req = TryLockRequest { locks: &locks, thunk: touch, args: &args };
-                    let out = algo_ref.attempt(ctx, &mut tags, &mut scratch, &req);
-                    rec_ref.record(ctx, pid, round, out.won, out.steps);
-                    if s.think_max > 0 {
-                        let think = ctx.rand_below(s.think_max);
-                        for _ in 0..think {
-                            ctx.local_step();
-                        }
-                    }
-                }
-            }
-        })
-    });
-
-    // Expected counter values from the recorded wins.
-    let mut expected = vec![0u64; spec.nlocks];
-    let mut picker = LockPicker::new(spec.nlocks);
-    let mut locks: Vec<LockId> = Vec::with_capacity(spec.locks_per_attempt);
-    let mut report = rec.aggregate(&heap, wall, |pid, round| {
-        picker.pick_into(spec.seed, pid, round, spec.locks_per_attempt, &mut locks);
-        for l in &locks {
-            expected[l.0 as usize] += 1;
-        }
-    });
-    report.safety_ok = (0..spec.nlocks)
-        .all(|l| cell::value(heap.peek(counters.off(l as u32))) as u64 == expected[l]);
-    report
+    let aspec = AlgoSpec { kind: algo, nlocks: spec.nlocks, aset: spec.nprocs.max(2), cfg };
+    let wl = ConflictWl { spec: *spec, touch };
+    drive_epochs(&heap, &registry, aspec, spec.nprocs, spec.seed, spec.attempts_per_proc, mode, &wl)
 }
 
 // ---------------------------------------------------------------------------
 // Dining philosophers
 // ---------------------------------------------------------------------------
+
+/// The philosophers workload behind the epoch hooks.
+struct PhilWl {
+    n: usize,
+    eat: ThunkId,
+}
+
+impl EpochWorkload for PhilWl {
+    type Roots = philosophers::Table;
+    type Local = ();
+
+    fn re_root(&self, heap: &Heap) -> philosophers::Table {
+        philosophers::Table::re_root(heap, self.n, self.eat)
+    }
+
+    fn local(&self, _ctx: &Ctx<'_>, _roots: &philosophers::Table) {}
+
+    fn round(
+        &self,
+        ctx: &Ctx<'_>,
+        table: &philosophers::Table,
+        _local: &mut (),
+        algo: &dyn LockAlgo,
+        tags: &mut TagSource,
+        scratch: &mut Scratch,
+        pid: usize,
+        _round: usize,
+        _slot: usize,
+    ) -> AttemptOutcome {
+        let out = table.attempt_eat(ctx, algo, tags, scratch, pid);
+        let think = ctx.rand_below(24);
+        for _ in 0..think {
+            ctx.local_step();
+        }
+        out
+    }
+
+    fn check(&self, heap: &Heap, table: &philosophers::Table, rec: &Outcomes) -> (HarnessReport, bool) {
+        let report = rec.aggregate(heap, |_pid, _round| {});
+        let safe = (0..self.n).all(|i| table.meals_eaten(heap, i) as u64 == report.per_pid[i].0);
+        (report, safe)
+    }
+}
 
 /// Runs the dining-philosophers workload (E4) in the simulator (legacy
 /// entry point).
@@ -547,13 +984,13 @@ pub fn run_philosophers(
     algo: AlgoKind,
     heap_words: usize,
 ) -> HarnessReport {
-    run_philosophers_mode(n, attempts, seed, algo, heap_words, &ExecMode::Sim(sched, 600_000_000))
+    run_philosophers_mode(n, attempts, seed, algo, heap_words, &ExecMode::sim(sched, 600_000_000))
 }
 
 /// Runs the dining-philosophers workload on either backend: `n`
-/// philosophers, each making up to `attempts` eating attempts with random
-/// think time. Safety check: each philosopher's meal counter must equal
-/// their recorded wins.
+/// philosophers, each making up to `attempts` eating attempts per epoch
+/// with random think time. Safety check (every epoch): each philosopher's
+/// meal counter must equal their recorded wins.
 pub fn run_philosophers_mode(
     n: usize,
     attempts: usize,
@@ -563,47 +1000,119 @@ pub fn run_philosophers_mode(
     mode: &ExecMode,
 ) -> HarnessReport {
     let mut registry = Registry::new();
+    let eat = registry.register(philosophers::EatThunk);
     let heap = Heap::new(heap_words);
-    let table = philosophers::Table::create_root(&heap, &mut registry, n);
-    let rec = Outcomes::create_root(&heap, n, attempts);
     let cfg = known_cfg(algo, 2, 2, 2);
-
-    let (rec_ref, table_ref) = (&rec, &table);
-    let wall = with_algo(&heap, &registry, algo, n, 3, cfg, |algo_ref| {
-        drive(&heap, n, seed, mode, |pid| {
-            move |ctx: &Ctx| {
-                let mut tags = TagSource::new(pid);
-                let mut scratch = Scratch::new();
-                for round in 0..attempts {
-                    if ctx.stop_requested() {
-                        break;
-                    }
-                    let out = table_ref.attempt_eat(ctx, algo_ref, &mut tags, &mut scratch, pid);
-                    rec_ref.record(ctx, pid, round, out.won, out.steps);
-                    let think = ctx.rand_below(24);
-                    for _ in 0..think {
-                        ctx.local_step();
-                    }
-                }
-            }
-        })
-    });
-
-    let mut report = rec.aggregate(&heap, wall, |_pid, _round| {});
-    report.safety_ok =
-        (0..n).all(|i| table.meals_eaten(&heap, i) as u64 == report.per_pid[i].0);
-    report
+    let aspec = AlgoSpec { kind: algo, nlocks: n, aset: 3, cfg };
+    let wl = PhilWl { n, eat };
+    drive_epochs(&heap, &registry, aspec, n, seed, attempts, mode, &wl)
 }
 
 // ---------------------------------------------------------------------------
 // Bank transfers
 // ---------------------------------------------------------------------------
 
+/// History op code recorded by [`run_bank_mode_recorded`] for a winning
+/// transfer. Numerically equal to `wfl_lincheck::regular::MS_INSERT`: a won
+/// transfer "inserts" its unique token, so a set-regularity pass against a
+/// final getSet synthesized from the *heap-recorded* outcomes cross-checks
+/// the real-mode history pipeline against the outcome recording.
+pub const BANK_HIST_WIN: u32 = 20;
+/// History op code for a losing transfer attempt (ignored by the
+/// set-regularity checker; recorded so the event stream covers every
+/// attempt).
+pub const BANK_HIST_LOSS: u32 = 99;
+
+/// The unique history token for the bank attempt `(pid, global round)`.
+pub fn bank_history_token(pid: usize, round: usize) -> u64 {
+    ((pid as u64 + 1) << 32) | (round as u64 + 1)
+}
+
+/// The bank workload behind the epoch hooks.
+struct BankWl {
+    accounts: usize,
+    initial: u32,
+    seed: u64,
+    transfer: ThunkId,
+    /// Record invoke/respond history events for global rounds below this
+    /// bound (0 = off; [`run_bank_mode_recorded`] sets it to the first
+    /// epoch's length).
+    record_rounds: usize,
+    /// Tokens of heap-recorded wins among the recorded rounds, collected at
+    /// the epoch boundary (the cross-check oracle).
+    win_tokens: Mutex<Vec<u64>>,
+}
+
+impl EpochWorkload for BankWl {
+    type Roots = crate::bank::Bank;
+    type Local = ();
+
+    fn re_root(&self, heap: &Heap) -> crate::bank::Bank {
+        crate::bank::Bank::re_root(heap, self.accounts, self.initial, self.transfer)
+    }
+
+    fn local(&self, _ctx: &Ctx<'_>, _roots: &crate::bank::Bank) {}
+
+    fn round(
+        &self,
+        ctx: &Ctx<'_>,
+        bank: &crate::bank::Bank,
+        _local: &mut (),
+        algo: &dyn LockAlgo,
+        tags: &mut TagSource,
+        scratch: &mut Scratch,
+        pid: usize,
+        round: usize,
+        _slot: usize,
+    ) -> AttemptOutcome {
+        let mut rng = Pcg::new(self.seed ^ 0xBA2C, ((pid as u64) << 32) | round as u64);
+        let a = rng.below(self.accounts as u64) as usize;
+        let mut b = rng.below(self.accounts as u64 - 1) as usize;
+        if b >= a {
+            b += 1;
+        }
+        let amt = 1 + rng.below(30) as u32;
+        let out = bank.attempt_transfer(ctx, algo, tags, scratch, a, b, amt);
+        if round < self.record_rounds {
+            // Bracket the *known outcome* right after the attempt (a
+            // linearization-point-style recording: the transfer has taken
+            // effect by now, and the token interval precedes any later
+            // audit event). Won attempts are set-regularity inserts;
+            // losses use an opcode the checker ignores.
+            let op = if out.won { BANK_HIST_WIN } else { BANK_HIST_LOSS };
+            ctx.invoke(op, bank_history_token(pid, round), 0);
+            ctx.respond(out.won as u64, vec![]);
+        }
+        let think = ctx.rand_below(16);
+        for _ in 0..think {
+            ctx.local_step();
+        }
+        out
+    }
+
+    fn check(&self, heap: &Heap, bank: &crate::bank::Bank, rec: &Outcomes) -> (HarnessReport, bool) {
+        let mut tokens = Vec::new();
+        let report = rec.aggregate(heap, |pid, round| {
+            if round < self.record_rounds {
+                tokens.push(bank_history_token(pid, round));
+            }
+        });
+        if !tokens.is_empty() {
+            self.win_tokens.lock().unwrap().extend(tokens);
+        }
+        // Conservation: any mutual-exclusion or idempotence failure moves
+        // money (schedule-independent, so no win reconstruction needed).
+        let safe = bank.total(heap) == (self.accounts as u64) * (self.initial as u64);
+        (report, safe)
+    }
+}
+
 /// Runs the bank-transfer workload on either backend: `nprocs` processes
-/// each make up to `rounds` two-account transfers with deterministic
-/// `(seed, pid, round)` account/amount choices. Safety check: the sum of
-/// all balances equals the initial total (conservation — any
-/// mutual-exclusion or idempotence failure moves money).
+/// each make up to `rounds` two-account transfers per epoch with
+/// deterministic `(seed, pid, round)` account/amount choices. Safety check
+/// (every epoch): the sum of all balances equals the initial total
+/// (conservation — any mutual-exclusion or idempotence failure moves
+/// money).
 #[allow(clippy::too_many_arguments)]
 pub fn run_bank_mode(
     nprocs: usize,
@@ -615,46 +1124,59 @@ pub fn run_bank_mode(
     heap_words: usize,
     mode: &ExecMode,
 ) -> HarnessReport {
+    run_bank_inner(nprocs, accounts, rounds, initial, seed, algo, heap_words, mode, false).0
+}
+
+/// Like [`run_bank_mode`], but records a history of the **first epoch**'s
+/// transfer attempts (invoke/respond events with [`BANK_HIST_WIN`] /
+/// [`BANK_HIST_LOSS`] opcodes) and returns the [`bank_history_token`]s of
+/// the first epoch's heap-recorded wins alongside the report. Feed the
+/// history plus a synthetic final getSet built from the tokens to
+/// `wfl_lincheck::regular` to cross-check the real-mode history pipeline
+/// (use [`RealConfig::precise`] so event timestamps are globally ordered).
+#[allow(clippy::too_many_arguments)]
+pub fn run_bank_mode_recorded(
+    nprocs: usize,
+    accounts: usize,
+    rounds: usize,
+    initial: u32,
+    seed: u64,
+    algo: AlgoKind,
+    heap_words: usize,
+    mode: &ExecMode,
+) -> (HarnessReport, Vec<u64>) {
+    run_bank_inner(nprocs, accounts, rounds, initial, seed, algo, heap_words, mode, true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_bank_inner(
+    nprocs: usize,
+    accounts: usize,
+    rounds: usize,
+    initial: u32,
+    seed: u64,
+    algo: AlgoKind,
+    heap_words: usize,
+    mode: &ExecMode,
+    record_first_epoch: bool,
+) -> (HarnessReport, Vec<u64>) {
     assert!(accounts >= 2);
     let mut registry = Registry::new();
+    let transfer = registry.register(crate::bank::TransferThunk);
     let heap = Heap::new(heap_words);
-    let bank = crate::bank::Bank::create_root(&heap, &mut registry, accounts, initial);
-    let rec = Outcomes::create_root(&heap, nprocs, rounds);
-    let initial_total = bank.total(&heap);
     let cfg = known_cfg(algo, nprocs, 2, 4);
-
-    let (rec_ref, bank_ref) = (&rec, &bank);
-    let wall = with_algo(&heap, &registry, algo, accounts, nprocs.max(2), cfg, |algo_ref| {
-        drive(&heap, nprocs, seed, mode, |pid| {
-            move |ctx: &Ctx| {
-                let mut tags = TagSource::new(pid);
-                let mut scratch = Scratch::new();
-                for round in 0..rounds {
-                    if ctx.stop_requested() {
-                        break;
-                    }
-                    let mut rng = Pcg::new(seed ^ 0xBA2C, ((pid as u64) << 32) | round as u64);
-                    let a = rng.below(accounts as u64) as usize;
-                    let mut b = rng.below(accounts as u64 - 1) as usize;
-                    if b >= a {
-                        b += 1;
-                    }
-                    let amt = 1 + rng.below(30) as u32;
-                    let out =
-                        bank_ref.attempt_transfer(ctx, algo_ref, &mut tags, &mut scratch, a, b, amt);
-                    rec_ref.record(ctx, pid, round, out.won, out.steps);
-                    let think = ctx.rand_below(16);
-                    for _ in 0..think {
-                        ctx.local_step();
-                    }
-                }
-            }
-        })
-    });
-
-    let mut report = rec.aggregate(&heap, wall, |_pid, _round| {});
-    report.safety_ok = bank.total(&heap) == initial_total;
-    report
+    let aspec = AlgoSpec { kind: algo, nlocks: accounts, aset: nprocs.max(2), cfg };
+    let wl = BankWl {
+        accounts,
+        initial,
+        seed,
+        transfer,
+        record_rounds: if record_first_epoch { mode.epoch_len(rounds) } else { 0 },
+        win_tokens: Mutex::new(Vec::new()),
+    };
+    let report = drive_epochs(&heap, &registry, aspec, nprocs, seed, rounds, mode, &wl);
+    let tokens = wl.win_tokens.into_inner().unwrap();
+    (report, tokens)
 }
 
 // ---------------------------------------------------------------------------
@@ -662,15 +1184,89 @@ pub fn run_bank_mode(
 // ---------------------------------------------------------------------------
 
 /// Per-operation tryLock attempt budget for the list workload (each retry
-/// draws one tag, so `keys_per_proc * LIST_ATTEMPT_BUDGET` must stay well
-/// inside the per-process tag space).
+/// draws one tag, so `keys_per_epoch * LIST_ATTEMPT_BUDGET` must stay
+/// inside the per-process tag space of one epoch).
 const LIST_ATTEMPT_BUDGET: u64 = 64;
 
+/// The sorted-list workload behind the epoch hooks. Each epoch builds a
+/// fresh list; pool slots and keys are keyed off the *in-epoch* slot, so
+/// every epoch inserts the same key set into its own lifetime.
+struct ListWl {
+    nprocs: usize,
+    keys_per_epoch: usize,
+    insert_thunk: ThunkId,
+    delete_thunk: ThunkId,
+}
+
+impl ListWl {
+    /// Interleave keys across processes so splice points genuinely contend.
+    fn key_of(&self, pid: usize, slot: usize) -> u32 {
+        (1 + slot * self.nprocs + pid) as u32 * 10 + 3
+    }
+
+    fn node_of(&self, pid: usize, slot: usize) -> u32 {
+        (1 + pid * self.keys_per_epoch + slot) as u32
+    }
+}
+
+impl EpochWorkload for ListWl {
+    type Roots = SortedList;
+    type Local = Addr; // per-worker result cell
+
+    fn re_root(&self, heap: &Heap) -> SortedList {
+        let pool = 1 + self.nprocs * self.keys_per_epoch;
+        // Thunks are registered by the runner; only the heap pool is
+        // re-created per epoch.
+        SortedList::re_root(heap, pool, self.insert_thunk, self.delete_thunk)
+    }
+
+    fn local(&self, ctx: &Ctx<'_>, _roots: &SortedList) -> Addr {
+        ctx.alloc(1)
+    }
+
+    fn round(
+        &self,
+        ctx: &Ctx<'_>,
+        list: &SortedList,
+        result_cell: &mut Addr,
+        algo: &dyn LockAlgo,
+        tags: &mut TagSource,
+        scratch: &mut Scratch,
+        pid: usize,
+        _round: usize,
+        slot: usize,
+    ) -> AttemptOutcome {
+        let start = ctx.steps();
+        let r = list.insert(
+            ctx,
+            algo,
+            tags,
+            scratch,
+            *result_cell,
+            self.node_of(pid, slot),
+            self.key_of(pid, slot),
+            LIST_ATTEMPT_BUDGET,
+        );
+        AttemptOutcome { won: r == Some(true), steps: ctx.steps() - start }
+    }
+
+    fn check(&self, heap: &Heap, list: &SortedList, rec: &Outcomes) -> (HarnessReport, bool) {
+        let mut expected: Vec<u32> = Vec::new();
+        let epoch_len = rec.cap;
+        let report = rec.aggregate(heap, |pid, round| {
+            expected.push(self.key_of(pid, round % epoch_len.max(1)));
+        });
+        expected.sort_unstable();
+        let safe = list.snapshot(heap) == expected;
+        (report, safe)
+    }
+}
+
 /// Runs the sorted-list workload on either backend: each process inserts
-/// `keys_per_proc` globally-unique keys (dedicated pool slots, so the only
-/// contention is on adjacent splice points). Safety check: the final list
-/// snapshot is exactly the sorted set of keys whose inserts were recorded
-/// as wins.
+/// `keys_per_proc` globally-unique keys per epoch (dedicated pool slots, so
+/// the only contention is on adjacent splice points). Safety check (every
+/// epoch): the final list snapshot is exactly the sorted set of keys whose
+/// inserts were recorded as wins.
 pub fn run_list_mode(
     nprocs: usize,
     keys_per_proc: usize,
@@ -679,69 +1275,97 @@ pub fn run_list_mode(
     heap_words: usize,
     mode: &ExecMode,
 ) -> HarnessReport {
-    let pool = 1 + nprocs * keys_per_proc;
+    let keys_per_epoch = mode.epoch_len(keys_per_proc);
     // Unlike the one-tag-per-round workloads, each list round may draw up
-    // to LIST_ATTEMPT_BUDGET tags (one per tryLock retry) — bound the whole
-    // run against the per-process tag space up front.
+    // to LIST_ATTEMPT_BUDGET tags (one per tryLock retry) — bound each
+    // epoch against the per-process tag space up front.
     assert!(
-        (keys_per_proc as u64) * LIST_ATTEMPT_BUDGET < wfl_idem::tag::MAX_ATTEMPTS as u64,
-        "keys_per_proc {keys_per_proc} x retry budget {LIST_ATTEMPT_BUDGET} exceeds the tag space"
+        (keys_per_epoch as u64) * LIST_ATTEMPT_BUDGET
+            <= wfl_idem::tag::MIN_PROCESS_CAPACITY as u64,
+        "keys/epoch {keys_per_epoch} x retry budget {LIST_ATTEMPT_BUDGET} exceeds the tag space"
     );
     let mut registry = Registry::new();
+    let insert = registry.register(crate::list::InsertThunk);
+    let delete = registry.register(crate::list::DeleteThunk);
+    let pool = 1 + nprocs * keys_per_epoch;
     let heap = Heap::new(heap_words);
-    let list = SortedList::create_root(&heap, &mut registry, pool);
-    let rec = Outcomes::create_root(&heap, nprocs, keys_per_proc);
     let cfg = known_cfg(algo, nprocs, 2, 4);
-    // Interleave keys across processes so splice points genuinely contend.
-    let key_of = |pid: usize, round: usize| (1 + round * nprocs + pid) as u32 * 10 + 3;
-
-    let (rec_ref, list_ref) = (&rec, &list);
-    let wall = with_algo(&heap, &registry, algo, pool, nprocs.max(2), cfg, |algo_ref| {
-        drive(&heap, nprocs, seed, mode, |pid| {
-            move |ctx: &Ctx| {
-                let mut tags = TagSource::new(pid);
-                let mut scratch = Scratch::new();
-                let result_cell = ctx.alloc(1);
-                for round in 0..keys_per_proc {
-                    if ctx.stop_requested() {
-                        break;
-                    }
-                    let node = (1 + pid * keys_per_proc + round) as u32;
-                    let start = ctx.steps();
-                    let r = list_ref.insert(
-                        ctx,
-                        algo_ref,
-                        &mut tags,
-                        &mut scratch,
-                        result_cell,
-                        node,
-                        key_of(pid, round),
-                        LIST_ATTEMPT_BUDGET,
-                    );
-                    rec_ref.record(ctx, pid, round, r == Some(true), ctx.steps() - start);
-                }
-            }
-        })
-    });
-
-    let mut expected: Vec<u32> = Vec::new();
-    let mut report = rec.aggregate(&heap, wall, |pid, round| {
-        expected.push(key_of(pid, round));
-    });
-    expected.sort_unstable();
-    report.safety_ok = list.snapshot(&heap) == expected;
-    report
+    let aspec = AlgoSpec { kind: algo, nlocks: pool, aset: nprocs.max(2), cfg };
+    let wl = ListWl { nprocs, keys_per_epoch, insert_thunk: insert, delete_thunk: delete };
+    drive_epochs(&heap, &registry, aspec, nprocs, seed, keys_per_proc, mode, &wl)
 }
 
 // ---------------------------------------------------------------------------
 // Graph relaxations
 // ---------------------------------------------------------------------------
 
+/// The graph workload behind the epoch hooks.
+struct GraphWl {
+    vertices: usize,
+    seed: u64,
+    relax: ThunkId,
+    init: Vec<u32>,
+}
+
+impl GraphWl {
+    fn vertex_of(&self, pid: usize, round: usize) -> usize {
+        Pcg::new(self.seed ^ 0x62AF, ((pid as u64) << 32) | round as u64)
+            .below(self.vertices as u64) as usize
+    }
+}
+
+impl EpochWorkload for GraphWl {
+    type Roots = Graph;
+    /// Pre-built per-vertex request buffers (the ring is small; attempts
+    /// stay allocation-free inside the epoch).
+    type Local = Vec<(Vec<LockId>, Vec<u64>)>;
+
+    fn re_root(&self, heap: &Heap) -> Graph {
+        Graph::ring_rooted(heap, self.vertices, &self.init, self.relax)
+    }
+
+    fn local(&self, _ctx: &Ctx<'_>, graph: &Graph) -> Self::Local {
+        (0..self.vertices)
+            .map(|v| {
+                let mut args = Vec::new();
+                graph.relax_args(v, &mut args);
+                (graph.lock_set(v), args)
+            })
+            .collect()
+    }
+
+    fn round(
+        &self,
+        ctx: &Ctx<'_>,
+        graph: &Graph,
+        reqs: &mut Self::Local,
+        algo: &dyn LockAlgo,
+        tags: &mut TagSource,
+        scratch: &mut Scratch,
+        pid: usize,
+        round: usize,
+        _slot: usize,
+    ) -> AttemptOutcome {
+        let (locks, args) = &reqs[self.vertex_of(pid, round)];
+        let req = TryLockRequest { locks, thunk: graph.relax, args };
+        algo.attempt(ctx, tags, scratch, &req)
+    }
+
+    fn check(&self, heap: &Heap, graph: &Graph, rec: &Outcomes) -> (HarnessReport, bool) {
+        let mut expected = vec![0u64; self.vertices];
+        let report = rec.aggregate(heap, |pid, round| {
+            expected[self.vertex_of(pid, round)] += 1;
+        });
+        let safe = (0..self.vertices).all(|v| graph.updates(heap, v) as u64 == expected[v]);
+        (report, safe)
+    }
+}
+
 /// Runs the graph workload on either backend: a ring of `vertices`, each
-/// process making up to `rounds` relax attempts on deterministic
+/// process making up to `rounds` relax attempts per epoch on deterministic
 /// `(seed, pid, round)` vertices (`L = 3`: the vertex and both neighbors).
-/// Safety check: every vertex's lock-protected update counter equals the
-/// number of recorded wins targeting it.
+/// Safety check (every epoch): every vertex's lock-protected update counter
+/// equals the number of recorded wins targeting it.
 #[allow(clippy::too_many_arguments)]
 pub fn run_graph_mode(
     nprocs: usize,
@@ -754,50 +1378,12 @@ pub fn run_graph_mode(
 ) -> HarnessReport {
     assert!(vertices >= 3);
     let mut registry = Registry::new();
+    let relax = registry.register(crate::graph::RelaxThunk { max_degree: 2 });
     let heap = Heap::new(heap_words);
-    let init = vec![1u32; vertices];
-    let graph = Graph::ring(&heap, &mut registry, vertices, &init);
-    let rec = Outcomes::create_root(&heap, nprocs, rounds);
     let cfg = known_cfg(algo, nprocs, 3, 5);
-    let vertex_of = move |pid: usize, round: usize| {
-        Pcg::new(seed ^ 0x62AF, ((pid as u64) << 32) | round as u64).below(vertices as u64) as usize
-    };
-
-    let (rec_ref, graph_ref) = (&rec, &graph);
-    let wall = with_algo(&heap, &registry, algo, vertices, nprocs.max(2), cfg, |algo_ref| {
-        drive(&heap, nprocs, seed, mode, |pid| {
-            move |ctx: &Ctx| {
-                let mut tags = TagSource::new(pid);
-                let mut scratch = Scratch::new();
-                // Pre-build every vertex's request buffers outside the hot
-                // loop (the ring is small; attempts stay allocation-free).
-                let reqs: Vec<(Vec<LockId>, Vec<u64>)> = (0..vertices)
-                    .map(|v| {
-                        let mut args = Vec::new();
-                        graph_ref.relax_args(v, &mut args);
-                        (graph_ref.lock_set(v), args)
-                    })
-                    .collect();
-                for round in 0..rounds {
-                    if ctx.stop_requested() {
-                        break;
-                    }
-                    let (locks, args) = &reqs[vertex_of(pid, round)];
-                    let req = TryLockRequest { locks, thunk: graph_ref.relax, args };
-                    let out = algo_ref.attempt(ctx, &mut tags, &mut scratch, &req);
-                    rec_ref.record(ctx, pid, round, out.won, out.steps);
-                }
-            }
-        })
-    });
-
-    let mut expected = vec![0u64; vertices];
-    let mut report = rec.aggregate(&heap, wall, |pid, round| {
-        expected[vertex_of(pid, round)] += 1;
-    });
-    report.safety_ok =
-        (0..vertices).all(|v| graph.updates(&heap, v) as u64 == expected[v]);
-    report
+    let aspec = AlgoSpec { kind: algo, nlocks: vertices, aset: nprocs.max(2), cfg };
+    let wl = GraphWl { vertices, seed, relax, init: vec![1u32; vertices] };
+    drive_epochs(&heap, &registry, aspec, nprocs, seed, rounds, mode, &wl)
 }
 
 #[cfg(test)]
@@ -850,6 +1436,8 @@ mod tests {
         assert!(r.wins >= 1);
         assert_eq!(r.per_pid.len(), 3);
         assert!(r.wall.is_none(), "sim runs have no wall clock");
+        assert_eq!(r.epochs, 1, "no epoch batching requested");
+        assert!(r.heap_high_water > 0);
     }
 
     #[test]
@@ -896,6 +1484,7 @@ mod tests {
             assert!(r.safety_ok, "{algo:?}: real-threads safety check failed");
             assert_eq!(r.attempts, 240, "{algo:?}: untimed real runs complete every round");
             assert!(r.wall.is_some());
+            assert_eq!(r.epochs, 1);
         }
     }
 
@@ -917,9 +1506,9 @@ mod tests {
 
     #[test]
     fn timed_real_run_records_variable_attempts_and_stays_safe() {
-        // A timed run stops early via the cooperative flag; the safety
-        // check must hold for whatever subset of rounds completed, and the
-        // early-return driver fix keeps the wall near the actual finish.
+        // A timed run without epoch batching stops early via the
+        // cooperative flag; the safety check must hold for whatever subset
+        // of rounds completed, and the wall stays near the actual finish.
         let mut spec = SimSpec::new(2, 3000, 3, 2);
         spec.seed = 17;
         spec.think_max = 4;
@@ -930,6 +1519,7 @@ mod tests {
         assert!(r.attempts > 0, "no attempts completed in the window");
         assert!(r.attempts <= 6000);
         assert!(r.wall.is_some());
+        assert_eq!(r.epochs, 1);
     }
 
     #[test]
@@ -946,7 +1536,7 @@ mod tests {
 
     #[test]
     fn bank_conserves_money_on_both_backends() {
-        for mode in [ExecMode::Sim(SchedKind::Random, 100_000_000), ExecMode::real(3)] {
+        for mode in [ExecMode::sim(SchedKind::Random, 100_000_000), ExecMode::real(3)] {
             for algo in [
                 AlgoKind::Wfl { kappa: 3, delays: false, helping: true },
                 AlgoKind::Tsp,
@@ -960,7 +1550,7 @@ mod tests {
 
     #[test]
     fn list_snapshot_matches_recorded_wins_on_both_backends() {
-        for mode in [ExecMode::Sim(SchedKind::Random, 100_000_000), ExecMode::real(3)] {
+        for mode in [ExecMode::sim(SchedKind::Random, 100_000_000), ExecMode::real(3)] {
             for algo in [
                 AlgoKind::Wfl { kappa: 4, delays: false, helping: true },
                 AlgoKind::Naive,
@@ -974,7 +1564,7 @@ mod tests {
 
     #[test]
     fn graph_update_counters_match_recorded_wins_on_both_backends() {
-        for mode in [ExecMode::Sim(SchedKind::Random, 100_000_000), ExecMode::real(3)] {
+        for mode in [ExecMode::sim(SchedKind::Random, 100_000_000), ExecMode::real(3)] {
             for algo in [
                 AlgoKind::Wfl { kappa: 3, delays: false, helping: true },
                 AlgoKind::WflUnknown,
@@ -991,5 +1581,158 @@ mod tests {
     fn real_mode_thread_mismatch_is_rejected() {
         let spec = SimSpec::new(3, 2, 3, 2);
         run_random_conflict_mode(&spec, AlgoKind::Tsp, &ExecMode::real(4));
+    }
+
+    // ----- the epoch lifecycle -----
+
+    /// Untimed runs split into epochs must complete *exactly* the same
+    /// round total as a single-epoch run — nothing lost or double-counted
+    /// across the resets — and pass every epoch's safety check.
+    #[test]
+    fn sim_epochs_complete_exact_rounds_across_resets() {
+        for epoch_rounds in [1usize, 3, 4, 10, 25] {
+            let mut spec = SimSpec::new(3, 10, 4, 2);
+            spec.seed = 77;
+            spec.heap_words = 1 << 22;
+            let mode = ExecMode::sim(SchedKind::Random, 100_000_000).with_epoch_rounds(epoch_rounds);
+            let r = run_random_conflict_mode(
+                &spec,
+                AlgoKind::Wfl { kappa: 3, delays: false, helping: true },
+                &mode,
+            );
+            assert!(r.safety_ok, "epoch_rounds {epoch_rounds}: safety failed");
+            assert_eq!(r.attempts, 30, "epoch_rounds {epoch_rounds}: outcome lost or duplicated");
+            assert_eq!(
+                r.epochs,
+                (10usize.div_ceil(epoch_rounds.min(10))) as u64,
+                "epoch_rounds {epoch_rounds}"
+            );
+            assert_eq!(r.per_pid.iter().map(|p| p.1).sum::<u64>(), 30);
+            assert_eq!(r.per_pid.iter().map(|p| p.0).sum::<u64>(), r.wins);
+            assert_eq!(r.steps.len() as u64, r.attempts, "one step sample per attempt");
+        }
+    }
+
+    /// A zero-round run executes zero rounds on both backends (regression:
+    /// the epoch driver briefly clamped every epoch to >= 1 round).
+    #[test]
+    fn zero_round_runs_attempt_nothing() {
+        for mode in [ExecMode::sim(SchedKind::Random, 1_000_000), ExecMode::real(3)] {
+            let r = run_bank_mode(3, 4, 0, 100, 1, AlgoKind::Tsp, 1 << 20, &mode);
+            assert_eq!(r.attempts, 0, "{}: zero rounds must mean zero attempts", mode.label());
+            assert!(r.safety_ok, "{}", mode.label());
+        }
+    }
+
+    /// The epoch lifecycle is deterministic in sim mode: same seed, same
+    /// split — identical aggregate results.
+    #[test]
+    fn sim_epochs_are_deterministic() {
+        let run = || {
+            let mut spec = SimSpec::new(3, 9, 3, 2);
+            spec.seed = 5;
+            spec.heap_words = 1 << 22;
+            let mode = ExecMode::sim(SchedKind::Random, 100_000_000).with_epoch_rounds(4);
+            run_random_conflict_mode(&spec, AlgoKind::WflUnknown, &mode)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.attempts, b.attempts);
+        assert_eq!(a.wins, b.wins);
+        assert_eq!(a.per_pid, b.per_pid);
+        assert_eq!(a.epochs, b.epochs);
+        assert_eq!(a.heap_high_water, b.heap_high_water);
+    }
+
+    /// Real-threads untimed epochs: the barrier protocol must neither lose
+    /// nor duplicate outcomes, for every algorithm family.
+    #[test]
+    fn real_epochs_complete_exact_rounds_across_resets() {
+        for algo in AlgoKind::all(4) {
+            let mut spec = SimSpec::new(4, 40, 4, 2);
+            spec.seed = 3;
+            spec.heap_words = 1 << 22;
+            let mode = ExecMode::real(4).with_epoch_rounds(9); // 40 = 4 full epochs + partial
+            let r = run_random_conflict_mode(&spec, algo, &mode);
+            assert!(r.safety_ok, "{algo:?}: epoch-crossing safety failed");
+            assert_eq!(r.attempts, 160, "{algo:?}: outcome lost or duplicated across resets");
+            assert_eq!(r.epochs, 5, "{algo:?}");
+        }
+    }
+
+    /// The tentpole acceptance shape: a timed real run with a small epoch
+    /// length must cross several epoch boundaries under the contention-free
+    /// hot path, keep every epoch's safety check green, and use the full
+    /// wall budget instead of stopping at the tag space.
+    #[test]
+    fn timed_real_soak_crosses_epochs_under_fast_config() {
+        let mut spec = SimSpec::new(4, 30, 4, 2);
+        spec.seed = 41;
+        spec.think_max = 2;
+        spec.heap_words = 1 << 22;
+        let budget = Duration::from_millis(120);
+        let mode = ExecMode::real_timed(4, budget).with_epoch_rounds(30);
+        let r = run_random_conflict_mode(&spec, AlgoKind::Naive, &mode);
+        assert!(r.safety_ok, "soak safety failed");
+        assert!(r.epochs >= 3, "only {} epochs crossed in {budget:?}", r.epochs);
+        assert!(
+            r.attempts > 4 * 30,
+            "attempts {} never exceeded one epoch's cap — epochs not batching",
+            r.attempts
+        );
+        let wall = r.wall.expect("real runs report wall");
+        assert!(wall >= budget, "soak stopped early at {wall:?}");
+        assert_eq!(r.per_pid.iter().map(|p| p.1).sum::<u64>(), r.attempts);
+        assert!(r.heap_high_water <= spec.heap_words);
+    }
+
+    /// Every workload's safety check must aggregate correctly across epoch
+    /// boundaries on both backends.
+    #[test]
+    fn all_workloads_survive_epoch_boundaries() {
+        let algo = AlgoKind::Wfl { kappa: 3, delays: false, helping: true };
+        for mode in [
+            ExecMode::sim(SchedKind::Random, 100_000_000).with_epoch_rounds(3),
+            ExecMode::real(3).with_epoch_rounds(3),
+        ] {
+            let label = mode.label();
+            let r = run_philosophers_mode(3, 8, 7, algo, 1 << 22, &mode);
+            assert!(r.safety_ok, "{label}/philosophers");
+            assert_eq!((r.attempts, r.epochs), (24, 3), "{label}/philosophers");
+            let r = run_bank_mode(3, 4, 8, 100, 23, algo, 1 << 22, &mode);
+            assert!(r.safety_ok, "{label}/bank");
+            assert_eq!((r.attempts, r.epochs), (24, 3), "{label}/bank");
+            let r = run_list_mode(3, 8, 41, algo, 1 << 22, &mode);
+            assert!(r.safety_ok, "{label}/list");
+            assert_eq!((r.attempts, r.epochs), (24, 3), "{label}/list");
+            let r = run_graph_mode(3, 6, 8, 13, algo, 1 << 22, &mode);
+            assert!(r.safety_ok, "{label}/graph");
+            assert_eq!((r.attempts, r.epochs), (24, 3), "{label}/graph");
+        }
+    }
+
+    /// The recorded bank history covers exactly the first epoch, win events
+    /// match the heap-recorded win tokens one-to-one, and later epochs stay
+    /// silent.
+    #[test]
+    fn bank_recorded_history_matches_first_epoch_outcomes() {
+        let mode = ExecMode::real(3).with_epoch_rounds(5);
+        let (r, tokens) =
+            run_bank_mode_recorded(3, 4, 15, 100, 29, AlgoKind::Tsp, 1 << 22, &mode);
+        assert!(r.safety_ok);
+        assert_eq!(r.epochs, 3);
+        assert_eq!(r.attempts, 45);
+        let wins: Vec<&Event> =
+            r.history.events.iter().filter(|e| e.op == BANK_HIST_WIN).collect();
+        let losses = r.history.events.iter().filter(|e| e.op == BANK_HIST_LOSS).count();
+        assert_eq!(wins.len() + losses, 15, "history covers exactly the first epoch");
+        assert_eq!(wins.len(), tokens.len(), "history wins == heap-recorded wins");
+        let mut history_tokens: Vec<u64> = wins.iter().map(|e| e.a).collect();
+        history_tokens.sort_unstable();
+        let mut heap_tokens = tokens.clone();
+        heap_tokens.sort_unstable();
+        assert_eq!(history_tokens, heap_tokens, "token sets diverge");
+        for e in &r.history.events {
+            assert!(e.invoke < e.response, "event interval degenerate");
+        }
     }
 }

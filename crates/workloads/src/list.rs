@@ -86,15 +86,19 @@ impl SortedList {
     /// Creates the node pool (node 0 = head sentinel). Locks: use a
     /// `LockSpace` with at least `pool` locks; node `i` ↔ lock `i`.
     pub fn create_root(heap: &Heap, registry: &mut Registry, pool: usize) -> SortedList {
+        let insert = registry.register(InsertThunk);
+        let delete = registry.register(DeleteThunk);
+        SortedList::re_root(heap, pool, insert, delete)
+    }
+
+    /// (Re-)allocates the node pool against pre-registered splice thunks —
+    /// the epoch-lifecycle hook (thunks register once per run, heap roots
+    /// are re-created after every quiescent reset).
+    pub fn re_root(heap: &Heap, pool: usize, insert: ThunkId, delete: ThunkId) -> SortedList {
         assert!(pool >= 2, "pool must hold the sentinel plus data nodes");
         let nodes = heap.alloc_root(pool * NODE_WORDS as usize);
         // Head sentinel: next = nil (0), key unused.
-        SortedList {
-            nodes,
-            pool,
-            insert: registry.register(InsertThunk),
-            delete: registry.register(DeleteThunk),
-        }
+        SortedList { nodes, pool, insert, delete }
     }
 
     fn next_addr(&self, idx: u32) -> Addr {

@@ -42,8 +42,15 @@ pub struct Table {
 impl Table {
     /// Registers the thunk and allocates the meal counters.
     pub fn create_root(heap: &Heap, registry: &mut Registry, n: usize) -> Table {
+        Table::re_root(heap, n, registry.register(EatThunk))
+    }
+
+    /// (Re-)allocates the table's heap roots against a pre-registered eat
+    /// thunk — the epoch-lifecycle hook: thunks register once per run,
+    /// while heap roots are re-created after every quiescent reset.
+    pub fn re_root(heap: &Heap, n: usize, eat: ThunkId) -> Table {
         assert!(n >= 2, "need at least two philosophers");
-        Table { n, meals: heap.alloc_root(n), eat: registry.register(EatThunk) }
+        Table { n, meals: heap.alloc_root(n), eat }
     }
 
     /// The two chopsticks philosopher `i` needs.

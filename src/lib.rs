@@ -86,6 +86,10 @@ pub use wfl_core::{
     LockId, LockSpace, RetryMetrics, Scratch, TryLockRequest, UnknownConfig,
 };
 pub use wfl_idem::{cell, Frame, IdemRun, Registry, TagSource, Thunk, ThunkId};
+pub use wfl_runtime::epoch::{EpochState, EpochSync};
 pub use wfl_runtime::schedule::{Bursty, RoundRobin, SeededRandom, StallWindow, Stalls, Weighted};
 pub use wfl_runtime::sim::SimBuilder;
-pub use wfl_runtime::{run_threads, run_threads_with, Addr, ClockMode, Ctx, Heap, OrderTier, RealConfig};
+pub use wfl_runtime::{
+    run_threads, run_threads_epochs, run_threads_with, Addr, ClockMode, Ctx, Heap, OrderTier,
+    RealConfig,
+};
