@@ -1,25 +1,38 @@
-//! E13 — real-threads scaling of the philosophers workload, and the proof
-//! obligation for the contention-free hot path: `legacy` is the historical
-//! driver configuration (global per-step `SeqCst` clock `fetch_add`,
-//! all-`SeqCst` memory operations — [`RealConfig::precise`]), `fast` is the
-//! batched clock leases + acquire/release ordering tier
-//! ([`RealConfig::fast`]).
+//! E13 — real-threads scaling, and the proof obligations for the two
+//! contention-free hot paths:
+//!
+//! * **legacy vs fast** (since PR 1): the historical driver configuration
+//!   (global per-step `SeqCst` clock `fetch_add`, all-`SeqCst` memory
+//!   operations — [`RealConfig::precise`]) against batched clock leases +
+//!   the acquire/release ordering tier ([`RealConfig::fast`]), on the
+//!   philosophers workload.
+//! * **global vs laned** (since PR 4): the historical single-bump-cursor
+//!   arena ([`AllocMode::Global`] — one shared `fetch_add` per cons cell,
+//!   descriptor and log record) against the sharded per-process allocation
+//!   lanes ([`AllocMode::laned`] — a plain uncontended bump, one shared
+//!   RMW per slab), on the allocation-heavy random-conflict workload.
 //!
 //! Since PR 2 this binary is a thin client of the **unified workload
-//! harness** ([`run_philosophers_mode`] under [`ExecMode::Real`]) instead
-//! of a hand-rolled thread driver, so every timed cell also runs the
-//! meal-count safety check, and the wall clock ends when the bodies do
-//! (the driver parks on a completion signal rather than sleeping out a
-//! timer). Sweeps 2..=N threads for wfl / tsp / naive, prints ops/sec
-//! tables, and emits `BENCH_scaling.json` so future changes have a perf
-//! trajectory to compare against. Delays are disabled for wfl: they are a
-//! simulator-model cost (fixed own-step padding), not a wall-clock one.
+//! harness**, so every timed cell also runs its workload's safety check,
+//! and the wall clock ends when the bodies do. Sweeps 2..=8 threads,
+//! prints ops/sec tables, and emits `BENCH_scaling.json` (rows carry an
+//! `allocator` tag and the per-lane high-water vector) so future changes
+//! have a perf trajectory to compare against.
+//!
+//! Usage: `e13_scaling [--smoke]`
+//!   --smoke : CI-sized sweep (2 threads, small attempt counts). The
+//!             smoke run **gates** the allocator refactor: it fails if the
+//!             laned arena regresses successful acquisitions/sec by more
+//!             than 20% against the global cursor at the smoke thread
+//!             count.
 
 use std::fmt::Write as _;
 use wfl_runtime::real::RealConfig;
-use wfl_workloads::harness::{run_philosophers_mode, AlgoKind, ExecMode, HarnessReport};
+use wfl_runtime::AllocMode;
+use wfl_workloads::harness::{
+    run_philosophers_mode, run_random_conflict_mode, AlgoKind, ExecMode, HarnessReport, SimSpec,
+};
 
-const ATTEMPTS_PER_THREAD: usize = 2000;
 const REPEATS: usize = 3;
 
 #[derive(Clone, Copy, PartialEq)]
@@ -57,8 +70,34 @@ struct Sample {
     /// Heap lifetimes spanned (1: this bench stays single-epoch so its
     /// trajectory remains comparable across PRs).
     epochs: u64,
-    /// Arena pressure: highest heap usage at any epoch boundary, in words.
+    /// Arena pressure: highest usage at any epoch boundary, in words.
     heap_high_water: usize,
+    /// The per-lane breakdown (workers first, root lane last; a single
+    /// entry under the global cursor), already compacted to the lanes
+    /// this run used.
+    heap_high_water_lanes: Vec<usize>,
+}
+
+impl Sample {
+    fn from_report(r: &HarnessReport) -> Sample {
+        let wall = r.wall.expect("real runs report wall time").as_secs_f64();
+        Sample {
+            ops_per_sec: r.wins as f64 / wall,
+            wall_secs: wall,
+            wins: r.wins,
+            attempts: r.attempts,
+            epochs: r.epochs,
+            heap_high_water: r.heap_high_water,
+            heap_high_water_lanes: r.compact_high_water_lanes(),
+        }
+    }
+
+    fn better_of(self, other: Option<Sample>) -> Sample {
+        match other {
+            Some(b) if b.ops_per_sec > self.ops_per_sec => b,
+            _ => self,
+        }
+    }
 }
 
 fn algo_kind(name: &str) -> AlgoKind {
@@ -69,11 +108,11 @@ fn algo_kind(name: &str) -> AlgoKind {
     }
 }
 
-/// One timed run: `threads` philosophers each make `ATTEMPTS_PER_THREAD`
-/// eating attempts through the unified harness. Returns the best of
-/// `REPEATS` runs (least-noise estimate on a shared machine); the
-/// harness's meal-count safety check is asserted on every run.
-fn run_config(algo_name: &str, mode: Mode, threads: usize) -> Sample {
+/// One timed run: `threads` philosophers each make `attempts` eating
+/// attempts through the unified harness. Returns the best of `REPEATS`
+/// runs (least-noise estimate on a shared machine); the harness's
+/// meal-count safety check is asserted on every run.
+fn run_config(algo_name: &str, mode: Mode, threads: usize, attempts: usize) -> Sample {
     let mut best: Option<Sample> = None;
     for _ in 0..REPEATS {
         let exec = ExecMode::Real {
@@ -82,58 +121,110 @@ fn run_config(algo_name: &str, mode: Mode, threads: usize) -> Sample {
             cfg: mode.real_config(),
             epoch_rounds: None,
         };
-        let r: HarnessReport = run_philosophers_mode(
-            threads,
-            ATTEMPTS_PER_THREAD,
-            42,
-            algo_kind(algo_name),
-            1 << 23,
-            &exec,
-        );
+        let r = run_philosophers_mode(threads, attempts, 42, algo_kind(algo_name), 1 << 23, &exec);
         assert!(
             r.safety_ok,
             "{algo_name}/{}/{threads}t: philosopher meal counters diverged",
             mode.name()
         );
-        let wall = r.wall.expect("real runs report wall time").as_secs_f64();
-        let ops = r.wins as f64 / wall;
-        if best.as_ref().is_none_or(|b| ops > b.ops_per_sec) {
-            best = Some(Sample {
-                ops_per_sec: ops,
-                wall_secs: wall,
-                wins: r.wins,
-                attempts: r.attempts,
-                epochs: r.epochs,
-                heap_high_water: r.heap_high_water,
-            });
-        }
+        best = Some(Sample::from_report(&r).better_of(best));
     }
     best.expect("at least one repeat")
 }
 
+/// One allocator cell: the random-conflict workload (every attempt
+/// allocates a frame, a descriptor and active-set cons cells — the
+/// allocation-heaviest path we have) under an explicit [`AllocMode`].
+fn run_alloc_cell(alloc: AllocMode, threads: usize, attempts: usize, repeats: usize) -> Sample {
+    let mut best: Option<Sample> = None;
+    for _ in 0..repeats {
+        let mut spec = SimSpec::new(threads, attempts, (2 * threads).max(3), 2);
+        spec.seed = 42;
+        spec.think_max = 0; // back-to-back attempts: allocator pressure
+        spec.heap_words = 1 << 23;
+        spec.alloc = alloc;
+        let algo = AlgoKind::Wfl { kappa: threads.max(2), delays: false, helping: true };
+        let r = run_random_conflict_mode(&spec, algo, &ExecMode::real(threads));
+        assert!(
+            r.safety_ok,
+            "random_conflict/{}/{threads}t: safety check failed",
+            alloc.label()
+        );
+        best = Some(Sample::from_report(&r).better_of(best));
+    }
+    best.expect("at least one repeat")
+}
+
+fn json_lanes(lanes: &[usize]) -> String {
+    let mut s = String::from("[");
+    for (i, w) in lanes.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{w}");
+    }
+    s.push(']');
+    s
+}
+
+#[allow(clippy::too_many_arguments)]
+fn json_row(
+    json: &mut String,
+    first: &mut bool,
+    workload: &str,
+    algo: &str,
+    mode: &str,
+    allocator: &str,
+    threads: usize,
+    s: &Sample,
+) {
+    if !*first {
+        json.push_str(",\n");
+    }
+    *first = false;
+    let _ = write!(
+        json,
+        "    {{\"workload\": \"{workload}\", \"algo\": \"{algo}\", \"mode\": \"{mode}\", \
+         \"allocator\": \"{allocator}\", \"threads\": {threads}, \
+         \"ops_per_sec\": {:.1}, \"wall_secs\": {:.6}, \"wins\": {}, \"attempts\": {}, \
+         \"epochs\": {}, \"heap_high_water\": {}, \"heap_high_water_lanes\": {}}}",
+        s.ops_per_sec,
+        s.wall_secs,
+        s.wins,
+        s.attempts,
+        s.epochs,
+        s.heap_high_water,
+        json_lanes(&s.heap_high_water_lanes)
+    );
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     // Philosophers need a table of >= 2, so the sweep starts at 2 threads.
-    let thread_counts = [2usize, 4, 8];
+    let thread_counts: &[usize] = if smoke { &[2] } else { &[2, 4, 8] };
+    let phil_attempts = if smoke { 300 } else { 2000 };
+    let conflict_attempts = if smoke { 400 } else { 2000 };
     let algos = ["wfl", "tsp", "naive"];
-    println!("# E13: real-threads scaling — legacy vs contention-free hot path");
-    println!("(philosophers workload via the unified harness, {ATTEMPTS_PER_THREAD} attempts/thread, best of {REPEATS})");
+    println!("# E13: real-threads scaling — hot-path and allocator A/B cells (smoke = {smoke})");
+    println!("(unified harness; philosophers {phil_attempts} attempts/thread, random-conflict {conflict_attempts} attempts/thread, best of {REPEATS})");
     println!();
 
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"e13_scaling\",");
-    let _ = writeln!(json, "  \"workload\": \"philosophers_real_threads\",");
-    let _ = writeln!(json, "  \"attempts_per_thread\": {ATTEMPTS_PER_THREAD},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"attempts_per_thread\": {phil_attempts},");
     let _ = writeln!(json, "  \"repeats\": {REPEATS},");
     json.push_str("  \"results\": [\n");
 
+    // --- legacy vs fast (philosophers; arena stays the default laned) ---
     let mut wfl_speedup_at_max = 0.0f64;
     let mut first = true;
     for &algo in &algos {
         wfl_bench::header(&["threads", "legacy wins/s", "fast wins/s", "speedup"]);
-        for &threads in &thread_counts {
-            let legacy = run_config(algo, Mode::Legacy, threads);
-            let fast = run_config(algo, Mode::Fast, threads);
+        for &threads in thread_counts {
+            let legacy = run_config(algo, Mode::Legacy, threads, phil_attempts);
+            let fast = run_config(algo, Mode::Fast, threads, phil_attempts);
             let speedup = fast.ops_per_sec / legacy.ops_per_sec;
             if algo == "wfl" && threads == *thread_counts.last().unwrap() {
                 wfl_speedup_at_max = speedup;
@@ -145,26 +236,59 @@ fn main() {
                 format!("{speedup:.2}x"),
             ]);
             for (mode_name, s) in [("legacy", &legacy), ("fast", &fast)] {
-                if !first {
-                    json.push_str(",\n");
-                }
-                first = false;
-                let _ = write!(
-                    json,
-                    "    {{\"algo\": \"{algo}\", \"mode\": \"{mode_name}\", \"threads\": {threads}, \
-                     \"ops_per_sec\": {:.1}, \"wall_secs\": {:.6}, \"wins\": {}, \"attempts\": {}, \
-                     \"epochs\": {}, \"heap_high_water\": {}}}",
-                    s.ops_per_sec, s.wall_secs, s.wins, s.attempts, s.epochs, s.heap_high_water
-                );
+                json_row(&mut json, &mut first, "philosophers", algo, mode_name, "laned", threads, s);
             }
         }
         println!();
     }
+
+    // --- global vs laned (random-conflict; hot path stays fast) ---
+    println!("## allocator: global bump cursor vs sharded lanes");
+    wfl_bench::header(&["threads", "global wins/s", "laned wins/s", "speedup"]);
+    let mut laned_over_global_at_max = 0.0f64;
+    // The smoke gate compares millisecond-scale runs on a shared CI
+    // runner: take the best of more repeats there so a single noisy
+    // neighbor on one side cannot fake a >20% regression.
+    let alloc_repeats = if smoke { 7 } else { REPEATS };
+    for &threads in thread_counts {
+        let global = run_alloc_cell(AllocMode::Global, threads, conflict_attempts, alloc_repeats);
+        let laned = run_alloc_cell(AllocMode::laned(), threads, conflict_attempts, alloc_repeats);
+        let speedup = laned.ops_per_sec / global.ops_per_sec;
+        if threads == *thread_counts.last().unwrap() {
+            laned_over_global_at_max = speedup;
+        }
+        wfl_bench::row(&[
+            format!("wfl x{threads}"),
+            format!("{:.0}", global.ops_per_sec),
+            format!("{:.0}", laned.ops_per_sec),
+            format!("{speedup:.2}x"),
+        ]);
+        for (alloc_name, s) in [("global", &global), ("laned", &laned)] {
+            json_row(&mut json, &mut first, "random_conflict", "wfl", "fast", alloc_name, threads, s);
+        }
+        if smoke {
+            // The CI gate: the sharded allocator must not cost throughput.
+            assert!(
+                laned.ops_per_sec >= 0.8 * global.ops_per_sec,
+                "laned allocator regresses >20% at {threads} threads: \
+                 {:.0} laned vs {:.0} global wins/s",
+                laned.ops_per_sec,
+                global.ops_per_sec
+            );
+        }
+    }
+    println!();
+
     json.push_str("\n  ],\n");
-    let _ = writeln!(json, "  \"wfl_fast_over_legacy_at_8_threads\": {wfl_speedup_at_max:.3}");
+    let _ = writeln!(json, "  \"wfl_fast_over_legacy_at_max_threads\": {wfl_speedup_at_max:.3},");
+    let _ = writeln!(json, "  \"laned_over_global_at_max_threads\": {laned_over_global_at_max:.3}");
     json.push_str("}\n");
 
     std::fs::write("BENCH_scaling.json", &json).expect("write BENCH_scaling.json");
-    println!("wfl fast/legacy at 8 threads: {wfl_speedup_at_max:.2}x");
+    println!("wfl fast/legacy at {} threads: {wfl_speedup_at_max:.2}x", thread_counts.last().unwrap());
+    println!(
+        "wfl laned/global at {} threads: {laned_over_global_at_max:.2}x",
+        thread_counts.last().unwrap()
+    );
     println!("wrote BENCH_scaling.json");
 }

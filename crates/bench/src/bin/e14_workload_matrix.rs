@@ -201,12 +201,19 @@ fn json_cell(
     }
     *first = false;
     let wall = r.wall.map_or(0.0, |w| w.as_secs_f64());
+    let lanes_json = r
+        .compact_high_water_lanes()
+        .iter()
+        .map(|w| w.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
     let _ = write!(
         json,
         "    {{\"workload\": \"{workload}\", \"algo\": \"{}\", \"threads\": {threads}, \
          \"mode\": \"{mode_label}\", \"attempts\": {}, \"wins\": {}, \"success_rate\": {:.4}, \
          \"mean_steps\": {:.1}, \"p99_steps\": {}, \"wall_secs\": {:.6}, \
-         \"wins_per_sec\": {:.1}, \"epochs\": {}, \"heap_high_water\": {}, \"safety_ok\": true}}",
+         \"wins_per_sec\": {:.1}, \"epochs\": {}, \"heap_high_water\": {}, \
+         \"heap_high_water_lanes\": [{lanes_json}], \"safety_ok\": true}}",
         algo.label(),
         r.attempts,
         r.wins,

@@ -46,11 +46,14 @@ pub fn lock_and_run(
 /// Like [`lock_and_run`], but gives up after `max_attempts`, as soon as the
 /// driver's cooperative stop flag is raised between attempts (so a timed
 /// real-threads run, or the simulator's drain phase, is never wedged behind
-/// a long retry loop), **or** when the caller's tag source is exhausted
-/// (each retry draws one attempt tag; giving up cleanly lets a multi-epoch
+/// a long retry loop), when the caller's tag source is exhausted (each
+/// retry draws one attempt tag; giving up cleanly lets a multi-epoch
 /// driver close the batch and rewind tags at the next quiescent reset
-/// instead of panicking mid-retry). Returns `None` on give-up; the thunk
-/// has then never run.
+/// instead of panicking mid-retry), **or** when the heap signals
+/// allocation pressure ([`Ctx::heap_low`]: an earlier allocation had to
+/// dip into the emergency reserve — exactly like tag exhaustion, the
+/// epoch boundary rewinds the lanes and clears the condition). Returns
+/// `None` on give-up; the thunk has then never run.
 #[allow(clippy::too_many_arguments)]
 pub fn lock_and_run_limited(
     ctx: &Ctx<'_>,
@@ -64,7 +67,7 @@ pub fn lock_and_run_limited(
 ) -> Option<RetryMetrics> {
     let mut steps = 0;
     for attempt in 1..=max_attempts {
-        if tags.remaining() == 0 {
+        if tags.remaining() == 0 || ctx.heap_low() {
             return None;
         }
         let m = try_locks(ctx, space, registry, cfg, tags, scratch, req);
@@ -260,7 +263,19 @@ mod tests {
                     if pid == 0 {
                         // Contender: sustains failure pressure until both
                         // victims have observed the stop flag and left.
-                        while ctx.heap().peek(victims_done) < 2 {
+                        // The poll rides the tiered Acquire read (this spin
+                        // is a real-mode hot loop; see DESIGN.md §2.2's
+                        // ordering audit) — the victims' AcqRel increment
+                        // publishes their exit. If a loaded box stretches
+                        // the window past the contender's tag space, it
+                        // falls back to local spinning instead of panicking
+                        // mid-draw (the victims then exit through their own
+                        // tag/stop give-up paths).
+                        while ctx.read_acq(victims_done) < 2 {
+                            if tags.remaining() == 0 {
+                                ctx.local_step();
+                                continue;
+                            }
                             let req =
                                 TryLockRequest { locks: &[LockId(0)], thunk: incr, args: &args };
                             let m = try_locks(
@@ -281,8 +296,8 @@ mod tests {
                             }
                         }
                         loop {
-                            let seen = ctx.heap().peek(victims_done);
-                            if ctx.heap().cas_raw(victims_done, seen, seen + 1) == seen {
+                            let seen = ctx.read_acq(victims_done);
+                            if ctx.cas_val_sync(victims_done, seen, seen + 1) == seen {
                                 break;
                             }
                         }

@@ -89,6 +89,9 @@ pub struct Ctx<'h> {
     tier: OrderTier,
     steps: Cell<u64>,
     last_now: Cell<u64>,
+    /// Latched when an allocation had to fall back to the heap's emergency
+    /// reserve: the process's lane (or the shared slab region) is dry.
+    heap_low: Cell<bool>,
     /// Next unconsumed leased timestamp (real + `Leased` mode only).
     lease_next: Cell<u64>,
     /// One past the last timestamp of the current lease.
@@ -141,6 +144,7 @@ impl<'h> Ctx<'h> {
             tier,
             steps: Cell::new(0),
             last_now: Cell::new(0),
+            heap_low: Cell::new(false),
             lease_next: Cell::new(0),
             lease_end: Cell::new(0),
             rng: RefCell::new(Pcg::new(seed, pid as u64 + 1)),
@@ -364,11 +368,47 @@ impl<'h> Ctx<'h> {
         }
     }
 
-    /// Allocates `n` words from the shared bump allocator (one step; the
-    /// model treats allocation as a constant-time primitive, see DESIGN.md).
+    /// Allocates `n` words from this process's allocation lane (one step;
+    /// the model treats allocation as a constant-time primitive, see
+    /// DESIGN.md). The hot path is a plain uncontended bump inside the
+    /// lane's current slab; the shared slab cursor is touched once per
+    /// slab. The lane is the pid, so simulated replays allocate from
+    /// identical lanes deterministically.
+    ///
+    /// When the slab region is exhausted the allocation falls back to the
+    /// heap's emergency reserve and latches [`Ctx::heap_low`], so the
+    /// in-flight attempt completes (it may already have published records)
+    /// and the caller gives up cleanly before starting new work — the next
+    /// quiescent epoch reset rewinds every lane and clears the pressure.
+    ///
+    /// # Panics
+    /// Panics (with a [`crate::heap::HeapExhausted`] payload) only when the
+    /// reserve itself is dry — a genuine arena-sizing bug.
     #[inline]
     pub fn alloc(&self, n: usize) -> Addr {
-        self.stepped(|| self.heap.alloc_root(n))
+        self.stepped(|| match self.heap.alloc(self.pid, n) {
+            Ok(a) => a,
+            Err(_) => {
+                self.heap_low.set(true);
+                self.heap.alloc_reserve(self.pid, n)
+            }
+        })
+    }
+
+    /// Whether an allocation has had to dip into the emergency reserve
+    /// since the last [`Ctx::reset_heap_low`]. Retry loops and batch
+    /// drivers treat this like tag exhaustion: stop opening new attempts
+    /// and let the epoch boundary rewind the lanes.
+    #[inline]
+    pub fn heap_low(&self) -> bool {
+        self.heap_low.get()
+    }
+
+    /// Clears the heap-pressure latch. Called by epoch drivers right after
+    /// a quiescent reset has rewound the lanes (a new heap lifetime).
+    #[inline]
+    pub fn reset_heap_low(&self) {
+        self.heap_low.set(false);
     }
 
     // ----- local operations (one step each) -----

@@ -31,31 +31,49 @@
 //! leader's boundary closure.
 
 use crate::ctx::Ctx;
-use crate::heap::Heap;
+use crate::heap::{Heap, HeapMark};
 use parking_lot::{Condvar, Mutex};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-/// The heap watermark and per-run epoch accounting shared by all workers.
+/// The heap rewind point and per-run epoch accounting shared by all
+/// workers. High-water marks are tracked **per allocation lane** (one per
+/// process plus the root lane; a single lane in
+/// [`crate::heap::AllocMode::Global`] mode), so arena-pressure reports show
+/// where the words went, not just how many.
 #[derive(Debug)]
 pub struct EpochState {
-    mark: usize,
+    mark: HeapMark,
     epochs: AtomicU64,
-    high_water: AtomicUsize,
+    /// Max over boundaries of the words handed out at that boundary,
+    /// summed over lanes — a single epoch's peak, so it can never exceed
+    /// the arena capacity.
+    total_high: AtomicUsize,
+    /// Per-lane maxima (each lane's own peak, possibly from different
+    /// epochs — their sum can exceed [`EpochState::high_water`]).
+    high_water: Box<[AtomicUsize]>,
 }
 
 impl EpochState {
-    /// Captures the current allocation watermark as the epoch mark. Create
-    /// this **before** allocating any per-epoch roots: everything above the
-    /// mark is wiped at each boundary.
+    /// Captures the current allocator state (shared cursors plus every
+    /// lane's position) as the epoch mark. Create this **before**
+    /// allocating any per-epoch roots: everything above the mark is wiped
+    /// at each boundary.
     pub fn new(heap: &Heap) -> EpochState {
         let mark = heap.mark();
-        EpochState { mark, epochs: AtomicU64::new(0), high_water: AtomicUsize::new(mark) }
+        let mut hw = Vec::with_capacity(heap.lane_count());
+        hw.resize_with(heap.lane_count(), || AtomicUsize::new(0));
+        EpochState {
+            mark,
+            epochs: AtomicU64::new(0),
+            total_high: AtomicUsize::new(0),
+            high_water: hw.into_boxed_slice(),
+        }
     }
 
-    /// The watermark epochs rewind to.
-    pub fn mark(&self) -> usize {
-        self.mark
+    /// The rewind point epochs return to.
+    pub fn mark(&self) -> &HeapMark {
+        &self.mark
     }
 
     /// Number of epochs completed so far (boundary crossings, including the
@@ -64,14 +82,31 @@ impl EpochState {
         self.epochs.load(Ordering::SeqCst)
     }
 
-    /// Highest heap usage observed at any epoch boundary, in words.
+    /// Highest usage observed at any single epoch boundary (words handed
+    /// out, summed over every lane at that boundary) — bounded by the
+    /// arena capacity.
     pub fn high_water(&self) -> usize {
-        self.high_water.load(Ordering::SeqCst)
+        self.total_high.load(Ordering::SeqCst)
     }
 
-    /// Records the current heap usage into the high-water mark.
+    /// Per-lane high-water marks (index = lane = pid; the trailing entry is
+    /// the root lane's setup/re-root allocations). Each entry is that
+    /// lane's own peak — possibly from different epochs, so the vector may
+    /// sum past [`EpochState::high_water`].
+    pub fn high_water_lanes(&self) -> Vec<usize> {
+        self.high_water.iter().map(|w| w.load(Ordering::SeqCst)).collect()
+    }
+
+    /// Records every lane's current usage into its high-water mark, and
+    /// this boundary's total into the scalar high water.
     pub fn observe(&self, heap: &Heap) {
-        self.high_water.fetch_max(heap.used(), Ordering::SeqCst);
+        let mut total = 0;
+        for (lane, hw) in self.high_water.iter().enumerate() {
+            let used = heap.lane_used(lane);
+            hw.fetch_max(used, Ordering::SeqCst);
+            total += used;
+        }
+        self.total_high.fetch_max(total, Ordering::SeqCst);
     }
 
     /// Closes an epoch with a reset: records the high-water mark, rewinds
@@ -80,7 +115,7 @@ impl EpochState {
     /// [`Heap::reset_to_quiescent`] for the quiescence contract).
     pub fn advance(&self, heap: &Heap) {
         self.observe(heap);
-        heap.reset_to_quiescent(self.mark);
+        heap.reset_to_quiescent(&self.mark);
         self.epochs.fetch_add(1, Ordering::SeqCst);
     }
 
@@ -265,22 +300,27 @@ mod tests {
         let heap = Heap::new(256);
         let _persistent = heap.alloc_root(4);
         let state = EpochState::new(&heap);
-        assert_eq!(state.mark(), 5);
+        let used_at_mark = heap.used();
         assert_eq!(state.epochs(), 0);
 
         let t = heap.alloc_root(32);
         heap.poke(t, 11);
         state.advance(&heap);
         assert_eq!(state.epochs(), 1);
-        assert_eq!(state.high_water(), 5 + 32);
-        assert_eq!(heap.used(), 5, "advance rewinds to the mark");
+        // High water is per-lane words handed out: the root lane carried
+        // the persistent root plus the transient.
+        assert_eq!(state.high_water(), 4 + 32);
+        let lanes = state.high_water_lanes();
+        assert_eq!(lanes[heap.root_lane()], 4 + 32, "root lane carries all of it");
+        assert!(lanes[..heap.root_lane()].iter().all(|&w| w == 0));
+        assert_eq!(heap.used(), used_at_mark, "advance rewinds to the mark");
         assert_eq!(heap.peek(t), 0, "transient region zeroed");
 
         heap.alloc_root(8);
         state.finish(&heap);
         assert_eq!(state.epochs(), 2);
-        assert_eq!(state.high_water(), 5 + 32, "high water keeps the maximum");
-        assert_eq!(heap.used(), 5 + 8, "finish does not reset");
+        assert_eq!(state.high_water(), 4 + 32, "high water keeps the maximum");
+        assert!(heap.used() > used_at_mark, "finish does not reset");
     }
 
     #[test]
@@ -370,9 +410,12 @@ mod tests {
         assert_eq!(boundaries.load(Ordering::SeqCst), 3, "one leader per epoch");
         assert_eq!(state.epochs(), 3);
         // Each epoch allocated 2x16 words above the (empty) mark; resets
-        // rewound them, so the high water is one epoch's worth.
-        assert_eq!(state.high_water(), 1 + 32);
-        assert_eq!(heap.used(), 1 + 32, "final epoch left in place");
+        // rewound them, so the high water is one epoch's worth: 16 words in
+        // each worker's lane, nothing in the root lane.
+        assert_eq!(state.high_water(), 32);
+        let lanes = state.high_water_lanes();
+        assert_eq!((lanes[0], lanes[1]), (16, 16), "one slabful of usage per worker lane");
+        assert_eq!(lanes[heap.root_lane()], 0);
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The shared word heap: a fixed arena of `u64` words with a wait-free bump
-//! allocator.
+//! The shared word heap: a fixed arena of `u64` words with a sharded,
+//! wait-free bump allocator.
 //!
 //! All shared data structures (lock descriptors, active-set slots, snapshot
 //! cons cells, idempotence logs) are laid out as small records of words and
@@ -8,6 +8,27 @@
 //! — the helping pattern at the heart of the paper — without reference
 //! counting or epoch reclamation. Memory is reclaimed wholesale at quiescent
 //! points with [`Heap::reset_to`] (see `DESIGN.md` §1.1).
+//!
+//! # Allocation lanes (DESIGN.md §1.1.2)
+//!
+//! The historical allocator was a single global `fetch_add` cursor: one
+//! shared hot word that every cons cell, descriptor and idempotence-log
+//! record of every thread serialized through — exactly the steady-state
+//! coherence bottleneck the long-execution literature predicts. Under
+//! [`AllocMode::Laned`] (the default) the arena is instead carved into
+//! cache-line-aligned **slabs**; each process id owns a private **lane**
+//! and bumps a plain, uncontended cursor inside its current slab, touching
+//! the shared slab cursor only once per slab (or once per multi-slab grab
+//! for records larger than a slab). Records allocated by different lanes
+//! therefore never share a cache line, and the contended RMW amortizes
+//! from once-per-record to once-per-slab. [`AllocMode::Global`] keeps the
+//! historical single-cursor behavior for A/B comparison (experiment E13).
+//!
+//! A small **emergency reserve** at the top of the arena lets an attempt
+//! that exhausts the slab region finish cleanly: [`crate::Ctx::alloc`]
+//! falls back to the reserve and latches the context's `heap_low` flag so
+//! the caller can end its batch at the next epoch boundary instead of
+//! aborting mid-attempt (see [`HeapExhausted`] and `retry.rs`).
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
@@ -57,102 +78,450 @@ impl Addr {
     }
 }
 
-/// A fixed-capacity arena of atomic `u64` words with a bump allocator.
+/// Words per hardware cache line (64 bytes of `u64`s).
+pub const LINE_WORDS: usize = 8;
+
+/// One cache line of arena words; the explicit alignment is what makes
+/// slab boundaries (multiples of [`LINE_WORDS`]) genuine cache-line
+/// boundaries, so lanes never false-share.
+#[repr(C, align(64))]
+struct Line([AtomicU64; LINE_WORDS]);
+
+impl Line {
+    fn zeroed() -> Line {
+        Line([const { AtomicU64::new(0) }; LINE_WORDS])
+    }
+}
+
+/// Per-lane allocation state, padded to its own cache line so one lane's
+/// bump never invalidates another's.
+#[repr(C, align(64))]
+#[derive(Debug)]
+struct Lane {
+    /// Next free word inside the lane's current slab. Only the owning
+    /// process advances it (Relaxed suffices: single-writer, and records
+    /// are published through release CAS/stores, never through cursors).
+    cur: AtomicUsize,
+    /// One past the last word of the current slab (0 = no slab yet).
+    end: AtomicUsize,
+    /// Words handed out by this lane since the last rewind (the per-lane
+    /// usage the epoch high-water accounting reads at quiescence).
+    used: AtomicUsize,
+}
+
+impl Lane {
+    fn empty() -> Lane {
+        Lane { cur: AtomicUsize::new(0), end: AtomicUsize::new(0), used: AtomicUsize::new(0) }
+    }
+}
+
+/// How a [`Heap`] hands out words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocMode {
+    /// The historical allocator: one shared bump cursor, one `fetch_add`
+    /// per record. Kept for A/B comparison (E13's `global-vs-laned` cell).
+    Global,
+    /// Sharded per-process lanes over cache-line-aligned slabs (see the
+    /// module docs). `0` for either field means "auto": [`DEFAULT_LANES`]
+    /// lanes, and a slab size scaled to the arena (at most
+    /// [`MAX_SLAB_WORDS`], at least one cache line).
+    Laned {
+        /// Number of process lanes (pids `0..lanes`); a root lane for
+        /// uncounted setup allocations is added on top.
+        lanes: usize,
+        /// Slab size in words (rounded up to a cache-line multiple).
+        slab_words: usize,
+    },
+}
+
+impl AllocMode {
+    /// The default sharded mode with auto-sized lanes and slabs.
+    pub fn laned() -> AllocMode {
+        AllocMode::Laned { lanes: 0, slab_words: 0 }
+    }
+
+    /// Short label for tables and JSON ("global" / "laned").
+    pub fn label(&self) -> &'static str {
+        match self {
+            AllocMode::Global => "global",
+            AllocMode::Laned { .. } => "laned",
+        }
+    }
+}
+
+impl Default for AllocMode {
+    fn default() -> Self {
+        AllocMode::laned()
+    }
+}
+
+/// Default number of process lanes (pids) a laned heap supports. Far above
+/// any experiment's thread count; the per-lane state costs one cache line
+/// each, so the headroom is ~4 KiB.
+pub const DEFAULT_LANES: usize = 64;
+
+/// Largest auto-selected slab: 512 words = 4 KiB.
+pub const MAX_SLAB_WORDS: usize = 512;
+
+/// Recoverable allocation failure: the slab region (or, in global mode,
+/// the bump region) is exhausted. Callers on the attempt path receive this
+/// through [`Heap::alloc`] / the [`crate::Ctx::heap_low`] latch and give
+/// up cleanly at the next epoch boundary, where a quiescent
+/// [`Heap::reset_to_quiescent`] rewinds every lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapExhausted {
+    /// Lane that failed (lane count = root lane, `usize::MAX` = global).
+    pub lane: usize,
+    /// Words requested by the failing allocation.
+    pub requested: usize,
+}
+
+impl std::fmt::Display for HeapExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "heap exhausted: lane {} could not allocate {} words", self.lane, self.requested)
+    }
+}
+
+impl std::error::Error for HeapExhausted {}
+
+/// Per-lane rewind point captured by [`Heap::mark`]: the lane's cursor,
+/// slab end and usage counter at the mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LaneMark {
+    cur: usize,
+    end: usize,
+    used: usize,
+}
+
+/// A full-allocator rewind point: the shared slab (or global bump) cursor,
+/// the reserve cursor, and every lane's state. Captured by [`Heap::mark`]
+/// and consumed by [`Heap::reset_to`] / [`Heap::reset_to_quiescent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeapMark {
+    cursor: usize,
+    reserve: usize,
+    lanes: Vec<LaneMark>,
+}
+
+/// A fixed-capacity arena of atomic `u64` words with a sharded bump
+/// allocator (see the module docs).
 ///
-/// The allocator is wait-free (`fetch_add`), satisfying the model's
-/// requirement that every instruction of a tryLock attempt is bounded.
-/// Allocation never reuses memory during a run; the harness reclaims
-/// transient allocations at quiescent points via [`Heap::mark`] /
-/// [`Heap::reset_to`].
+/// The allocator is wait-free in both modes (plain bump or `fetch_add`),
+/// satisfying the model's requirement that every instruction of a tryLock
+/// attempt is bounded. Allocation never reuses memory during an epoch; the
+/// harness reclaims transient allocations at quiescent points via
+/// [`Heap::mark`] / [`Heap::reset_to`].
 pub struct Heap {
-    words: Box<[AtomicU64]>,
-    bump: AtomicUsize,
+    lines: Box<[Line]>,
+    /// Usable words (word indices `0..capacity`; `capacity` may be below
+    /// the line-rounded storage).
+    capacity: usize,
+    /// Slab size in words (cache-line multiple; meaningless in global
+    /// mode).
+    slab_words: usize,
+    /// First word of the emergency reserve region (== `capacity` when the
+    /// arena is too small to carry a reserve).
+    reserve_base: usize,
+    /// Laned: next unassigned slab's first word (always a slab multiple).
+    /// Global: the classic bump cursor (starts at 1; word 0 is NULL).
+    /// The only cross-lane contended word, touched once per slab.
+    cursor: AtomicUsize,
+    /// Next free word of the emergency reserve.
+    reserve: AtomicUsize,
+    /// Per-pid lanes plus one trailing root lane (empty in global mode).
+    lanes: Box<[Lane]>,
+    global: bool,
 }
 
 impl std::fmt::Debug for Heap {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Heap")
-            .field("capacity", &self.words.len())
-            .field("used", &self.bump.load(Ordering::Relaxed))
+            .field("capacity", &self.capacity)
+            .field("mode", if self.global { &"global" } else { &"laned" })
+            .field("slab_words", &self.slab_words)
+            .field("used", &self.used())
             .finish()
     }
 }
 
 impl Heap {
-    /// Creates a heap with `capacity` words (all zero). Word 0 is reserved
-    /// as the null address.
+    /// Creates a laned heap with `capacity` words (all zero) and auto-sized
+    /// lanes/slabs. Word 0 is reserved as the null address.
     ///
     /// # Panics
     /// Panics if `capacity` is 0 or exceeds `u32::MAX` words.
     pub fn new(capacity: usize) -> Heap {
+        Heap::with_mode(capacity, AllocMode::laned())
+    }
+
+    /// Creates a heap with an explicit [`AllocMode`].
+    ///
+    /// # Panics
+    /// Panics if `capacity` is 0 or exceeds `u32::MAX` words.
+    pub fn with_mode(capacity: usize, mode: AllocMode) -> Heap {
         assert!(capacity > 0, "heap capacity must be positive");
         assert!(
             capacity <= u32::MAX as usize,
             "heap capacity must fit 32-bit addressing"
         );
-        let mut v = Vec::with_capacity(capacity);
-        v.resize_with(capacity, || AtomicU64::new(0));
-        Heap {
-            words: v.into_boxed_slice(),
-            bump: AtomicUsize::new(1), // word 0 reserved for NULL
+        let nlines = capacity.div_ceil(LINE_WORDS);
+        let mut v = Vec::with_capacity(nlines);
+        v.resize_with(nlines, Line::zeroed);
+        let lines = v.into_boxed_slice();
+
+        match mode {
+            AllocMode::Global => {
+                let reserve_base = Self::reserve_base_for(capacity, MAX_SLAB_WORDS.min(capacity));
+                Heap {
+                    lines,
+                    capacity,
+                    slab_words: 0,
+                    reserve_base,
+                    cursor: AtomicUsize::new(1), // word 0 reserved for NULL
+                    reserve: AtomicUsize::new(reserve_base),
+                    lanes: Box::new([]),
+                    global: true,
+                }
+            }
+            AllocMode::Laned { lanes, slab_words } => {
+                let nlanes = if lanes == 0 { DEFAULT_LANES } else { lanes };
+                let slab = Self::effective_slab(capacity, slab_words);
+                let reserve_base = Self::reserve_base_for(capacity, slab);
+                let mut lane_vec = Vec::with_capacity(nlanes + 1);
+                lane_vec.resize_with(nlanes + 1, Lane::empty);
+                let heap = Heap {
+                    lines,
+                    capacity,
+                    slab_words: slab,
+                    reserve_base,
+                    // Slab 0 is pre-assigned to the root lane below.
+                    cursor: AtomicUsize::new(slab.min(reserve_base)),
+                    reserve: AtomicUsize::new(reserve_base),
+                    lanes: lane_vec.into_boxed_slice(),
+                    global: false,
+                };
+                // The root lane starts inside slab 0, past the NULL word,
+                // so the first root allocation is `Addr(1)` as it always
+                // was.
+                let root = &heap.lanes[nlanes];
+                root.cur.store(1, Ordering::Relaxed);
+                root.end.store(slab.min(reserve_base), Ordering::Relaxed);
+                heap
+            }
         }
+    }
+
+    /// Auto slab size: scale with the arena (aim for ~64 slabs) but stay
+    /// within one cache line and [`MAX_SLAB_WORDS`]; always a cache-line
+    /// multiple so slab boundaries are cache-line boundaries.
+    fn effective_slab(capacity: usize, requested: usize) -> usize {
+        let slab = if requested == 0 {
+            (capacity / 64).next_power_of_two().clamp(LINE_WORDS, MAX_SLAB_WORDS)
+        } else {
+            requested.max(LINE_WORDS)
+        };
+        slab.div_ceil(LINE_WORDS) * LINE_WORDS
+    }
+
+    /// Reserve sizing: up to 8 slabs (capped at an eighth of the arena);
+    /// arenas under 32 slabs carry no reserve — they are unit-test sized,
+    /// and a hard failure there is a sizing bug worth hearing about.
+    fn reserve_base_for(capacity: usize, slab: usize) -> usize {
+        if capacity < 32 * slab {
+            return capacity;
+        }
+        let reserve = (capacity / 8).min(8 * slab);
+        capacity - reserve
+    }
+
+    #[inline]
+    fn word(&self, i: usize) -> &AtomicU64 {
+        &self.lines[i / LINE_WORDS].0[i % LINE_WORDS]
     }
 
     /// Number of words in the heap.
     #[inline]
     pub fn capacity(&self) -> usize {
-        self.words.len()
+        self.capacity
     }
 
-    /// Number of words currently allocated (including the reserved word 0).
+    /// The configured slab size in words (0 in global mode).
+    #[inline]
+    pub fn slab_words(&self) -> usize {
+        self.slab_words
+    }
+
+    /// The allocation mode label ("global" / "laned").
+    pub fn mode_label(&self) -> &'static str {
+        if self.global { "global" } else { "laned" }
+    }
+
+    /// Number of lanes the allocator accounts (1 in global mode; process
+    /// lanes plus the trailing root lane in laned mode).
+    pub fn lane_count(&self) -> usize {
+        if self.global { 1 } else { self.lanes.len() }
+    }
+
+    /// Index of the root lane (uncounted setup allocations).
+    pub fn root_lane(&self) -> usize {
+        if self.global { 0 } else { self.lanes.len() - 1 }
+    }
+
+    /// Words handed out by `lane` since the last rewind. In global mode
+    /// lane 0 reports the whole arena's usage.
+    pub fn lane_used(&self, lane: usize) -> usize {
+        if self.global {
+            assert_eq!(lane, 0, "global mode has a single lane");
+            self.used()
+        } else {
+            self.lanes[lane].used.load(Ordering::SeqCst)
+        }
+    }
+
+    /// Arena footprint in words: every word of every slab handed out (or,
+    /// in global mode, the bump watermark) plus the consumed reserve.
+    /// Includes per-lane slack, so it is the number that must stay within
+    /// [`Heap::capacity`].
     #[inline]
     pub fn used(&self) -> usize {
-        self.bump.load(Ordering::SeqCst)
+        let region = self.cursor.load(Ordering::SeqCst).min(self.reserve_base);
+        let reserve = self.reserve.load(Ordering::SeqCst).min(self.capacity) - self.reserve_base;
+        region + reserve
     }
 
-    /// Allocates `n` zeroed... words from the bump allocator, returning the
-    /// address of the first. Wait-free.
+    /// A conservative lower bound on the words still available to `lane`
+    /// without touching the reserve: its current slab's remainder plus the
+    /// unassigned slab region.
+    pub fn lane_remaining(&self, lane: usize) -> usize {
+        let region = self.reserve_base.saturating_sub(self.cursor.load(Ordering::SeqCst));
+        if self.global {
+            return region;
+        }
+        let l = &self.lanes[lane];
+        let slack = l.end.load(Ordering::Relaxed).saturating_sub(l.cur.load(Ordering::Relaxed));
+        region + slack
+    }
+
+    /// Allocates `n` zeroed words from `lane`'s private cursor, taking new
+    /// slab(s) from the shared slab cursor only on exhaustion. Wait-free:
+    /// a plain bump on the hot path, one `fetch_add` per slab handoff.
     ///
-    /// The returned words are zero unless they were recycled by
-    /// [`Heap::reset_to`] without re-zeroing (the harness always re-zeroes).
+    /// In laned mode `lane` must be the calling process's pid (lanes are
+    /// single-writer: two threads allocating through the same lane race);
+    /// in global mode `lane` is ignored and the shared cursor is used.
+    ///
+    /// # Errors
+    /// [`HeapExhausted`] when the slab region cannot satisfy the request;
+    /// the lane is left unchanged so the caller can retry after a quiescent
+    /// rewind.
     ///
     /// # Panics
-    /// Panics when the heap is exhausted; experiments size heaps generously
-    /// and reset between batches.
+    /// Panics if `n` is zero or `lane` is out of range (laned mode).
+    #[inline]
+    pub fn alloc(&self, lane: usize, n: usize) -> Result<Addr, HeapExhausted> {
+        // Hard assert (not debug): a zero-word allocation would return an
+        // address aliasing the lane's next record.
+        assert!(n > 0, "zero-word allocation");
+        if self.global {
+            // Relaxed: disjointness comes from RMW atomicity alone, and
+            // records are published through release CAS/stores, never
+            // through the bump cursor.
+            let base = self.cursor.fetch_add(n, Ordering::Relaxed);
+            if base + n > self.reserve_base {
+                return Err(HeapExhausted { lane: usize::MAX, requested: n });
+            }
+            return Ok(Addr(base as u32));
+        }
+        assert!(
+            lane < self.lanes.len(),
+            "lane {lane} out of range: this heap has {} process lanes \
+             (build it with Heap::with_mode(cap, AllocMode::Laned {{ lanes, .. }}))",
+            self.lanes.len() - 1
+        );
+        let l = &self.lanes[lane];
+        let cur = l.cur.load(Ordering::Relaxed);
+        let end = l.end.load(Ordering::Relaxed);
+        if cur + n <= end {
+            // The uncontended hot path: a plain single-writer bump.
+            l.cur.store(cur + n, Ordering::Relaxed);
+            l.used.store(l.used.load(Ordering::Relaxed) + n, Ordering::Relaxed);
+            return Ok(Addr(cur as u32));
+        }
+        // Slab handoff: abandon the current slab's tail and take enough
+        // contiguous slabs for `n` in one shared RMW.
+        let take = n.div_ceil(self.slab_words) * self.slab_words;
+        let base = self.cursor.fetch_add(take, Ordering::Relaxed);
+        if base + n > self.reserve_base {
+            // Leave the lane untouched (its old slab tail is still valid)
+            // so the epoch boundary can rewind and the lane can go on.
+            return Err(HeapExhausted { lane, requested: n });
+        }
+        l.cur.store(base + n, Ordering::Relaxed);
+        l.end.store((base + take).min(self.reserve_base), Ordering::Relaxed);
+        l.used.store(l.used.load(Ordering::Relaxed) + n, Ordering::Relaxed);
+        Ok(Addr(base as u32))
+    }
+
+    /// Allocates `n` words from the emergency reserve (shared `fetch_add`;
+    /// cold — only reached when a lane has already failed). This is what
+    /// lets an in-flight attempt run to completion after exhaustion so it
+    /// is never abandoned in a half-published state; the caller must stop
+    /// opening new work until a quiescent rewind (see
+    /// [`crate::Ctx::heap_low`]).
+    ///
+    /// # Panics
+    /// Panics (with a [`HeapExhausted`] payload) when the reserve itself
+    /// is dry — a genuine sizing bug.
+    pub fn alloc_reserve(&self, lane: usize, n: usize) -> Addr {
+        let base = self.reserve.fetch_add(n, Ordering::Relaxed);
+        if base + n > self.capacity {
+            std::panic::panic_any(HeapExhausted { lane, requested: n });
+        }
+        // Reserve words still bill the requesting lane's usage, so the
+        // high-water accounting covers pressure runs too (global mode has
+        // no lanes — `used()` already includes the consumed reserve there).
+        if let Some(l) = self.lanes.get(lane) {
+            l.used.store(l.used.load(Ordering::Relaxed) + n, Ordering::Relaxed);
+        }
+        Addr(base as u32)
+    }
+
+    /// Allocates `n` zeroed words for setup-time roots (harness and epoch
+    /// re-rooting; uncounted). Uses the dedicated root lane in laned mode.
+    ///
+    /// # Panics
+    /// Panics when the heap is exhausted; root creation failing is a
+    /// sizing bug, not a recoverable condition — experiments size heaps
+    /// generously and reset between batches.
     #[inline]
     pub fn alloc_root(&self, n: usize) -> Addr {
-        // Relaxed: disjointness comes from RMW atomicity alone, and records
-        // are published through release CAS/stores, never through the bump
-        // pointer.
-        let base = self.bump.fetch_add(n, Ordering::Relaxed);
-        assert!(
-            base + n <= self.words.len(),
-            "heap exhausted: capacity {} words, requested {} at {}",
-            self.words.len(),
-            n,
-            base
-        );
-        Addr(base as u32)
+        match self.alloc(self.root_lane(), n) {
+            Ok(a) => a,
+            Err(e) => panic!(
+                "heap exhausted: capacity {} words, requested {} for a root ({e})",
+                self.capacity, n
+            ),
+        }
     }
 
     /// Reads a word without counting a step (harness/controller use only;
     /// algorithm code must go through [`crate::Ctx::read`]).
     #[inline]
     pub fn peek(&self, a: Addr) -> u64 {
-        self.words[a.0 as usize].load(Ordering::SeqCst)
+        self.word(a.0 as usize).load(Ordering::SeqCst)
     }
 
     /// Writes a word without counting a step (harness setup only).
     #[inline]
     pub fn poke(&self, a: Addr, v: u64) {
-        self.words[a.0 as usize].store(v, Ordering::SeqCst);
+        self.word(a.0 as usize).store(v, Ordering::SeqCst);
     }
 
     /// Raw CAS without counting a step (harness setup only). Returns the
     /// previous value; the CAS succeeded iff it equals `old`.
     #[inline]
     pub fn cas_raw(&self, a: Addr, old: u64, new: u64) -> u64 {
-        match self.words[a.0 as usize].compare_exchange(
+        match self.word(a.0 as usize).compare_exchange(
             old,
             new,
             Ordering::SeqCst,
@@ -169,45 +538,88 @@ impl Heap {
     /// caller's responsibility — this is the `Ctx` backend).
     #[inline]
     pub(crate) fn load(&self, a: Addr, ord: Ordering) -> u64 {
-        self.words[a.0 as usize].load(ord)
+        self.word(a.0 as usize).load(ord)
     }
 
     /// Atomic store with an explicit ordering.
     #[inline]
     pub(crate) fn store(&self, a: Addr, v: u64, ord: Ordering) {
-        self.words[a.0 as usize].store(v, ord);
+        self.word(a.0 as usize).store(v, ord);
     }
 
     /// Atomic CAS with explicit success/failure orderings; returns the
     /// previous value (success iff it equals `old`).
     #[inline]
     pub(crate) fn cas_ord(&self, a: Addr, old: u64, new: u64, ok: Ordering, fail: Ordering) -> u64 {
-        match self.words[a.0 as usize].compare_exchange(old, new, ok, fail) {
+        match self.word(a.0 as usize).compare_exchange(old, new, ok, fail) {
             Ok(prev) => prev,
             Err(prev) => prev,
         }
     }
 
-    /// Returns the current allocation watermark, for later [`Heap::reset_to`].
-    pub fn mark(&self) -> usize {
-        self.bump.load(Ordering::SeqCst)
+    /// Captures the whole allocator state (shared cursors plus every
+    /// lane's position) for a later [`Heap::reset_to`].
+    pub fn mark(&self) -> HeapMark {
+        HeapMark {
+            cursor: self.cursor.load(Ordering::SeqCst),
+            reserve: self.reserve.load(Ordering::SeqCst),
+            lanes: self
+                .lanes
+                .iter()
+                .map(|l| LaneMark {
+                    cur: l.cur.load(Ordering::SeqCst),
+                    end: l.end.load(Ordering::SeqCst),
+                    used: l.used.load(Ordering::SeqCst),
+                })
+                .collect(),
+        }
+    }
+
+    /// Zeroes and rewinds everything allocated after `mark` through a
+    /// store-based sweep (shared by the `&mut` and quiescent reset forms;
+    /// soundness is the caller's obligation, see [`Heap::reset_to`]).
+    fn rewind(&self, mark: &HeapMark) {
+        let cursor = self.cursor.load(Ordering::SeqCst).min(self.reserve_base);
+        assert!(mark.cursor <= cursor, "reset mark {} beyond cursor {cursor}", mark.cursor);
+        // Whole slabs (or, in global mode, the bump region) handed out
+        // after the mark.
+        for i in mark.cursor..cursor {
+            self.word(i).store(0, Ordering::SeqCst);
+        }
+        // Each lane's partially-used slab at mark time: everything from
+        // the marked cursor to that slab's end is post-mark allocation
+        // (the lane may have bumped past it before moving on).
+        for (l, m) in self.lanes.iter().zip(&mark.lanes) {
+            for i in m.cur..m.end {
+                self.word(i).store(0, Ordering::SeqCst);
+            }
+            l.cur.store(m.cur, Ordering::SeqCst);
+            l.end.store(m.end, Ordering::SeqCst);
+            l.used.store(m.used, Ordering::SeqCst);
+        }
+        // The consumed reserve.
+        let reserve = self.reserve.load(Ordering::SeqCst).min(self.capacity);
+        for i in mark.reserve..reserve {
+            self.word(i).store(0, Ordering::SeqCst);
+        }
+        self.reserve.store(mark.reserve, Ordering::SeqCst);
+        self.cursor.store(mark.cursor, Ordering::SeqCst);
     }
 
     /// Rolls the allocator back to `mark` and zeroes every word allocated
-    /// after it.
+    /// after it — the shared slab region, every lane's partial slab, and
+    /// the consumed reserve.
     ///
     /// # Safety (logical)
     /// This is only sound at *quiescent points*: no process may be running,
     /// and no live structure below `mark` may still point above `mark`
     /// (callers such as the active set re-initialize their snapshot pointers
     /// after a reset). The `&mut self` receiver enforces exclusivity.
-    pub fn reset_to(&mut self, mark: usize) {
-        let used = *self.bump.get_mut();
-        assert!(mark <= used, "reset mark {mark} beyond used {used}");
-        for w in &mut self.words[mark..used] {
-            *w.get_mut() = 0;
-        }
-        *self.bump.get_mut() = mark;
+    ///
+    /// # Panics
+    /// Panics if `mark` is ahead of the current allocation state.
+    pub fn reset_to(&mut self, mark: &HeapMark) {
+        self.rewind(mark);
     }
 
     /// Like [`Heap::reset_to`], but callable through a shared reference —
@@ -218,33 +630,34 @@ impl Heap {
     /// Only sound at *quiescent points*: every other thread must be parked
     /// at an epoch barrier (see [`crate::epoch::EpochSync`]) whose release
     /// happens-after this call returns. The barrier's lock provides the
-    /// happens-before edges in both directions: the workers' final writes of
-    /// the old epoch are visible to the resetter (they arrived through the
-    /// barrier's mutex before it ran), and the zeroing below is visible to
+    /// happens-before edges in both directions: the workers' final writes
+    /// (including their lanes' Relaxed cursor bumps) are visible to the
+    /// resetter, and the zeroing and lane rewinds below are visible to
     /// every worker the barrier releases afterwards. Violating quiescence
     /// (any thread still running algorithm code) corrupts live records.
-    pub fn reset_to_quiescent(&self, mark: usize) {
-        let used = self.bump.load(Ordering::SeqCst);
-        assert!(mark <= used, "reset mark {mark} beyond used {used}");
-        for w in &self.words[mark..used] {
-            // Relaxed would suffice (the barrier publishes the zeroes), but
-            // this is a cold path — keep the conservative ordering.
-            w.store(0, Ordering::SeqCst);
-        }
-        self.bump.store(mark, Ordering::SeqCst);
+    pub fn reset_to_quiescent(&self, mark: &HeapMark) {
+        self.rewind(mark);
     }
 
-    /// A 64-bit FNV-1a hash of the allocated portion of the heap. Used by
-    /// tests to assert that simulated executions are deterministic.
+    /// A 64-bit FNV-1a hash of the allocated portion of the heap (the slab
+    /// footprint plus the consumed reserve). Used by tests to assert that
+    /// simulated executions are deterministic.
     pub fn fingerprint(&self) -> u64 {
-        let used = self.used();
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for w in &self.words[..used] {
-            let v = w.load(Ordering::SeqCst);
+        let feed = |i: usize, h: &mut u64| {
+            let v = self.word(i).load(Ordering::SeqCst);
             for b in v.to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x1000_0000_01b3);
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x1000_0000_01b3);
             }
+        };
+        let region = self.cursor.load(Ordering::SeqCst).min(self.reserve_base);
+        for i in 0..region {
+            feed(i, &mut h);
+        }
+        let reserve = self.reserve.load(Ordering::SeqCst).min(self.capacity);
+        for i in self.reserve_base..reserve {
+            feed(i, &mut h);
         }
         h
     }
@@ -257,11 +670,11 @@ mod tests {
     #[test]
     fn alloc_is_disjoint_and_null_reserved() {
         let heap = Heap::new(64);
-        let a = heap.alloc_root(4);
-        let b = heap.alloc_root(4);
+        let a = heap.alloc_root(3);
+        let b = heap.alloc_root(3);
         assert!(!a.is_null());
         assert_eq!(a.0, 1, "first allocation starts after the null word");
-        assert_eq!(b.0, a.0 + 4);
+        assert_eq!(b.0, a.0 + 3, "same lane allocates contiguously inside a slab");
     }
 
     #[test]
@@ -284,17 +697,83 @@ mod tests {
     }
 
     #[test]
+    fn lanes_allocate_from_disjoint_cache_aligned_slabs() {
+        let heap = Heap::new(1 << 12);
+        let slab = heap.slab_words();
+        assert_eq!(slab % LINE_WORDS, 0, "slabs must be cache-line multiples");
+        let a = heap.alloc(0, 3).unwrap();
+        let b = heap.alloc(1, 3).unwrap();
+        let r = heap.alloc_root(3);
+        assert_eq!(a.0 as usize % slab, 0, "a fresh lane starts on a slab boundary");
+        assert_eq!(b.0 as usize % slab, 0);
+        // Three different lanes: pairwise different slabs.
+        let slabs: Vec<usize> = [a, b, r].iter().map(|x| x.0 as usize / slab).collect();
+        let mut dedup = slabs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3, "lanes must not share a slab: {slabs:?}");
+        // Within a lane the bump is contiguous and stays inside the slab.
+        let a2 = heap.alloc(0, 2).unwrap();
+        assert_eq!(a2.0, a.0 + 3);
+    }
+
+    #[test]
+    fn oversized_allocation_takes_contiguous_slabs() {
+        let heap = Heap::new(1 << 12);
+        let slab = heap.slab_words();
+        let big = heap.alloc(2, 3 * slab + 5).unwrap();
+        assert_eq!(big.0 as usize % slab, 0, "multi-slab grabs start slab-aligned");
+        // The lane keeps bumping inside the tail of the last grabbed slab.
+        let next = heap.alloc(2, 1).unwrap();
+        assert_eq!(next.0 as usize, big.0 as usize + 3 * slab + 5);
+    }
+
+    #[test]
+    fn global_mode_reproduces_the_single_cursor_layout() {
+        let heap = Heap::with_mode(256, AllocMode::Global);
+        assert_eq!(heap.mode_label(), "global");
+        assert_eq!(heap.lane_count(), 1);
+        let a = heap.alloc(7, 4).unwrap(); // lane ignored
+        let b = heap.alloc(3, 4).unwrap();
+        assert_eq!(a.0, 1);
+        assert_eq!(b.0, 5);
+        assert_eq!(heap.used(), 9);
+    }
+
+    #[test]
+    fn exhausted_lane_reports_error_and_reserve_completes() {
+        // 64 slabs of 8 words and a reserve: exhaust the slab region, then
+        // verify the recoverable error plus the reserve fallback.
+        let heap = Heap::with_mode(64 * 8, AllocMode::Laned { lanes: 2, slab_words: 8 });
+        assert!(heap.capacity() > heap.lane_remaining(0), "a reserve must exist here");
+        let mut last = 0;
+        while let Ok(a) = heap.alloc(0, 8) {
+            last = a.0;
+        }
+        let err = heap.alloc(0, 8).unwrap_err();
+        assert_eq!(err.lane, 0);
+        assert_eq!(err.requested, 8);
+        assert!(last > 0);
+        // The reserve still hands out completion memory.
+        let r = heap.alloc_reserve(0, 4);
+        assert!(r.0 as usize >= heap.reserve_base);
+        heap.poke(r, 9);
+        assert_eq!(heap.peek(r), 9);
+    }
+
+    #[test]
     fn reset_zeroes_transient_region_only() {
         let mut heap = Heap::new(64);
         let root = heap.alloc_root(1);
         heap.poke(root, 42);
         let mark = heap.mark();
+        let used_at_mark = heap.used();
         let t = heap.alloc_root(2);
         heap.poke(t, 5);
         heap.poke(t.off(1), 6);
-        heap.reset_to(mark);
+        heap.reset_to(&mark);
         assert_eq!(heap.peek(root), 42, "root survives reset");
-        assert_eq!(heap.used(), mark);
+        assert_eq!(heap.used(), used_at_mark, "footprint rewound to the mark");
         let t2 = heap.alloc_root(2);
         assert_eq!(t2, t, "bump rolled back");
         assert_eq!(heap.peek(t2), 0, "transient region re-zeroed");
@@ -309,12 +788,52 @@ mod tests {
         let mark = heap.mark();
         let t = heap.alloc_root(3);
         heap.poke(t.off(2), 9);
-        heap.reset_to_quiescent(mark);
-        assert_eq!(heap.used(), mark);
+        heap.reset_to_quiescent(&mark);
         assert_eq!(heap.peek(root), 7, "pre-mark words survive");
         let t2 = heap.alloc_root(3);
         assert_eq!(t2, t, "bump rolled back");
         assert_eq!(heap.peek(t2.off(2)), 0, "transient region re-zeroed");
+    }
+
+    #[test]
+    fn reset_rewinds_every_lane_and_the_reserve() {
+        let heap = Heap::with_mode(64 * 8, AllocMode::Laned { lanes: 3, slab_words: 8 });
+        let keep = heap.alloc(1, 2).unwrap();
+        heap.poke(keep, 11);
+        let mark = heap.mark();
+        let used_at_mark = heap.used();
+        // Dirty several lanes, a multi-slab grab, and the reserve.
+        for lane in 0..3 {
+            let a = heap.alloc(lane, 5).unwrap();
+            heap.poke(a, lane as u64 + 1);
+        }
+        let big = heap.alloc(2, 20).unwrap();
+        heap.poke(big.off(19), 99);
+        let r = heap.alloc_reserve(0, 2);
+        heap.poke(r, 77);
+        assert!(heap.used() > used_at_mark);
+
+        heap.reset_to_quiescent(&mark);
+        assert_eq!(heap.used(), used_at_mark, "footprint rewound to the mark");
+        assert_eq!(heap.peek(keep), 11, "pre-mark words survive");
+        for lane in 0..3 {
+            assert_eq!(
+                heap.lane_used(lane),
+                mark.lanes[lane].used,
+                "lane {lane} usage rewound"
+            );
+        }
+        // Identical allocations land on identical addresses and read zero.
+        for lane in 0..3 {
+            let a = heap.alloc(lane, 5).unwrap();
+            assert_eq!(heap.peek(a), 0, "lane {lane} transients re-zeroed");
+        }
+        let big2 = heap.alloc(2, 20).unwrap();
+        assert_eq!(big2, big, "slab cursor rewound");
+        assert_eq!(heap.peek(big2.off(19)), 0);
+        let r2 = heap.alloc_reserve(0, 2);
+        assert_eq!(r2, r, "reserve cursor rewound");
+        assert_eq!(heap.peek(r2), 0);
     }
 
     #[test]
@@ -345,5 +864,48 @@ mod tests {
         assert_eq!(Addr::from_word(a.to_word()), a);
         assert!(NULL.is_null());
         assert!(!Addr(1).is_null());
+    }
+
+    #[test]
+    fn concurrent_lane_allocations_never_overlap() {
+        // 8 threads, each on its own lane, racing the shared slab cursor:
+        // every returned region must be pairwise disjoint and, for
+        // sub-slab sizes, never straddle a slab boundary.
+        let heap = Heap::with_mode(1 << 17, AllocMode::Laned { lanes: 8, slab_words: 64 });
+        let slab = heap.slab_words();
+        let regions: Vec<std::sync::Mutex<Vec<(usize, usize)>>> =
+            (0..8).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+        std::thread::scope(|scope| {
+            for (lane, out) in regions.iter().enumerate() {
+                let heap = &heap;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    for i in 0..200usize {
+                        let n = 1 + (lane * 31 + i * 7) % 48;
+                        let a = heap.alloc(lane, n).expect("arena sized generously");
+                        local.push((a.0 as usize, n));
+                    }
+                    *out.lock().unwrap() = local;
+                });
+            }
+        });
+        let mut all: Vec<(usize, usize)> = regions
+            .iter()
+            .flat_map(|m| m.lock().unwrap().clone())
+            .collect();
+        all.sort_unstable();
+        for w in all.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0, "overlap: {:?} then {:?}", w[0], w[1]);
+        }
+        for &(base, n) in &all {
+            if n <= slab {
+                assert_eq!(
+                    base / slab,
+                    (base + n - 1) / slab,
+                    "sub-slab allocation [{base}, {}) straddles a slab boundary",
+                    base + n
+                );
+            }
+        }
     }
 }

@@ -19,7 +19,10 @@
 //!   and feeds commands to processes through mailboxes.
 //!
 //! All shared state lives in a [`Heap`]: a fixed arena of `u64` words with a
-//! wait-free bump allocator. Algorithm code accesses it through a per-process
+//! wait-free **sharded** bump allocator — per-process lanes over
+//! cache-line-aligned slabs, so the hot path is an uncontended bump and the
+//! shared slab cursor is touched once per slab (see `heap.rs` and DESIGN.md
+//! §1.1.2). Algorithm code accesses it through a per-process
 //! [`Ctx`], which counts every operation (shared and local) so that the
 //! paper's delay mechanism ("stall until `T0` own steps") is exact.
 //!
@@ -65,7 +68,7 @@ pub mod trace;
 
 pub use ctx::{ClockMode, Ctx, OrderTier};
 pub use epoch::{run_epoch_worker, Arrival, EpochState, EpochSync};
-pub use heap::{Addr, Heap, NULL};
+pub use heap::{Addr, AllocMode, Heap, HeapExhausted, HeapMark, NULL};
 pub use history::{Event, History};
 pub use real::{run_threads, run_threads_epochs, run_threads_with, RealConfig};
 pub use schedule::Schedule;

@@ -155,6 +155,9 @@ where
                         .downcast_ref::<&str>()
                         .map(|s| s.to_string())
                         .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .or_else(|| {
+                            payload.downcast_ref::<crate::heap::HeapExhausted>().map(|e| e.to_string())
+                        })
                         .unwrap_or_else(|| "non-string panic".to_string());
                     *panic_out.lock() = Some(msg);
                 }
@@ -372,9 +375,12 @@ mod tests {
         assert_eq!(report.epochs, 4, "three resets plus the final epoch");
         assert_eq!(heap.peek(persistent), 4, "one boundary visit per epoch");
         // Every epoch allocated the same 3x4 transient words; resets
-        // recycled them, so usage never compounds across epochs.
-        assert_eq!(state.high_water(), state.mark() + 12);
-        assert_eq!(heap.used(), state.mark() + 12);
+        // recycled them, so per-lane usage never compounds across epochs:
+        // 4 words in each worker's lane plus the persistent root word.
+        assert_eq!(state.high_water(), 1 + 12);
+        let lanes = state.high_water_lanes();
+        assert_eq!(&lanes[0..3], &[4, 4, 4], "one transient record per worker lane");
+        assert_eq!(lanes[heap.root_lane()], 1, "the persistent root");
     }
 
     #[test]
@@ -398,7 +404,9 @@ mod tests {
     /// `steps_per` local steps into a private heap region; returns the
     /// per-process timestamp vectors.
     fn record_ticks(cfg: RealConfig, nprocs: usize, steps_per: usize) -> Vec<Vec<u64>> {
-        let heap = Heap::new((nprocs * steps_per + 1).next_power_of_two());
+        // 2x the payload: slab rounding and the emergency reserve need
+        // headroom beyond the exact record count.
+        let heap = Heap::new((2 * (nprocs * steps_per + 1)).next_power_of_two());
         let regions: Vec<Addr> = (0..nprocs).map(|_| heap.alloc_root(steps_per)).collect();
         let regions_ref = &regions;
         let report = run_threads_with(&heap, nprocs, 7, None, cfg, |pid| {

@@ -261,6 +261,11 @@ impl<'h: 'a, 'a> SimBuilder<'h, 'a> {
                                 .downcast_ref::<&str>()
                                 .map(|s| s.to_string())
                                 .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .or_else(|| {
+                                    payload
+                                        .downcast_ref::<crate::heap::HeapExhausted>()
+                                        .map(|e| e.to_string())
+                                })
                                 .unwrap_or_else(|| "non-string panic".to_string());
                             *panic_out.lock() = Some(msg);
                         }

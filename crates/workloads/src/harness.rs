@@ -60,7 +60,7 @@ use wfl_runtime::rng::Pcg;
 use wfl_runtime::schedule::{Bursty, RoundRobin, Schedule, SeededRandom, Weighted};
 use wfl_runtime::sim::SimBuilder;
 use wfl_runtime::stats::{Bernoulli, Summary};
-use wfl_runtime::{Addr, Ctx, Event, Heap, History};
+use wfl_runtime::{Addr, AllocMode, Ctx, Event, Heap, History};
 use std::sync::{Mutex, RwLock};
 use std::time::Duration;
 
@@ -220,8 +220,13 @@ pub struct HarnessReport {
     pub wall: Option<Duration>,
     /// Heap lifetimes the run spanned (1 = no epoch batching).
     pub epochs: u64,
-    /// Highest arena usage observed at any epoch boundary, in words.
+    /// Highest arena usage observed at any epoch boundary: words handed
+    /// out, summed over every allocation lane.
     pub heap_high_water: usize,
+    /// The per-lane breakdown of [`HarnessReport::heap_high_water`]
+    /// (index = lane = pid; the trailing entry is the root lane carrying
+    /// setup and re-root allocations).
+    pub heap_high_water_lanes: Vec<usize>,
     /// Recorded invoke/respond history (empty unless the workload records
     /// one, e.g. [`run_bank_mode_recorded`]).
     pub history: History,
@@ -231,6 +236,20 @@ impl HarnessReport {
     /// Successful acquisitions per wall-clock second (real runs only).
     pub fn wins_per_sec(&self) -> Option<f64> {
         self.wall.map(|w| self.wins as f64 / w.as_secs_f64().max(1e-12))
+    }
+
+    /// The meaningful slice of [`HarnessReport::heap_high_water_lanes`]
+    /// for reports and JSON: the worker lanes actually used by this run
+    /// (one per process) plus the trailing root lane — the heap pads to
+    /// its full lane count, which would bury output in zeros.
+    pub fn compact_high_water_lanes(&self) -> Vec<usize> {
+        let threads = self.per_pid.len();
+        if self.heap_high_water_lanes.len() <= threads + 1 {
+            return self.heap_high_water_lanes.clone();
+        }
+        let mut v = self.heap_high_water_lanes[..threads].to_vec();
+        v.push(*self.heap_high_water_lanes.last().expect("non-empty lane vector"));
+        v
     }
 }
 
@@ -276,10 +295,16 @@ impl Outcomes {
 
     /// Records one attempt (counted heap writes from the process itself).
     /// `slot` is the round index *within this epoch*.
+    ///
+    /// Release writes, not SeqCst (the §2.2 ordering audit): each slot is
+    /// written by exactly one process and read only at the quiescent epoch
+    /// boundary, where the barrier's mutex (or the sim host's join)
+    /// already provides the happens-before edge — the store needs no
+    /// global ordering of its own.
     fn record(&self, ctx: &Ctx<'_>, pid: usize, slot: usize, won: bool, steps: u64) {
         let idx = self.idx(pid, slot);
-        ctx.write(self.outcomes.off(idx), 1 + won as u64);
-        ctx.write(self.steps.off(idx), steps);
+        ctx.write_rel(self.outcomes.off(idx), 1 + won as u64);
+        ctx.write_rel(self.steps.off(idx), steps);
     }
 
     /// Folds this epoch's recorded outcomes into a [`HarnessReport`] (with
@@ -321,6 +346,7 @@ impl Outcomes {
             wall: None,
             epochs: 1,
             heap_high_water: 0,
+            heap_high_water_lanes: Vec::new(),
             history: History::default(),
         }
     }
@@ -375,6 +401,7 @@ impl Totals {
             wall,
             epochs: self.epochs,
             heap_high_water: state.high_water(),
+            heap_high_water_lanes: state.high_water_lanes(),
             history,
         }
     }
@@ -571,10 +598,17 @@ fn run_batch<WL: EpochWorkload>(
     base: usize,
     rounds: usize,
 ) {
+    // A fresh heap lifetime: the boundary reset (or first-epoch setup) has
+    // rewound the lanes, so any latched allocation pressure is stale.
+    ctx.reset_heap_low();
     let mut local = wl.local(ctx, &world.roots);
     world.algo.with(registry, |algo| {
         for slot in 0..rounds {
-            if ctx.stop_requested() {
+            // Heap pressure ends the batch exactly like the stop flag: the
+            // attempt that tapped the reserve has completed and been
+            // recorded; nothing new starts until the boundary rewinds the
+            // lanes (see `Ctx::heap_low`).
+            if ctx.stop_requested() || ctx.heap_low() {
                 break;
             }
             let out =
@@ -814,6 +848,9 @@ pub struct SimSpec {
     pub max_steps: u64,
     /// Heap size in words.
     pub heap_words: usize,
+    /// Allocator mode for the arena (default: sharded lanes; `Global`
+    /// keeps the historical single bump cursor for the E13 A/B cell).
+    pub alloc: AllocMode,
 }
 
 impl SimSpec {
@@ -829,6 +866,7 @@ impl SimSpec {
             sched: SchedKind::Random,
             max_steps: 400_000_000,
             heap_words: 1 << 23,
+            alloc: AllocMode::laned(),
         }
     }
 
@@ -920,7 +958,7 @@ pub fn run_random_conflict_mode(spec: &SimSpec, algo: AlgoKind, mode: &ExecMode)
     assert!(spec.locks_per_attempt <= spec.nlocks);
     let mut registry = Registry::new();
     let touch = registry.register(TouchAll { max_locks: spec.locks_per_attempt });
-    let heap = Heap::new(spec.heap_words);
+    let heap = Heap::with_mode(spec.heap_words, spec.alloc);
     let cfg = known_cfg(algo, spec.nprocs, spec.locks_per_attempt, 2 * spec.locks_per_attempt);
     let aspec = AlgoSpec { kind: algo, nlocks: spec.nlocks, aset: spec.nprocs.max(2), cfg };
     let wl = ConflictWl { spec: *spec, touch };
@@ -1683,6 +1721,103 @@ mod tests {
         assert!(wall >= budget, "soak stopped early at {wall:?}");
         assert_eq!(r.per_pid.iter().map(|p| p.1).sum::<u64>(), r.attempts);
         assert!(r.heap_high_water <= spec.heap_words);
+    }
+
+    /// Regression (allocation lanes): a heap far too small for one epoch's
+    /// worth of attempts must NOT abort the process. Allocation pressure
+    /// latches `heap_low` (after the in-flight attempt completes from the
+    /// reserve), the batch ends early, the quiescent boundary rewinds
+    /// every lane, and the run keeps crossing epochs for its full wall
+    /// budget — with every epoch's safety check still exact.
+    #[test]
+    fn tiny_heap_triggers_epoch_resets_instead_of_panicking() {
+        let mut spec = SimSpec::new(3, 512, 4, 2);
+        spec.seed = 19;
+        spec.think_max = 0;
+        // ~16K words: epoch roots fit, but 3x512 wfl attempts (frames,
+        // descriptors, cons cells) cannot — each epoch hits the lanes' end.
+        spec.heap_words = 1 << 14;
+        let budget = Duration::from_millis(60);
+        let mode = ExecMode::real_timed(3, budget).with_epoch_rounds(512);
+        let algo = AlgoKind::Wfl { kappa: 3, delays: false, helping: true };
+        let r = run_random_conflict_mode(&spec, algo, &mode);
+        assert!(r.safety_ok, "recorded outcomes diverged across pressure-driven resets");
+        assert!(r.attempts > 0, "no attempt ever completed");
+        assert!(
+            r.epochs >= 2,
+            "exhaustion must end batches at epoch boundaries (got {} epochs)",
+            r.epochs
+        );
+        assert!(r.wall.expect("real run") >= budget, "run gave up before the deadline");
+        assert!(r.heap_high_water <= spec.heap_words);
+    }
+
+    /// The same pressure shape in the deterministic simulator: batches end
+    /// early on `heap_low`, the host-side reset rewinds the lanes, and the
+    /// fixed epoch plan still completes without a panic.
+    #[test]
+    fn tiny_heap_sim_epochs_survive_allocation_pressure() {
+        let mut spec = SimSpec::new(3, 400, 4, 2);
+        spec.seed = 23;
+        spec.think_max = 0;
+        spec.heap_words = 1 << 14;
+        let mode = ExecMode::sim(SchedKind::Random, 400_000_000).with_epoch_rounds(100);
+        let algo = AlgoKind::Wfl { kappa: 3, delays: false, helping: true };
+        let r = run_random_conflict_mode(&spec, algo, &mode);
+        assert!(r.safety_ok);
+        assert_eq!(r.epochs, 4, "the fixed epoch plan still runs to its end");
+        assert!(r.attempts > 0);
+        // Pressure means not every planned round ran — but nothing was
+        // double-counted either.
+        assert!(r.attempts <= 3 * 400);
+    }
+
+    /// Per-lane high-water accounting: the vector must sum to the scalar,
+    /// cover every worker lane plus the root lane, and attribute re-root
+    /// allocations to the root lane.
+    #[test]
+    fn per_lane_high_water_sums_and_attributes_roots() {
+        let mut spec = SimSpec::new(3, 10, 4, 2);
+        spec.seed = 7;
+        spec.heap_words = 1 << 22;
+        let mode = ExecMode::real(3).with_epoch_rounds(4);
+        let algo = AlgoKind::Wfl { kappa: 3, delays: false, helping: true };
+        let r = run_random_conflict_mode(&spec, algo, &mode);
+        assert!(r.safety_ok);
+        let lanes = &r.heap_high_water_lanes;
+        assert!(!lanes.is_empty());
+        // Per-lane peaks may come from different epochs, so they bound the
+        // single-boundary total from above.
+        assert!(lanes.iter().sum::<usize>() >= r.heap_high_water, "lane peaks must cover the total");
+        assert!(lanes.iter().all(|&w| w <= r.heap_high_water));
+        let root = *lanes.last().unwrap();
+        assert!(root > 0, "re-rooting (lock space, outcome slots) bills the root lane");
+        for (pid, &w) in lanes[..3].iter().enumerate() {
+            assert!(w > 0, "worker lane {pid} allocated attempt records");
+        }
+        for lane in &lanes[3..lanes.len() - 1] {
+            assert_eq!(*lane, 0, "unused lanes must stay empty");
+        }
+    }
+
+    /// The `AllocMode::Global` arena (the E13 A/B baseline) must drive the
+    /// identical workload to identical safety results.
+    #[test]
+    fn global_alloc_mode_still_passes_the_harness_checks() {
+        for mode in [ExecMode::sim(SchedKind::Random, 100_000_000), ExecMode::real(3)] {
+            let mut spec = SimSpec::new(3, 20, 4, 2);
+            spec.seed = 13;
+            spec.heap_words = 1 << 22;
+            spec.alloc = AllocMode::Global;
+            let r = run_random_conflict_mode(
+                &spec,
+                AlgoKind::Wfl { kappa: 3, delays: false, helping: true },
+                &mode,
+            );
+            assert!(r.safety_ok, "{}: global-cursor arena failed safety", mode.label());
+            assert_eq!(r.attempts, 60, "{}", mode.label());
+            assert_eq!(r.heap_high_water_lanes.len(), 1, "global mode reports one lane");
+        }
     }
 
     /// Every workload's safety check must aggregate correctly across epoch

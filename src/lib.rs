@@ -90,6 +90,6 @@ pub use wfl_runtime::epoch::{EpochState, EpochSync};
 pub use wfl_runtime::schedule::{Bursty, RoundRobin, SeededRandom, StallWindow, Stalls, Weighted};
 pub use wfl_runtime::sim::SimBuilder;
 pub use wfl_runtime::{
-    run_threads, run_threads_epochs, run_threads_with, Addr, ClockMode, Ctx, Heap, OrderTier,
-    RealConfig,
+    run_threads, run_threads_epochs, run_threads_with, Addr, AllocMode, ClockMode, Ctx, Heap,
+    HeapExhausted, HeapMark, OrderTier, RealConfig,
 };
