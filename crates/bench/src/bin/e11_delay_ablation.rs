@@ -15,7 +15,7 @@ use wfl_runtime::schedule::RoundRobin;
 use wfl_runtime::sim::SimBuilder;
 use wfl_runtime::stats::Bernoulli;
 use wfl_runtime::{Addr, Ctx, Heap};
-use wfl_workloads::player::{run_player_loop, TargetedStarter};
+use wfl_workloads::player::{run_player_loop, AdvStrength, TargetedStarter};
 
 struct Touch;
 impl Thunk for Touch {
@@ -49,6 +49,7 @@ fn victim_rate(delays: bool, seed_period: u64) -> Bernoulli {
         args: vec![counter.to_word()],
         victim_period: seed_period,
         victim_desc_cell,
+        strength: AdvStrength::Targeted,
         issued: 0,
     };
     let algo_ref = &algo;
@@ -60,6 +61,9 @@ fn victim_rate(delays: bool, seed_period: u64) -> Bernoulli {
             move |ctx: &Ctx| {
                 let mut tags = TagSource::new(pid);
                 let mut scratch = wfl_core::Scratch::new();
+                if pid == 0 {
+                    scratch.probe = Some(victim_desc_cell);
+                }
                 let my_results = results.off((pid as u64 * attempts) as u32);
                 run_player_loop(ctx, algo_ref, &mut tags, &mut scratch, touch, my_results, attempts);
             }

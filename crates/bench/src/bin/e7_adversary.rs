@@ -16,7 +16,7 @@ use wfl_runtime::stats::Bernoulli;
 use wfl_runtime::{Addr, Ctx, Heap};
 use wfl_baselines::WflKnown;
 use wfl_core::{LockConfig, LockSpace};
-use wfl_workloads::player::{run_player_loop, TargetedStarter};
+use wfl_workloads::player::{run_player_loop, AdvStrength, TargetedStarter};
 
 struct Touch;
 impl Thunk for Touch {
@@ -50,6 +50,7 @@ fn victim_rate(ncompetitors: usize, delays: bool) -> (Bernoulli, bool) {
         args: vec![counter.to_word()],
         victim_period: 600,
         victim_desc_cell,
+        strength: AdvStrength::Targeted,
         issued: 0,
     };
     let algo_ref = &algo;
@@ -61,6 +62,11 @@ fn victim_rate(ncompetitors: usize, delays: bool) -> (Bernoulli, bool) {
             move |ctx: &Ctx| {
                 let mut tags = TagSource::new(pid);
                 let mut scratch = wfl_core::Scratch::new();
+                if pid == 0 {
+                    // The victim publishes its in-flight attempt through
+                    // the probe cell — this is what the adversary watches.
+                    scratch.probe = Some(victim_desc_cell);
+                }
                 let my_results = results.off((pid as u64 * attempts) as u32);
                 run_player_loop(ctx, algo_ref, &mut tags, &mut scratch, touch, my_results, attempts);
             }

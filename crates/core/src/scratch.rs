@@ -15,6 +15,7 @@
 //! accounting), so simulator determinism is unaffected.
 
 use wfl_activeset::ActiveSet;
+use wfl_runtime::Addr;
 
 /// Per-process scratch space for lock-attempt hot paths. Create one per
 /// process (next to its `TagSource`) and pass it to every attempt.
@@ -35,6 +36,15 @@ pub struct Scratch {
     pub frozen_lens: Vec<u32>,
     /// Baselines: lock ids sorted for ordered acquisition.
     pub order: Vec<u32>,
+    /// Fairness-subsystem attempt probe: when set, [`crate::try_locks`]
+    /// (and the §6.2 variant) publishes the in-flight descriptor's address
+    /// into this heap cell right after creating it and clears the cell when
+    /// the attempt ends. An adaptive adversary — the simulator's
+    /// player-adversary controller or a real observer thread — reads the
+    /// cell to learn exactly when the process is inside an attempt and (via
+    /// the descriptor's priority word) whether it is still in its
+    /// pre-reveal window. `None` (the default) costs nothing.
+    pub probe: Option<Addr>,
 }
 
 impl Scratch {
@@ -56,6 +66,7 @@ impl Scratch {
             frozen_items: Vec::with_capacity(l_max * (kappa + 1)),
             frozen_lens: Vec::with_capacity(l_max),
             order: Vec::with_capacity(l_max),
+            probe: None,
         }
     }
 }

@@ -217,6 +217,13 @@ pub fn try_locks(
     let frame = Frame::create(ctx, registry, req.thunk, tag_base, req.args);
     let p = Desc::create(ctx, req.locks, frame);
     wfl_runtime::trace::emit(|| format!("t={} pid={} start attempt {:?} frame={:?}", ctx.now(), ctx.pid(), p.0, frame.0));
+    if let Some(cell) = scratch.probe {
+        // Fairness probe: hand the adversary this attempt's descriptor the
+        // moment it exists — it can watch the priority word for the
+        // pre-reveal window. Strictly more visibility than a real player
+        // could extract, which is exactly the regime Theorem 6.9 bounds.
+        ctx.write_rel(cell, p.item());
+    }
 
     // Helping phase: clear the field of every already-revealed competitor.
     let mut helped = 0u64;
@@ -247,8 +254,14 @@ pub fn try_locks(
     // Compete.
     run_desc(ctx, space, registry, p, &mut scratch.members);
 
-    // Clean up, then pad to the fixed attempt length.
+    // Clean up, then pad to the fixed attempt length. The probe clears
+    // before the padding: the competition is decided, and keeping the clear
+    // inside the delay window means probing never alters the fixed
+    // `T0 + T1` attempt length.
     multi_remove(ctx, &flag, p.item(), &scratch.sets, &scratch.slots);
+    if let Some(cell) = scratch.probe {
+        ctx.write_rel(cell, 0);
+    }
     if cfg.delays {
         if ctx.steps() > start + cfg.t0() + cfg.t1() {
             flag.overrun.set(true);

@@ -117,6 +117,11 @@ pub fn try_locks_unknown(
 
     let frame = Frame::create(ctx, registry, req.thunk, tag_base, req.args);
     let p = Desc::create(ctx, req.locks, frame);
+    if let Some(cell) = scratch.probe {
+        // Fairness probe (see `try_locks`): expose the in-flight descriptor
+        // to the adaptive adversary for the whole attempt.
+        ctx.write_rel(cell, p.item());
+    }
 
     // Helping phase: run every already-revealed competitor to completion.
     let mut helped = 0u64;
@@ -182,8 +187,12 @@ pub fn try_locks_unknown(
     // Compete over the frozen snapshot.
     run_desc(ctx, space, registry, p, &mut scratch.members);
 
-    // Clean up; pad the attempt end to a power-of-two length.
+    // Clean up; pad the attempt end to a power-of-two length (the probe
+    // clear stays inside the padding so probing never changes it).
     multi_remove(ctx, &flag, p.item(), &scratch.sets, &scratch.slots);
+    if let Some(cell) = scratch.probe {
+        ctx.write_rel(cell, 0);
+    }
     if cfg.delays {
         stall_to_pow2(ctx, start);
     }

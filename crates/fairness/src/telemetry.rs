@@ -1,0 +1,336 @@
+//! Allocation-free, fixed-bucket fairness telemetry.
+//!
+//! The fairness experiments need per-attempt statistics from inside
+//! free-running attempt loops, where a `Vec`-backed
+//! [`wfl_runtime::stats::Summary`] would put an allocation on the hot path
+//! and unbounded memory on a soak. Everything here is fixed-size:
+//!
+//! * [`FixedHistogram`] — power-of-two buckets over `u64` samples. Bucket
+//!   edges are monotone and recording is O(1) with no allocation; two
+//!   histograms [`FixedHistogram::merge`] by adding counts (the same
+//!   fold-at-the-epoch-boundary pattern as `Summary::merge`), which
+//!   conserves both the sample count and the bucket totals exactly.
+//! * [`ProcTelemetry`] — one process's fairness view: attempts, wins, a
+//!   try-count histogram (attempts needed per successful acquisition), an
+//!   acquisition-latency histogram (own steps from the first try of an
+//!   acquisition to its success), and the max stretch (the most tries any
+//!   one acquisition needed, winning attempt included, finished or not).
+//! * [`jain_index`] — Jain's fairness index `(Σx)² / (n·Σx²)`, the
+//!   standard scalar for "how evenly is success distributed"; it is `1`
+//!   for perfect equality and `1/n` when one process takes everything.
+
+use wfl_runtime::stats::Bernoulli;
+
+/// Number of histogram buckets: bucket 0 holds the value 0, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`; the last bucket absorbs everything
+/// above `2^(BUCKETS-2)`.
+pub const BUCKETS: usize = 33;
+
+/// A fixed-bucket power-of-two histogram over `u64` samples (see module
+/// docs). `Copy`-free but fixed-size: safe to keep per-process and merge
+/// at epoch boundaries.
+#[derive(Debug, Clone)]
+pub struct FixedHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for FixedHistogram {
+    fn default() -> Self {
+        FixedHistogram { counts: [0; BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl FixedHistogram {
+    /// An empty histogram.
+    pub fn new() -> FixedHistogram {
+        FixedHistogram::default()
+    }
+
+    /// The bucket index a value lands in.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive lower edge of bucket `i`.
+    pub fn bucket_lo(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Inclusive upper edge of bucket `i` (saturating for the last bucket).
+    pub fn bucket_hi(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one sample (O(1), allocation-free).
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self` by adding bucket counts — the epoch
+    /// boundary fold. Conserves counts: afterwards every bucket (and the
+    /// total) equals the sum of the two inputs'.
+    pub fn merge(&mut self, other: &FixedHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The count in bucket `i`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Nearest-rank `q`-quantile **upper bound**: the upper edge of the
+    /// bucket holding the rank, clamped to the recorded maximum (so `q =
+    /// 1` returns a value `>=` the true max's bucket resolution, never
+    /// `u64::MAX` noise). 0 if empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return Self::bucket_hi(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// One process's fairness telemetry (see module docs). Recording is
+/// allocation-free; fold per-epoch instances into a cumulative one with
+/// [`ProcTelemetry::merge`].
+#[derive(Debug, Clone, Default)]
+pub struct ProcTelemetry {
+    /// Attempts made.
+    pub attempts: u64,
+    /// Attempts that won.
+    pub wins: u64,
+    /// Tries needed per successful acquisition (1 = first try).
+    pub tries: FixedHistogram,
+    /// Own steps per successful acquisition, summed over its tries.
+    pub latency: FixedHistogram,
+    /// Most tries any single acquisition has needed — the winning attempt
+    /// included, so an always-winning process reports 1 — counting a
+    /// streak still unfinished at the end of recording.
+    pub max_stretch: u64,
+    /// Losing streak in progress.
+    cur_tries: u64,
+    /// Steps accumulated by the acquisition in progress.
+    cur_steps: u64,
+}
+
+impl ProcTelemetry {
+    /// Empty telemetry.
+    pub fn new() -> ProcTelemetry {
+        ProcTelemetry::default()
+    }
+
+    /// Records one attempt of `steps` own steps. On a win, the current
+    /// streak closes into the try-count and latency histograms.
+    pub fn record_attempt(&mut self, won: bool, steps: u64) {
+        self.attempts += 1;
+        self.cur_tries += 1;
+        self.cur_steps = self.cur_steps.saturating_add(steps);
+        self.max_stretch = self.max_stretch.max(self.cur_tries);
+        if won {
+            self.wins += 1;
+            self.tries.record(self.cur_tries);
+            self.latency.record(self.cur_steps);
+            self.cur_tries = 0;
+            self.cur_steps = 0;
+        }
+    }
+
+    /// Folds `other` (e.g. one epoch's telemetry) into `self`. Unfinished
+    /// streaks contribute to `max_stretch` but not to the histograms, and
+    /// do not continue across the fold (an epoch boundary genuinely ends
+    /// the acquisition attempt — the arena it was attempting on is gone).
+    pub fn merge(&mut self, other: &ProcTelemetry) {
+        self.attempts += other.attempts;
+        self.wins += other.wins;
+        self.tries.merge(&other.tries);
+        self.latency.merge(&other.latency);
+        self.max_stretch = self.max_stretch.max(other.max_stretch);
+    }
+
+    /// The success-rate estimator over all recorded attempts.
+    pub fn success(&self) -> Bernoulli {
+        Bernoulli { successes: self.wins, trials: self.attempts }
+    }
+
+    /// Point success rate (0 if no attempts).
+    pub fn rate(&self) -> f64 {
+        self.success().rate()
+    }
+}
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)` over non-negative allocations:
+/// `1` for perfect equality, `1/n` when a single `x` takes everything;
+/// always in `[1/n, 1]` for non-degenerate inputs. Degenerate inputs
+/// (empty, or all zero — nobody got anything, which is vacuously even)
+/// return `1`.
+pub fn jain_index(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sumsq: f64 = xs.iter().map(|x| x * x).sum();
+    if sumsq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sumsq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_monotone_and_cover() {
+        for i in 1..BUCKETS {
+            assert!(FixedHistogram::bucket_lo(i) > FixedHistogram::bucket_hi(i - 1));
+            assert!(FixedHistogram::bucket_lo(i) <= FixedHistogram::bucket_hi(i));
+        }
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            let b = FixedHistogram::bucket_of(v);
+            assert!(FixedHistogram::bucket_lo(b) <= v && v <= FixedHistogram::bucket_hi(b), "{v}");
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_summarizes() {
+        let mut h = FixedHistogram::new();
+        for v in [0u64, 1, 1, 2, 5, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 109);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(1), 2);
+        assert!(h.percentile(0.0) <= h.percentile(0.5));
+        assert!(h.percentile(0.5) <= h.percentile(1.0));
+        assert_eq!(h.percentile(1.0), 100, "p100 clamps to the recorded max");
+    }
+
+    #[test]
+    fn merge_conserves_counts() {
+        let mut a = FixedHistogram::new();
+        let mut b = FixedHistogram::new();
+        for v in 0..50u64 {
+            a.record(v * 3);
+            b.record(v * 7);
+        }
+        let (ca, cb) = (a.count(), b.count());
+        let per_bucket: Vec<u64> =
+            (0..BUCKETS).map(|i| a.bucket_count(i) + b.bucket_count(i)).collect();
+        a.merge(&b);
+        assert_eq!(a.count(), ca + cb);
+        for (i, &want) in per_bucket.iter().enumerate() {
+            assert_eq!(a.bucket_count(i), want, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn telemetry_tracks_streaks() {
+        let mut t = ProcTelemetry::new();
+        t.record_attempt(false, 10);
+        t.record_attempt(false, 10);
+        t.record_attempt(true, 10); // acquisition: 3 tries, 30 steps
+        t.record_attempt(true, 5); // acquisition: 1 try, 5 steps
+        t.record_attempt(false, 2); // unfinished streak
+        assert_eq!(t.attempts, 5);
+        assert_eq!(t.wins, 2);
+        assert_eq!(t.max_stretch, 3);
+        assert_eq!(t.tries.count(), 2);
+        assert_eq!(t.tries.sum(), 4);
+        assert_eq!(t.latency.sum(), 35);
+        assert!((t.rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn telemetry_merge_folds_epochs() {
+        let mut a = ProcTelemetry::new();
+        a.record_attempt(true, 7);
+        a.record_attempt(false, 7); // unfinished: stretch 1
+        let mut b = ProcTelemetry::new();
+        for _ in 0..4 {
+            b.record_attempt(false, 3);
+        }
+        b.record_attempt(true, 3); // stretch 5
+        a.merge(&b);
+        assert_eq!(a.attempts, 7);
+        assert_eq!(a.wins, 2);
+        assert_eq!(a.max_stretch, 5);
+        assert_eq!(a.tries.count(), 2, "unfinished streaks never enter the histogram");
+    }
+
+    #[test]
+    fn jain_bounds_and_extremes() {
+        assert!((jain_index(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        assert!((jain_index(&[]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[0.0, 0.0]) - 1.0).abs() < 1e-12);
+        let mixed = jain_index(&[0.5, 0.25, 0.125, 0.125]);
+        assert!(mixed > 0.25 && mixed < 1.0);
+    }
+}

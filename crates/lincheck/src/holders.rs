@@ -1,0 +1,281 @@
+//! Per-lock **holder-exclusivity** auditing over recorded histories.
+//!
+//! Mutual exclusion says the winners of one lock form a *sequence*: their
+//! critical sections take effect one at a time. The fairness subsystem
+//! makes that sequence observable on real hardware: each winning critical
+//! section appends its unique holder token to the lock's **holder log** at
+//! the slot named by the lock's acquisition counter (so slot `k` holds the
+//! token of the `k`-th holder), and every attempt is bracketed in the
+//! history as a [`HOLD_OP`] event (`a` = lock id, `b` = holder token,
+//! `result` = 1 for a win, 0 for a loss) whose interval covers the
+//! critical section — `invoke` is recorded before the attempt starts and
+//! `response` after it returns, and a winner's thunk has completed by the
+//! time its attempt returns.
+//!
+//! [`check_holder_exclusivity`] verifies the conditions any mutually
+//! exclusive execution must satisfy, and that are violated by lost
+//! updates, double applications, or phantom holders:
+//!
+//! 1. **Distinct holders**: no token appears twice in a log (a duplicate
+//!    means one attempt's critical section ran twice, or two attempts saw
+//!    the same sequence number).
+//! 2. **Exact coverage**: the multiset of log tokens for a lock equals the
+//!    multiset of winning `HOLD_OP` tokens for it — every win appended
+//!    exactly once, no loss appended at all (a gap is a lost update; an
+//!    extra entry is a phantom holder).
+//! 3. **Real-time order**: if win `A`'s event responded before win `B`'s
+//!    was invoked, `A`'s token sits earlier in the log than `B`'s — the
+//!    holder sequence may not contradict wall-clock precedence. (Record
+//!    the history under [`wfl_runtime::real::RealConfig::precise`] so
+//!    cross-thread timestamps are globally ordered; overlapping attempts
+//!    are unconstrained, which is what makes this condition sound under
+//!    helping and post-attempt delay padding.)
+//!
+//! The conditions are necessary, not complete — like the set-regularity
+//! detector, every reported violation is real.
+
+use std::collections::HashMap;
+use wfl_runtime::History;
+
+/// History op code: one tryLock attempt on lock `a` with holder token `b`;
+/// `result` 1 = won (the token was appended to the holder log), 0 = lost.
+pub const HOLD_OP: u32 = 30;
+
+/// A detected holder-exclusivity violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HolderViolation {
+    /// The lock whose holder sequence is impossible.
+    pub lock: u64,
+    /// Human-readable explanation.
+    pub reason: String,
+}
+
+/// Audits per-lock holder sequences against the recorded attempt history
+/// (see module docs). `logs` pairs each audited lock id with its holder
+/// log — the tokens in acquisition-sequence order, exactly as the critical
+/// sections appended them. Events with other opcodes are ignored; a
+/// `HOLD_OP` event on a lock missing from `logs` is itself a violation
+/// (the audit must cover every contested lock).
+pub fn check_holder_exclusivity(
+    history: &History,
+    logs: &[(u64, Vec<u64>)],
+) -> Vec<HolderViolation> {
+    let mut violations = Vec::new();
+    let audited: HashMap<u64, &Vec<u64>> = logs.iter().map(|(l, t)| (*l, t)).collect();
+
+    for e in history.events.iter().filter(|e| e.op == HOLD_OP) {
+        if !audited.contains_key(&e.a) {
+            violations.push(HolderViolation {
+                lock: e.a,
+                reason: format!("attempt event for lock {} has no holder log", e.a),
+            });
+        }
+    }
+
+    for (lock, log) in logs {
+        // 1. Distinct, non-null holders.
+        let mut pos: HashMap<u64, usize> = HashMap::with_capacity(log.len());
+        for (i, &tok) in log.iter().enumerate() {
+            if tok == 0 {
+                violations.push(HolderViolation {
+                    lock: *lock,
+                    reason: format!("log slot {i} holds no token (lost update left a gap)"),
+                });
+            } else if pos.insert(tok, i).is_some() {
+                violations.push(HolderViolation {
+                    lock: *lock,
+                    reason: format!("token {tok:#x} appears twice (critical section ran twice)"),
+                });
+            }
+        }
+
+        // 2. Exact coverage: log tokens == winning event tokens.
+        let wins: Vec<usize> = history
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.op == HOLD_OP && e.a == *lock && e.result == 1)
+            .map(|(i, _)| i)
+            .collect();
+        let mut won_tokens: Vec<u64> = wins.iter().map(|&i| history.events[i].b).collect();
+        won_tokens.sort_unstable();
+        let mut log_tokens: Vec<u64> = log.clone();
+        log_tokens.sort_unstable();
+        if won_tokens != log_tokens {
+            violations.push(HolderViolation {
+                lock: *lock,
+                reason: format!(
+                    "holder log {log_tokens:x?} disagrees with recorded wins {won_tokens:x?}"
+                ),
+            });
+        }
+        for e in history.events.iter().filter(|e| e.op == HOLD_OP && e.a == *lock && e.result == 0)
+        {
+            if pos.contains_key(&e.b) {
+                violations.push(HolderViolation {
+                    lock: *lock,
+                    reason: format!("losing attempt {:#x} appears as a holder", e.b),
+                });
+            }
+        }
+
+        // 3. Real-time precedence must agree with the log order. Sweep the
+        // wins in invoke order, folding in completed wins (response
+        // strictly before the current invoke) from a response-sorted list
+        // and tracking the *latest* log slot among them: the current win
+        // must hold strictly later than all of those — comparing against
+        // the maximum covers every ordered pair in O(W log W), not W².
+        let mut by_invoke: Vec<usize> = wins.clone();
+        by_invoke.sort_by_key(|&i| history.events[i].invoke);
+        let mut by_response: Vec<usize> = wins.clone();
+        by_response.sort_by_key(|&i| history.events[i].response);
+        let mut folded = 0usize;
+        let mut latest: Option<(usize, u64)> = None; // (log slot, token)
+        for &bi in &by_invoke {
+            let b = &history.events[bi];
+            while folded < by_response.len() {
+                let a = &history.events[by_response[folded]];
+                if a.response >= b.invoke {
+                    break;
+                }
+                if let Some(&pa) = pos.get(&a.b) {
+                    if latest.is_none_or(|(slot, _)| pa > slot) {
+                        latest = Some((pa, a.b));
+                    }
+                }
+                folded += 1;
+            }
+            let (Some((pa, tok)), Some(&pb)) = (latest, pos.get(&b.b)) else {
+                continue; // unlogged tokens are reported by the coverage check
+            };
+            if pa >= pb && tok != b.b {
+                violations.push(HolderViolation {
+                    lock: *lock,
+                    reason: format!(
+                        "win {tok:#x} finished before win {:#x} began but holds later (slot {pa} >= {pb})",
+                        b.b
+                    ),
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Asserts that the per-lock holder sequences are exclusive.
+///
+/// # Panics
+/// Panics with the violations if any are found.
+pub fn assert_holder_exclusive(history: &History, logs: &[(u64, Vec<u64>)]) {
+    let v = check_holder_exclusivity(history, logs);
+    assert!(v.is_empty(), "holder-exclusivity violations: {v:#?}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfl_runtime::Event;
+
+    fn hold(pid: usize, lock: u64, token: u64, won: bool, invoke: u64, response: u64) -> Event {
+        Event {
+            pid,
+            op: HOLD_OP,
+            a: lock,
+            b: token,
+            result: won as u64,
+            result_set: vec![],
+            invoke,
+            response,
+        }
+    }
+
+    fn history(evs: Vec<Event>) -> History {
+        History::from_parts(vec![evs])
+    }
+
+    #[test]
+    fn sequential_holders_in_order_pass() {
+        let h = history(vec![
+            hold(0, 7, 0xA, true, 0, 10),
+            hold(1, 7, 0xB, false, 11, 20),
+            hold(1, 7, 0xC, true, 21, 30),
+        ]);
+        let logs = vec![(7u64, vec![0xA, 0xC])];
+        assert!(check_holder_exclusivity(&h, &logs).is_empty());
+    }
+
+    #[test]
+    fn overlapping_wins_may_hold_in_either_order() {
+        for log in [vec![0xAu64, 0xB], vec![0xBu64, 0xA]] {
+            let h = history(vec![
+                hold(0, 7, 0xA, true, 0, 100),
+                hold(1, 7, 0xB, true, 50, 160),
+            ]);
+            assert!(
+                check_holder_exclusivity(&h, &[(7, log.clone())]).is_empty(),
+                "overlapping attempts: log order {log:x?} is legal"
+            );
+        }
+    }
+
+    #[test]
+    fn real_time_precedence_violation_is_detected() {
+        // A finished strictly before B began, yet the log says B held first.
+        let h = history(vec![
+            hold(0, 7, 0xA, true, 0, 10),
+            hold(1, 7, 0xB, true, 20, 30),
+        ]);
+        let v = check_holder_exclusivity(&h, &[(7, vec![0xB, 0xA])]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].reason.contains("holds later"), "{}", v[0].reason);
+    }
+
+    #[test]
+    fn duplicate_holder_is_detected() {
+        let h = history(vec![
+            hold(0, 7, 0xA, true, 0, 10),
+            hold(1, 7, 0xA, true, 20, 30),
+        ]);
+        let v = check_holder_exclusivity(&h, &[(7, vec![0xA, 0xA])]);
+        assert!(v.iter().any(|x| x.reason.contains("twice")), "{v:?}");
+    }
+
+    #[test]
+    fn gap_and_coverage_mismatch_are_detected() {
+        let h = history(vec![hold(0, 7, 0xA, true, 0, 10)]);
+        // Gap: a zero slot where the win's token should be.
+        let v = check_holder_exclusivity(&h, &[(7, vec![0])]);
+        assert!(v.iter().any(|x| x.reason.contains("gap")), "{v:?}");
+        assert!(v.iter().any(|x| x.reason.contains("disagrees")), "{v:?}");
+        // Phantom: the log has a holder no win produced.
+        let v = check_holder_exclusivity(&h, &[(7, vec![0xA, 0xD])]);
+        assert!(v.iter().any(|x| x.reason.contains("disagrees")), "{v:?}");
+    }
+
+    #[test]
+    fn losing_attempt_in_log_is_detected() {
+        let h = history(vec![
+            hold(0, 7, 0xA, true, 0, 10),
+            hold(1, 7, 0xB, false, 0, 10),
+        ]);
+        let v = check_holder_exclusivity(&h, &[(7, vec![0xA, 0xB])]);
+        assert!(v.iter().any(|x| x.reason.contains("losing attempt")), "{v:?}");
+    }
+
+    #[test]
+    fn unaudited_lock_with_events_is_flagged() {
+        let h = history(vec![hold(0, 9, 0xA, true, 0, 10)]);
+        let v = check_holder_exclusivity(&h, &[(7, vec![])]);
+        assert!(v.iter().any(|x| x.lock == 9 && x.reason.contains("no holder log")), "{v:?}");
+    }
+
+    #[test]
+    fn locks_are_audited_independently() {
+        let h = history(vec![
+            hold(0, 1, 0xA, true, 0, 10),
+            hold(1, 2, 0xB, true, 20, 30),
+        ]);
+        let logs = vec![(1u64, vec![0xA]), (2u64, vec![0xB])];
+        assert!(check_holder_exclusivity(&h, &logs).is_empty());
+    }
+}

@@ -9,10 +9,21 @@
 //!   checked with an interval-based sound violation detector
 //!   ([`regular::check_set_regularity`]).
 //!
+//! A third, end-to-end audit covers the lock layer itself: real-mode runs
+//! record **per-lock holder sequences** (each winning critical section
+//! appends a unique token to its lock's holder log), and
+//! [`holders::check_holder_exclusivity`] verifies the sequences are
+//! distinct, exactly cover the recorded wins, and never contradict
+//! real-time precedence.
+//!
 //! Histories come from `wfl-runtime`'s deterministic simulator via
 //! [`wfl_runtime::History`]; timestamps are exact global step numbers, so
 //! the real-time precedence relation used by the checker is exact.
+//! (Real-threads histories recorded under
+//! `wfl_runtime::real::RealConfig::precise` carry globally ordered
+//! timestamps too, which is what the holder audit consumes.)
 
+pub mod holders;
 pub mod regular;
 pub mod specs;
 

@@ -99,7 +99,10 @@ pub enum SchedKind {
 }
 
 impl SchedKind {
-    fn build(self, n: usize, seed: u64) -> Box<dyn Schedule> {
+    /// Instantiates the schedule for `n` processes (public so external
+    /// drivers — the fairness adversary — build schedules from the same
+    /// families).
+    pub fn build(self, n: usize, seed: u64) -> Box<dyn Schedule> {
         match self {
             SchedKind::RoundRobin => Box::new(RoundRobin::new(n)),
             SchedKind::Random => Box::new(SeededRandom::new(n, seed)),
@@ -513,6 +516,42 @@ impl<'reg> AlgoInstance<'reg> {
             AlgoInstance::Blocking(a) => f(a),
             AlgoInstance::Naive(a) => f(a),
         }
+    }
+}
+
+/// A harness hook for **external drivers**: (re-)creates any [`AlgoKind`]
+/// on a heap and lends it as a `&dyn LockAlgo`, exactly like the epoch
+/// driver does for its own workloads. The `wfl_fairness` adversary
+/// subsystem uses this so its victim/competitor loops instantiate
+/// algorithms identically to every other experiment (same κ defaulting,
+/// same active-set sizing), and so an epoch boundary can drop and re-create
+/// the whole thing by building a fresh handle.
+pub struct AlgoHandle<'reg> {
+    registry: &'reg Registry,
+    instance: AlgoInstance<'reg>,
+}
+
+impl<'reg> AlgoHandle<'reg> {
+    /// Creates the algorithm's heap roots (lock records / lock-word
+    /// arrays). `nprocs` is the κ default and active-set size; `l_max` /
+    /// `t_max` bound the known-bounds delay formulas.
+    pub fn create(
+        heap: &Heap,
+        registry: &'reg Registry,
+        kind: AlgoKind,
+        nlocks: usize,
+        nprocs: usize,
+        l_max: usize,
+        t_max: usize,
+    ) -> AlgoHandle<'reg> {
+        let cfg = known_cfg(kind, nprocs, l_max, t_max);
+        let spec = AlgoSpec { kind, nlocks, aset: nprocs.max(2), cfg };
+        AlgoHandle { registry, instance: AlgoInstance::create(heap, registry, &spec) }
+    }
+
+    /// Lends the instance as a `&dyn LockAlgo`.
+    pub fn with<R>(&self, f: impl FnOnce(&dyn LockAlgo) -> R) -> R {
+        self.instance.with(self.registry, f)
     }
 }
 

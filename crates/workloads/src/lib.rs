@@ -13,7 +13,8 @@
 //!   neighbors, recompute from neighbor values (§1's graph processing use
 //!   case).
 //! * [`player`] — player-adversary strategies (adaptive start times) for
-//!   the fairness experiments E7/E11.
+//!   the fairness experiments E7/E11/E15, shared by both backends via the
+//!   probe-cell protocol and `flood_decision`.
 //! * [`harness`] — a small algorithm-agnostic runner collecting success
 //!   rates and step statistics over any [`wfl_baselines::LockAlgo`].
 

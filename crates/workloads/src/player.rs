@@ -1,19 +1,109 @@
-//! Player-adversary strategies: who attempts what, and when.
+//! Player-adversary strategies: who attempts what, and when — shared by
+//! **both execution backends**.
 //!
 //! The paper's *player adversary* is adaptive — it sees the full history
-//! and decides when each process starts a tryLock and on which locks. In
-//! the simulator this is a [`wfl_runtime::sim::Controller`] that inspects
-//! the quiesced heap between steps and feeds `start` commands into process
-//! mailboxes; the process side ([`run_player_loop`]) polls its mailbox and
-//! executes the commanded attempts. Experiments E7/E11 use the
-//! [`TargetedStarter`] to try to bias a victim's success probability; the
-//! delay mechanism is what defeats it.
+//! and decides when each process starts a tryLock and on which locks. Two
+//! drivers exercise it:
+//!
+//! * **Simulator**: a [`wfl_runtime::sim::Controller`]
+//!   ([`TargetedStarter`]) inspects the quiesced heap between steps and
+//!   feeds `start` commands into process mailboxes; the process side
+//!   ([`run_player_loop`]) polls its mailbox and executes the commanded
+//!   attempts. Experiments E7/E11 use this to try to bias a victim's
+//!   success probability; the delay mechanism is what defeats it.
+//! * **Real threads**: `wfl_fairness` runs competitor threads that watch
+//!   the victim's probe cell directly and start attempts themselves.
+//!
+//! Both backends take the *same* adaptive decision through
+//! [`flood_decision`]: the victim publishes its in-flight attempt through a
+//! **probe cell** (`Scratch::probe` makes the paper's algorithms publish
+//! their descriptor address; [`PROBE_OPAQUE`] marks an attempt of a
+//! baseline algorithm that exposes no descriptor), and the adversary floods
+//! strong contenders precisely while the victim sits in its pre-reveal
+//! window. This is strictly more visibility than a real player could
+//! extract — it can even read priorities — yet Theorem 6.9 says the
+//! victim's per-attempt success probability still cannot be pushed below
+//! `1/C_p`.
 
 use wfl_baselines::LockAlgo;
+use wfl_core::descriptor::PRIO_TBD;
 use wfl_core::{Desc, LockId, Scratch, TryLockRequest};
 use wfl_idem::{TagSource, ThunkId};
 use wfl_runtime::sim::{Controller, Mailboxes};
 use wfl_runtime::{Addr, Ctx, Heap};
+
+/// Probe-cell sentinel: the process is inside an attempt but exposes no
+/// descriptor (a baseline algorithm, or the first steps before the paper's
+/// algorithms create theirs). Descriptor addresses are always `> 1`
+/// (`Addr(1)` is the first *root* allocation, never an attempt record), so
+/// the sentinel cannot collide with a published descriptor.
+pub const PROBE_OPAQUE: u64 = 1;
+
+/// How aggressively the adversary schedules competitor attempts against
+/// the victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdvStrength {
+    /// Non-adaptive background contention: competitors attempt on a fixed
+    /// cadence, blind to the victim's state (the control cell).
+    Calm,
+    /// Adaptive: flood competitors only while the victim is observed in
+    /// its **pre-reveal** window (descriptor published, priority not yet
+    /// drawn) — the paper's targeted player strategy.
+    Targeted,
+    /// Saturation: competitors attempt back-to-back, unconditionally —
+    /// maximal point contention on the victim's locks at all times.
+    Flood,
+}
+
+impl AdvStrength {
+    /// Short label for tables and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdvStrength::Calm => "calm",
+            AdvStrength::Targeted => "targeted",
+            AdvStrength::Flood => "flood",
+        }
+    }
+
+    /// All strengths, weakest first.
+    pub fn all() -> [AdvStrength; 3] {
+        [AdvStrength::Calm, AdvStrength::Targeted, AdvStrength::Flood]
+    }
+}
+
+/// The **shared adaptive decision** of the player adversary: should
+/// competitors be started right now, given the victim's probe cell? Used
+/// verbatim by the simulator controller ([`TargetedStarter`]) and the
+/// real-threads observer loop in `wfl_fairness`, so the two backends run
+/// the same strategy.
+///
+/// [`AdvStrength::Calm`] always answers `false` here — its cadence-based
+/// starts are driver-owned (the controller's clock in sim, think-loops on
+/// real threads), not reactions to the victim. [`AdvStrength::Flood`]
+/// always answers `true`: saturation needs no observation.
+///
+/// Reads are uncounted ([`Heap::peek`]): the adversary's omniscience is
+/// free, exactly like the simulator controller's heap access. Racing with
+/// the victim is benign — a stale window observation only mistimes a
+/// competitor attempt, it cannot corrupt anything.
+pub fn flood_decision(heap: &Heap, probe_cell: Addr, strength: AdvStrength) -> bool {
+    match strength {
+        AdvStrength::Calm => false,
+        AdvStrength::Flood => true,
+        AdvStrength::Targeted => {
+            let w = heap.peek(probe_cell);
+            if w == 0 {
+                false
+            } else if w == PROBE_OPAQUE {
+                // No descriptor to watch: the whole attempt is the window.
+                true
+            } else {
+                let d = Desc(Addr::from_word(w));
+                heap.peek(d.prio_addr()) <= PRIO_TBD
+            }
+        }
+    }
+}
 
 /// Command encoding: `[n, lock0.., arg_count, args..]`; an empty slice
 /// means "stop".
@@ -39,6 +129,10 @@ pub fn decode_attempt(cmd: &[u64]) -> (Vec<LockId>, Vec<u64>) {
 /// command, runs one attempt and records the outcome into
 /// `results[attempt_counter]` as `1 + won` (0 = not yet run). Stops when
 /// the driver raises the stop flag or after `max_attempts`.
+///
+/// If the caller set `scratch.probe`, the loop brackets every attempt with
+/// [`PROBE_OPAQUE`]/clear writes so even baseline algorithms (which never
+/// publish a descriptor) are observable by the adaptive adversary.
 #[allow(clippy::too_many_arguments)]
 pub fn run_player_loop<A: LockAlgo + ?Sized>(
     ctx: &Ctx<'_>,
@@ -49,6 +143,37 @@ pub fn run_player_loop<A: LockAlgo + ?Sized>(
     results: Addr,
     max_attempts: u64,
 ) {
+    player_loop_inner(ctx, algo, tags, scratch, thunk, results, None, max_attempts);
+}
+
+/// Like [`run_player_loop`], but also records each attempt's own-step cost
+/// into `steps_out[attempt_counter]` (a region of at least `max_attempts`
+/// words). Used by the fairness subsystem to build latency histograms.
+#[allow(clippy::too_many_arguments)]
+pub fn run_player_loop_stats<A: LockAlgo + ?Sized>(
+    ctx: &Ctx<'_>,
+    algo: &A,
+    tags: &mut TagSource,
+    scratch: &mut Scratch,
+    thunk: ThunkId,
+    results: Addr,
+    steps_out: Addr,
+    max_attempts: u64,
+) {
+    player_loop_inner(ctx, algo, tags, scratch, thunk, results, Some(steps_out), max_attempts);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn player_loop_inner<A: LockAlgo + ?Sized>(
+    ctx: &Ctx<'_>,
+    algo: &A,
+    tags: &mut TagSource,
+    scratch: &mut Scratch,
+    thunk: ThunkId,
+    results: Addr,
+    steps_out: Option<Addr>,
+    max_attempts: u64,
+) {
     let mut done = 0u64;
     while done < max_attempts && !ctx.stop_requested() {
         let Some(cmd) = ctx.poll_mailbox() else { continue };
@@ -57,19 +182,27 @@ pub fn run_player_loop<A: LockAlgo + ?Sized>(
         }
         let (locks, args) = decode_attempt(&cmd);
         let req = TryLockRequest { locks: &locks, thunk, args: &args };
+        if let Some(cell) = scratch.probe {
+            ctx.write_rel(cell, PROBE_OPAQUE);
+        }
         let out = algo.attempt(ctx, tags, scratch, &req);
+        if let Some(cell) = scratch.probe {
+            ctx.write_rel(cell, 0);
+        }
         ctx.write(results.off(done as u32), 1 + out.won as u64);
+        if let Some(steps) = steps_out {
+            ctx.write(steps.off(done as u32), out.steps);
+        }
         done += 1;
     }
 }
 
 /// An adaptive player adversary that tries to make a victim lose: it
-/// watches the victim's descriptor region and starts competitor attempts
-/// timed so that strong competitors are revealed around the victim's
-/// attempts. It has full read access to the heap (including everyone's
-/// priorities) — strictly stronger than what a real player could know —
-/// yet Theorem 6.9 says the victim's per-attempt success probability
-/// still cannot be pushed below `1/C_p`.
+/// watches the victim's probe cell (see [`Scratch::probe`]) and starts
+/// competitor attempts timed so that strong competitors are revealed
+/// around the victim's attempts. The flood trigger is the shared
+/// [`flood_decision`], so the same strategy runs on real threads in
+/// `wfl_fairness`.
 pub struct TargetedStarter {
     /// The victim process id (receives attempts periodically).
     pub victim: usize,
@@ -79,12 +212,16 @@ pub struct TargetedStarter {
     pub locks: Vec<LockId>,
     /// Thunk args for every attempt.
     pub args: Vec<u64>,
-    /// Interval (in global steps) between victim attempt starts.
+    /// Interval (in global steps) between victim attempt starts. Under
+    /// [`AdvStrength::Calm`] the competitors also start on this cadence.
     pub victim_period: u64,
-    /// Address of a cell the victim publishes its current descriptor to
-    /// (NULL when idle); lets the adversary react to the victim's state.
+    /// The victim's probe cell: NULL when idle, [`PROBE_OPAQUE`] or the
+    /// published descriptor address while the victim is mid-attempt. The
+    /// victim's driver must set `Scratch::probe` to this cell.
     pub victim_desc_cell: Addr,
-    /// How many commands have been issued so far (state).
+    /// Adversary aggressiveness (how the probe observations are used).
+    pub strength: AdvStrength,
+    /// How many adaptive competitor commands have been issued (state).
     pub issued: u64,
 }
 
@@ -94,21 +231,18 @@ impl Controller for TargetedStarter {
         if t.is_multiple_of(self.victim_period) && mail.queued(self.victim) == 0 {
             mail.send(self.victim, encode_attempt(&self.locks, &self.args));
         }
-        // Adaptive part: whenever the victim has a live, not-yet-revealed
-        // descriptor (it is inside its pending phase), flood one competitor
-        // attempt per competitor — trying to land their reveals inside the
-        // victim's window. This uses full heap visibility (the adversary
-        // can even read priorities).
-        let victim_desc = heap.peek(self.victim_desc_cell);
-        if victim_desc != 0 {
-            let d = Desc(Addr::from_word(victim_desc));
-            let prio = heap.peek(d.prio_addr());
-            if prio <= 1 {
-                for &c in &self.competitors {
-                    if mail.queued(c) == 0 {
-                        mail.send(c, encode_attempt(&self.locks, &self.args));
-                        self.issued += 1;
-                    }
+        // Calm control arm: blind background contention on the same cadence.
+        let start_all = match self.strength {
+            AdvStrength::Calm => t.is_multiple_of(self.victim_period),
+            // Adaptive arms: flood exactly while the shared decision says
+            // the victim is exposed.
+            _ => flood_decision(heap, self.victim_desc_cell, self.strength),
+        };
+        if start_all {
+            for &c in &self.competitors {
+                if mail.queued(c) == 0 {
+                    mail.send(c, encode_attempt(&self.locks, &self.args));
+                    self.issued += 1;
                 }
             }
         }
@@ -118,6 +252,7 @@ impl Controller for TargetedStarter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wfl_runtime::Heap;
 
     #[test]
     fn command_roundtrip() {
@@ -135,5 +270,32 @@ mod tests {
         let (l, a) = decode_attempt(&cmd);
         assert_eq!(l, vec![LockId(0)]);
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn flood_decision_tracks_probe_protocol() {
+        let heap = Heap::new(256);
+        let probe = heap.alloc_root(1);
+
+        // Idle victim: Calm never reacts, Targeted sees no window, Flood
+        // saturates unconditionally.
+        assert!(!flood_decision(&heap, probe, AdvStrength::Calm));
+        assert!(!flood_decision(&heap, probe, AdvStrength::Targeted));
+        assert!(flood_decision(&heap, probe, AdvStrength::Flood));
+
+        // Opaque attempt (baseline algorithm): the whole attempt is the
+        // Targeted window.
+        heap.poke(probe, PROBE_OPAQUE);
+        assert!(!flood_decision(&heap, probe, AdvStrength::Calm));
+        assert!(flood_decision(&heap, probe, AdvStrength::Targeted));
+
+        // Published descriptor, priority unset: pre-reveal window.
+        let desc = heap.alloc_root(8); // fake descriptor: status, prio, ...
+        heap.poke(probe, desc.to_word());
+        assert!(flood_decision(&heap, probe, AdvStrength::Targeted), "pre-reveal = window");
+
+        // Priority revealed: Targeted backs off.
+        heap.poke(Desc(desc).prio_addr(), 1 << 63);
+        assert!(!flood_decision(&heap, probe, AdvStrength::Targeted), "post-reveal = no window");
     }
 }

@@ -25,8 +25,10 @@
 //!   two-phase locking, and a no-helping tryLock, behind one trait.
 //! * [`workloads`] — dining philosophers, bank transfers, a sorted linked
 //!   list, graph updates, and the experiment harness.
-//! * [`lincheck`] — linearizability and set-regularity checkers used by
-//!   the test suite.
+//! * [`lincheck`] — linearizability, set-regularity and holder-
+//!   exclusivity checkers used by the test suite.
+//! * [`fairness`] — fairness telemetry (fixed-bucket histograms, Jain
+//!   index) and the adaptive player adversary on both backends (E15).
 //!
 //! The most common entry points are also re-exported at the top level.
 //!
@@ -75,6 +77,7 @@
 pub use wfl_activeset as activeset;
 pub use wfl_baselines as baselines;
 pub use wfl_core as core;
+pub use wfl_fairness as fairness;
 pub use wfl_idem as idem;
 pub use wfl_lincheck as lincheck;
 pub use wfl_runtime as runtime;
