@@ -14,6 +14,21 @@ pub struct AttemptOutcome {
     pub won: bool,
     /// Own steps consumed by the attempt.
     pub steps: u64,
+    /// The attempt was abandoned mid-flight (armed [`wfl_core::Deadline`]
+    /// expired, or the stop flag was seen while a deadline was armed)
+    /// rather than losing to a competitor.
+    pub aborted: bool,
+    /// The attempt was abandoned, but a competitor's helping completed it
+    /// anyway (`won` is also true). `rescued / aborted` is E16's
+    /// abandoned-attempt helping rate.
+    pub rescued: bool,
+}
+
+impl AttemptOutcome {
+    /// An outcome that ran to a decision (no abort machinery involved).
+    pub fn decided(won: bool, steps: u64) -> AttemptOutcome {
+        AttemptOutcome { won, steps, aborted: false, rescued: false }
+    }
 }
 
 /// A multi-lock algorithm driven by the shared harness.
@@ -70,7 +85,7 @@ impl LockAlgo for WflKnown<'_> {
         req: &TryLockRequest<'_>,
     ) -> AttemptOutcome {
         let m = try_locks(ctx, self.space, self.registry, &self.cfg, tags, scratch, *req);
-        AttemptOutcome { won: m.won, steps: m.steps }
+        AttemptOutcome { won: m.won, steps: m.steps, aborted: m.aborted.is_some(), rescued: m.rescued }
     }
 }
 
@@ -98,6 +113,6 @@ impl LockAlgo for WflUnknown<'_> {
         req: &TryLockRequest<'_>,
     ) -> AttemptOutcome {
         let m = try_locks_unknown(ctx, self.space, self.registry, &self.cfg, tags, scratch, *req);
-        AttemptOutcome { won: m.won, steps: m.steps }
+        AttemptOutcome { won: m.won, steps: m.steps, aborted: m.aborted.is_some(), rescued: m.rescued }
     }
 }

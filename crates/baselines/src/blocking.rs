@@ -56,6 +56,7 @@ impl LockAlgo for BlockingTpl<'_> {
         req: &TryLockRequest<'_>,
     ) -> AttemptOutcome {
         let start = ctx.steps();
+        let deadline = scratch.deadline;
         let me = ctx.pid() as u64 + 1;
         {
             let order = &mut scratch.order;
@@ -74,13 +75,23 @@ impl LockAlgo for BlockingTpl<'_> {
                 }
                 // Spin; in the simulator this burns scheduled steps, and
                 // under a crashed holder it never terminates *unless* the
-                // driver is draining — then bail out so shutdown stays
-                // wait-free even for the blocking baseline.
-                if ctx.stop_requested() {
+                // driver is draining or the caller armed a deadline — then
+                // bail out, releasing everything held so far, so shutdown
+                // (and an SLO-bounded attempt) stays wait-free even for the
+                // blocking baseline. Note a stalled *holder* still blocks:
+                // an expired contender gives up, but a contender whose
+                // deadline has not expired keeps spinning — the collapse
+                // E16 measures.
+                if ctx.stop_requested() || deadline.expired(ctx) {
                     for &held in scratch.order[..acquired].iter().rev() {
                         ctx.write_rel(self.lock_word(held), 0);
                     }
-                    return AttemptOutcome { won: false, steps: ctx.steps() - start };
+                    return AttemptOutcome {
+                        won: false,
+                        steps: ctx.steps() - start,
+                        aborted: true,
+                        rescued: false,
+                    };
                 }
             }
         }
@@ -91,7 +102,7 @@ impl LockAlgo for BlockingTpl<'_> {
         for &id in scratch.order.iter().rev() {
             ctx.write_rel(self.lock_word(id), 0);
         }
-        AttemptOutcome { won: true, steps: ctx.steps() - start }
+        AttemptOutcome::decided(true, ctx.steps() - start)
     }
 }
 
@@ -250,6 +261,57 @@ mod tests {
         assert_eq!(report.poisoned, vec![0], "only the stuck holder is poisoned");
         assert_eq!(heap.peek(outcome_out), 1, "spinner must bail with won == false");
         assert_eq!(cell::value(heap.peek(counter)), 0, "bailed attempt must not run the thunk");
+    }
+
+    #[test]
+    fn deadline_bails_out_of_a_contended_spin() {
+        // Same shape as the stop-flag bail-out, but driven by an armed
+        // scratch deadline: the contender acquires lock 0, spins on lock 1
+        // (held by the crashed pid 0), and gives up once its own-step
+        // deadline passes — releasing lock 0 and reporting an abort, long
+        // before the drain phase would have rescued it.
+        let mut registry = Registry::new();
+        let incr = registry.register(Incr);
+        let heap = Heap::new(1 << 16);
+        let algo = BlockingTpl::create_root(&heap, &registry, 2);
+        let counter = heap.alloc_root(1);
+        let out_cell = heap.alloc_root(1);
+        let algo_ref = &algo;
+        let report = SimBuilder::new(&heap, 2)
+            .schedule(RoundRobin::new(2))
+            .max_steps(1_000_000)
+            .drain_cap(100_000)
+            .spawn(move |ctx: &Ctx| {
+                // pid 0: hold lock word 1 forever.
+                let w = Addr(2);
+                loop {
+                    if ctx.read(w) == 0 && ctx.cas_bool(w, 0, 1) {
+                        break;
+                    }
+                }
+                loop {
+                    ctx.local_step();
+                }
+            })
+            .spawn(move |ctx: &Ctx| {
+                let mut tags = TagSource::new(1);
+                let mut scratch = wfl_core::Scratch::new();
+                scratch.deadline = wfl_core::Deadline::after(ctx, 500);
+                let locks = [LockId(0), LockId(1)];
+                let req =
+                    TryLockRequest { locks: &locks, thunk: incr, args: &[counter.to_word()] };
+                let out = algo_ref.attempt(ctx, &mut tags, &mut scratch, &req);
+                assert!(!out.won);
+                assert!(out.aborted, "deadline expiry must be reported as an abort");
+                assert!(!out.rescued, "no helpers exist in the blocking baseline");
+                ctx.heap().poke(out_cell, 1);
+            })
+            .run();
+        assert_eq!(report.poisoned, vec![0], "the contender must exit on its own");
+        assert_eq!(heap.peek(out_cell), 1, "the contender's attempt must return");
+        assert_eq!(heap.peek(Addr(1)), 0, "lock 0 must be released on deadline bail-out");
+        assert_eq!(heap.peek(Addr(2)), 1, "lock 1 still held by the crashed holder");
+        assert_eq!(cell::value(heap.peek(counter)), 0, "aborted attempt must not run the thunk");
     }
 
     #[test]

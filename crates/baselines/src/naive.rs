@@ -64,7 +64,7 @@ impl LockAlgo for NaiveTryLock<'_> {
                 for &rid in order[..i].iter().rev() {
                     ctx.write_rel(self.lock_word(rid), 0);
                 }
-                return AttemptOutcome { won: false, steps: ctx.steps() - start };
+                return AttemptOutcome::decided(false, ctx.steps() - start);
             }
         }
         let frame = Frame::create(ctx, self.registry, req.thunk, tags.next_base(), req.args);
@@ -72,7 +72,7 @@ impl LockAlgo for NaiveTryLock<'_> {
         for &id in scratch.order.iter().rev() {
             ctx.write_rel(self.lock_word(id), 0);
         }
-        AttemptOutcome { won: true, steps: ctx.steps() - start }
+        AttemptOutcome::decided(true, ctx.steps() - start)
     }
 }
 

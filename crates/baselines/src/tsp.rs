@@ -127,7 +127,7 @@ impl LockAlgo for TspLock<'_> {
             ctx.write_rel(desc.off(D_LOCKS + i as u32), id as u64);
         }
         self.help(ctx, desc, ctx.nprocs() + 1);
-        AttemptOutcome { won: true, steps: ctx.steps() - start }
+        AttemptOutcome::decided(true, ctx.steps() - start)
     }
 }
 

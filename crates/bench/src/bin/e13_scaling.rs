@@ -120,6 +120,7 @@ fn run_config(algo_name: &str, mode: Mode, threads: usize, attempts: usize) -> S
             run_for: None,
             cfg: mode.real_config(),
             epoch_rounds: None,
+            deadline_steps: None,
         };
         let r = run_philosophers_mode(threads, attempts, 42, algo_kind(algo_name), 1 << 23, &exec);
         assert!(

@@ -26,6 +26,7 @@
 
 use std::fmt::Write as _;
 use std::time::Duration;
+use wfl_core::GiveUp;
 use wfl_workloads::harness::{
     run_bank_mode, run_graph_mode, run_list_mode, run_philosophers_mode,
     run_random_conflict_mode, AlgoKind, ExecMode, HarnessReport, SchedKind, SimSpec,
@@ -207,13 +208,21 @@ fn json_cell(
         .map(|w| w.to_string())
         .collect::<Vec<_>>()
         .join(", ");
+    // Per-reason give-up counts keyed by the stable GiveUp labels (all
+    // zero unless the cell armed deadlines or ran under pressure).
+    let give_up_json = GiveUp::all()
+        .iter()
+        .map(|g| format!("\"{}\": {}", g.label(), r.give_up[g.index()]))
+        .collect::<Vec<_>>()
+        .join(", ");
     let _ = write!(
         json,
         "    {{\"workload\": \"{workload}\", \"algo\": \"{}\", \"threads\": {threads}, \
          \"mode\": \"{mode_label}\", \"attempts\": {}, \"wins\": {}, \"success_rate\": {:.4}, \
          \"mean_steps\": {:.1}, \"p99_steps\": {}, \"wall_secs\": {:.6}, \
          \"wins_per_sec\": {:.1}, \"epochs\": {}, \"heap_high_water\": {}, \
-         \"heap_high_water_lanes\": [{lanes_json}], \"safety_ok\": true}}",
+         \"heap_high_water_lanes\": [{lanes_json}], \"aborts\": {}, \"rescues\": {}, \
+         \"give_up\": {{{give_up_json}}}, \"safety_ok\": true}}",
         algo.label(),
         r.attempts,
         r.wins,
@@ -224,6 +233,8 @@ fn json_cell(
         r.wins_per_sec().unwrap_or(0.0),
         r.epochs,
         r.heap_high_water,
+        r.aborts,
+        r.rescues,
     );
 }
 

@@ -59,6 +59,7 @@
 //! assert_eq!(cell::value(heap.peek(counter)), 2); // both critical sections ran exactly once
 //! ```
 
+pub mod abort;
 pub mod config;
 pub mod descriptor;
 pub mod metrics;
@@ -68,11 +69,12 @@ pub mod space;
 pub mod trylock;
 pub mod unknown;
 
+pub use abort::{AbortReason, Backoff, Deadline, GiveUp};
 pub use config::LockConfig;
 pub use wfl_runtime::trace;
 pub use descriptor::{Desc, LockId, ST_ACTIVE, ST_LOST, ST_WON};
 pub use metrics::{AttemptMetrics, RetryMetrics};
-pub use retry::{lock_and_run, lock_and_run_limited};
+pub use retry::{lock_and_run, lock_and_run_limited, lock_and_run_until};
 pub use scratch::Scratch;
 pub use space::LockSpace;
 pub use trylock::{try_locks, TryLockRequest};

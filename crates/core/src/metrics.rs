@@ -1,5 +1,7 @@
 //! Per-attempt and per-operation metrics reported by the lock algorithm.
 
+use crate::abort::{AbortReason, GiveUp};
+
 /// Outcome and cost of one tryLock attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AttemptMetrics {
@@ -13,15 +15,40 @@ pub struct AttemptMetrics {
     /// before the reveal step (the configured `c0` is too small for the
     /// workload; fairness guarantees are then void).
     pub delay_overrun: bool,
+    /// Set when the attempt was abandoned mid-flight at a helping-safe
+    /// poll point (deadline expiry or a mid-attempt stop). An aborted
+    /// attempt reports `won: false` unless it was [`rescued`].
+    ///
+    /// [`rescued`]: AttemptMetrics::rescued
+    pub aborted: Option<AbortReason>,
+    /// The abort raced a competitor's helping and lost: the abandoned
+    /// descriptor had already been decided *won* (and its thunk completed)
+    /// by the time the owner tried to eliminate it. The attempt then counts
+    /// as a win (`won: true`). The rate of rescues among abandoned attempts
+    /// is the "abandoned-attempt helping rate" of experiment E16.
+    pub rescued: bool,
 }
 
 /// Outcome and cost of a retry-until-success lock acquisition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryMetrics {
-    /// Attempts used (≥ 1); the final one succeeded.
+    /// Attempts used (≥ 1 unless the loop gave up before the first one);
+    /// when `gave_up` is `None`, the final attempt succeeded.
     pub attempts: u64,
-    /// Total own steps across all attempts.
+    /// Total own steps consumed by the call (attempts plus inter-attempt
+    /// backoff pauses).
     pub steps: u64,
+    /// `None` on success; otherwise why the bounded retry loop stopped
+    /// without acquiring the locks (the thunk has then never run, unless
+    /// the final attempt was rescued — rescues count as success).
+    pub gave_up: Option<GiveUp>,
+}
+
+impl RetryMetrics {
+    /// Whether the acquisition succeeded (the thunk ran exactly once).
+    pub fn won(&self) -> bool {
+        self.gave_up.is_none()
+    }
 }
 
 #[cfg(test)]
@@ -30,10 +57,20 @@ mod tests {
 
     #[test]
     fn metrics_are_plain_data() {
-        let a = AttemptMetrics { won: true, steps: 10, helped: 2, delay_overrun: false };
+        let a = AttemptMetrics {
+            won: true,
+            steps: 10,
+            helped: 2,
+            delay_overrun: false,
+            aborted: None,
+            rescued: false,
+        };
         let b = a;
         assert_eq!(a, b);
-        let r = RetryMetrics { attempts: 3, steps: 50 };
+        let r = RetryMetrics { attempts: 3, steps: 50, gave_up: None };
         assert_eq!(r.attempts, 3);
+        assert!(r.won());
+        let g = RetryMetrics { attempts: 3, steps: 50, gave_up: Some(GiveUp::Deadline) };
+        assert!(!g.won());
     }
 }

@@ -8,6 +8,7 @@
 //! attempt count is stochastically dominated by a geometric distribution
 //! with mean ≤ `κL` (validated in experiment E5).
 
+use crate::abort::{Backoff, Deadline, GiveUp};
 use crate::config::LockConfig;
 use crate::metrics::RetryMetrics;
 use crate::scratch::Scratch;
@@ -21,8 +22,29 @@ use wfl_runtime::Ctx;
 ///
 /// Note: each retry is a fresh attempt with a fresh descriptor and a fresh
 /// random priority (attempts are independent by Theorem 6.9).
+///
+/// `lock_and_run` is unconditional by contract — it disarms any deadline
+/// left in the scratch for the duration of the loop (retry-until-success
+/// and a per-attempt abort are contradictory; use
+/// [`lock_and_run_until`] for abortable acquisition).
 #[allow(clippy::too_many_arguments)]
 pub fn lock_and_run(
+    ctx: &Ctx<'_>,
+    space: &LockSpace,
+    registry: &Registry,
+    cfg: &LockConfig,
+    tags: &mut TagSource,
+    scratch: &mut Scratch,
+    req: TryLockRequest<'_>,
+) -> RetryMetrics {
+    let armed = std::mem::replace(&mut scratch.deadline, Deadline::NEVER);
+    let m = lock_and_run_inner(ctx, space, registry, cfg, tags, scratch, req);
+    scratch.deadline = armed;
+    m
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lock_and_run_inner(
     ctx: &Ctx<'_>,
     space: &LockSpace,
     registry: &Registry,
@@ -38,7 +60,7 @@ pub fn lock_and_run(
         attempts += 1;
         steps += m.steps;
         if m.won {
-            return RetryMetrics { attempts, steps };
+            return RetryMetrics { attempts, steps, gave_up: None };
         }
     }
 }
@@ -52,8 +74,11 @@ pub fn lock_and_run(
 /// instead of panicking mid-retry), **or** when the heap signals
 /// allocation pressure ([`Ctx::heap_low`]: an earlier allocation had to
 /// dip into the emergency reserve — exactly like tag exhaustion, the
-/// epoch boundary rewinds the lanes and clears the condition). Returns
-/// `None` on give-up; the thunk has then never run.
+/// epoch boundary rewinds the lanes and clears the condition).
+///
+/// The returned metrics carry the give-up reason: `gave_up` is `None` iff
+/// the locks were acquired and the thunk ran; otherwise it says *why* the
+/// loop stopped and the thunk has never run.
 #[allow(clippy::too_many_arguments)]
 pub fn lock_and_run_limited(
     ctx: &Ctx<'_>,
@@ -64,22 +89,86 @@ pub fn lock_and_run_limited(
     scratch: &mut Scratch,
     req: TryLockRequest<'_>,
     max_attempts: u64,
-) -> Option<RetryMetrics> {
-    let mut steps = 0;
-    for attempt in 1..=max_attempts {
-        if tags.remaining() == 0 || ctx.heap_low() {
-            return None;
+) -> RetryMetrics {
+    lock_and_run_until(
+        ctx,
+        space,
+        registry,
+        cfg,
+        tags,
+        scratch,
+        req,
+        max_attempts,
+        Deadline::NEVER,
+        Backoff::NONE,
+    )
+}
+
+/// Abortable acquisition with a hard exit: retries tryLock attempts until
+/// one succeeds, the `deadline` (in the caller's own steps) expires — also
+/// *mid-attempt*, at the helping-safe poll points of
+/// [`try_locks`] — `max_attempts` runs out, or one of
+/// [`lock_and_run_limited`]'s give-up conditions fires. Between failed
+/// attempts the loop pauses for `backoff` local steps (bounded exponential,
+/// truncated so a pause never outlives the deadline).
+///
+/// An abandoned attempt leaves its descriptor fully helpable: if a
+/// competitor completes it first, the acquisition **succeeded** (the thunk
+/// ran; `gave_up` is `None`) — abort never blocks others, and never
+/// forfeits a critical section that was already granted.
+#[allow(clippy::too_many_arguments)]
+pub fn lock_and_run_until(
+    ctx: &Ctx<'_>,
+    space: &LockSpace,
+    registry: &Registry,
+    cfg: &LockConfig,
+    tags: &mut TagSource,
+    scratch: &mut Scratch,
+    req: TryLockRequest<'_>,
+    max_attempts: u64,
+    deadline: Deadline,
+    backoff: Backoff,
+) -> RetryMetrics {
+    let t_start = ctx.steps();
+    let armed = std::mem::replace(&mut scratch.deadline, deadline);
+    let mut attempts = 0;
+    let gave_up = 'retry: loop {
+        if attempts >= max_attempts {
+            break Some(GiveUp::Attempts);
+        }
+        if tags.remaining() == 0 {
+            break Some(GiveUp::Tags);
+        }
+        if ctx.heap_low() {
+            break Some(GiveUp::HeapLow);
+        }
+        if deadline.expired(ctx) {
+            break Some(GiveUp::Deadline);
         }
         let m = try_locks(ctx, space, registry, cfg, tags, scratch, req);
-        steps += m.steps;
+        attempts += 1;
         if m.won {
-            return Some(RetryMetrics { attempts: attempt, steps });
+            break None;
+        }
+        if let Some(r) = m.aborted {
+            break Some(r.into());
         }
         if ctx.stop_requested() {
-            return None;
+            break Some(GiveUp::Stop);
         }
-    }
-    None
+        // Bounded exponential backoff before the next attempt, in own
+        // local steps (deterministic in sim). Never sleep past the
+        // deadline: cap the pause at the remaining budget.
+        let pause = backoff.pause_after(attempts);
+        if pause > 0 {
+            if deadline.remaining(ctx) == 0 {
+                break 'retry Some(GiveUp::Deadline);
+            }
+            ctx.stall_until_steps(ctx.steps() + pause.min(deadline.remaining(ctx)));
+        }
+    };
+    scratch.deadline = armed;
+    RetryMetrics { attempts, steps: ctx.steps() - t_start, gave_up }
 }
 
 #[cfg(test)]
@@ -172,8 +261,8 @@ mod tests {
                 };
                 let m = lock_and_run_limited(
                     ctx, space_ref, reg_ref, cfg_ref, &mut tags, &mut scratch, req, 3,
-                )
-                .expect("uncontended attempt must succeed within the limit");
+                );
+                assert!(m.won(), "uncontended attempt must succeed within the limit");
                 assert_eq!(m.attempts, 1, "solo attempts succeed first try");
             })
             .run();
@@ -209,14 +298,158 @@ mod tests {
                 let m = lock_and_run_limited(
                     ctx, space_ref, reg_ref, cfg_ref, &mut tags, &mut scratch, req, 10,
                 );
-                assert!(m.is_none(), "exhausted tags must give up, not panic");
+                assert_eq!(
+                    m.gave_up,
+                    Some(GiveUp::Tags),
+                    "exhausted tags must give up (with the reason), not panic"
+                );
+                assert_eq!(m.attempts, 0, "no attempt ever started");
                 // After a rewind (as the epoch boundary performs) the same
                 // request succeeds.
                 tags.reset();
                 let m = lock_and_run_limited(
                     ctx, space_ref, reg_ref, cfg_ref, &mut tags, &mut scratch, req, 10,
                 );
-                assert!(m.is_some(), "rewound tags must work again");
+                assert!(m.won(), "rewound tags must work again");
+            })
+            .run();
+        report.assert_clean();
+        assert_eq!(cell::value(heap.peek(counter)), 1);
+    }
+
+    #[test]
+    fn deadline_in_the_past_gives_up_before_drawing_a_tag() {
+        let mut registry = Registry::new();
+        let incr = registry.register(Incr);
+        let heap = Heap::new(1 << 20);
+        let space = LockSpace::create_root(&heap, 1, 1);
+        let counter = heap.alloc_root(1);
+        let cfg = LockConfig::new(1, 1, 2).without_delays();
+        let (space_ref, reg_ref, cfg_ref) = (&space, &registry, &cfg);
+        let report = SimBuilder::new(&heap, 1)
+            .spawn(move |ctx: &wfl_runtime::Ctx| {
+                let mut tags = TagSource::new(0);
+                let before = tags.remaining();
+                let mut scratch = Scratch::new();
+                let req = TryLockRequest {
+                    locks: &[LockId(0)],
+                    thunk: incr,
+                    args: &[counter.to_word()],
+                };
+                ctx.stall_until_steps(100);
+                let m = lock_and_run_until(
+                    ctx,
+                    space_ref,
+                    reg_ref,
+                    cfg_ref,
+                    &mut tags,
+                    &mut scratch,
+                    req,
+                    u64::MAX,
+                    Deadline::at_steps(50),
+                    Backoff::NONE,
+                );
+                assert_eq!(m.gave_up, Some(GiveUp::Deadline));
+                assert_eq!(m.attempts, 0, "expired deadline: no attempt starts");
+                assert_eq!(tags.remaining(), before, "no tag was burned");
+                assert!(scratch.deadline.is_never(), "deadline disarmed on exit");
+            })
+            .run();
+        report.assert_clean();
+        assert_eq!(cell::value(heap.peek(counter)), 0, "the thunk never ran");
+    }
+
+    #[test]
+    fn deadline_aborts_mid_attempt_and_leaves_state_reusable() {
+        // Arm a deadline that expires *inside* the attempt (the T0 reveal
+        // stall alone is longer than the budget): the attempt must abort at
+        // a poll point, report the reason, and leave the lock space fully
+        // usable — the same process immediately acquires the same lock with
+        // no deadline.
+        let mut registry = Registry::new();
+        let incr = registry.register(Incr);
+        let heap = Heap::new(1 << 20);
+        let space = LockSpace::create_root(&heap, 1, 2);
+        let counter = heap.alloc_root(1);
+        let cfg = LockConfig::new(2, 1, 2); // delays ON: attempts are long
+        let (space_ref, reg_ref, cfg_ref) = (&space, &registry, &cfg);
+        let report = SimBuilder::new(&heap, 1)
+            .max_steps(10_000_000)
+            .spawn(move |ctx: &wfl_runtime::Ctx| {
+                let mut tags = TagSource::new(0);
+                let mut scratch = Scratch::new();
+                let req = TryLockRequest {
+                    locks: &[LockId(0)],
+                    thunk: incr,
+                    args: &[counter.to_word()],
+                };
+                let budget = cfg_ref.t0() / 2;
+                let m = lock_and_run_until(
+                    ctx,
+                    space_ref,
+                    reg_ref,
+                    cfg_ref,
+                    &mut tags,
+                    &mut scratch,
+                    req,
+                    u64::MAX,
+                    Deadline::after(ctx, budget),
+                    Backoff::exponential(4, 64),
+                );
+                assert_eq!(m.gave_up, Some(GiveUp::Deadline));
+                assert_eq!(m.attempts, 1, "the single attempt aborted mid-flight");
+                assert!(
+                    m.steps < cfg_ref.step_bound(),
+                    "abort returned early, not after the full padded attempt"
+                );
+                // The abandoned descriptor must not wedge the lock: a
+                // fresh unbounded acquisition of the same lock succeeds.
+                let m2 = lock_and_run(
+                    ctx, space_ref, reg_ref, cfg_ref, &mut tags, &mut scratch, req,
+                );
+                assert!(m2.won());
+            })
+            .run();
+        report.assert_clean();
+        assert_eq!(
+            cell::value(heap.peek(counter)),
+            1,
+            "aborted attempt's thunk never ran; the follow-up ran exactly once"
+        );
+    }
+
+    #[test]
+    fn generous_deadline_succeeds_with_backoff_armed() {
+        let mut registry = Registry::new();
+        let incr = registry.register(Incr);
+        let heap = Heap::new(1 << 20);
+        let space = LockSpace::create_root(&heap, 1, 1);
+        let counter = heap.alloc_root(1);
+        let cfg = LockConfig::new(1, 1, 2).without_delays();
+        let (space_ref, reg_ref, cfg_ref) = (&space, &registry, &cfg);
+        let report = SimBuilder::new(&heap, 1)
+            .spawn(move |ctx: &wfl_runtime::Ctx| {
+                let mut tags = TagSource::new(0);
+                let mut scratch = Scratch::new();
+                let req = TryLockRequest {
+                    locks: &[LockId(0)],
+                    thunk: incr,
+                    args: &[counter.to_word()],
+                };
+                let m = lock_and_run_until(
+                    ctx,
+                    space_ref,
+                    reg_ref,
+                    cfg_ref,
+                    &mut tags,
+                    &mut scratch,
+                    req,
+                    8,
+                    Deadline::after(ctx, 1_000_000),
+                    Backoff::exponential(8, 128),
+                );
+                assert!(m.won());
+                assert_eq!(m.gave_up, None);
             })
             .run();
         report.assert_clean();
@@ -226,7 +459,7 @@ mod tests {
     #[test]
     fn limited_retry_honors_the_stop_flag_in_timed_real_runs() {
         // Two "victim" threads retry with an absurd attempt budget; their
-        // *only* exit is `lock_and_run_limited` returning `None`, which can
+        // *only* exit is `lock_and_run_limited` giving up, which can
         // only happen via the stop check (the budget is effectively
         // infinite). A "contender" thread keeps attempting until both
         // victims have exited, guaranteeing the victims keep seeing failed
@@ -287,12 +520,14 @@ mod tests {
                         loop {
                             let req =
                                 TryLockRequest { locks: &[LockId(0)], thunk: incr, args: &args };
-                            match lock_and_run_limited(
+                            let m = lock_and_run_limited(
                                 ctx, space_ref, reg_ref, cfg_ref, &mut tags, &mut scratch, req,
                                 u64::MAX,
-                            ) {
-                                Some(_) => wins += 1,
-                                None => break, // stop flag observed mid-retry
+                            );
+                            if m.won() {
+                                wins += 1;
+                            } else {
+                                break; // stop flag observed mid-retry
                             }
                         }
                         loop {

@@ -14,6 +14,7 @@
 //! sequence of an attempt (buffer reuse is invisible to the step
 //! accounting), so simulator determinism is unaffected.
 
+use crate::abort::Deadline;
 use wfl_activeset::ActiveSet;
 use wfl_runtime::Addr;
 
@@ -45,6 +46,13 @@ pub struct Scratch {
     /// the descriptor's priority word) whether it is still in its
     /// pre-reveal window. `None` (the default) costs nothing.
     pub probe: Option<Addr>,
+    /// Own-step deadline armed for the next attempt(s). Defaults to
+    /// [`Deadline::NEVER`], which disables the per-attempt abort polls
+    /// entirely. Like `probe`, this rides the scratch so that arming a
+    /// deadline changes no function signatures on the hot path;
+    /// [`crate::lock_and_run_until`] sets and restores it around its
+    /// attempts, and batch drivers may arm it per round.
+    pub deadline: Deadline,
 }
 
 impl Scratch {
@@ -67,6 +75,7 @@ impl Scratch {
             frozen_lens: Vec::with_capacity(l_max),
             order: Vec::with_capacity(l_max),
             probe: None,
+            deadline: Deadline::NEVER,
         }
     }
 }
@@ -88,5 +97,6 @@ mod tests {
     fn default_is_empty() {
         let s = Scratch::new();
         assert!(s.members.is_empty() && s.slots.is_empty() && s.order.is_empty());
+        assert!(s.deadline.is_never(), "fresh scratch must not arm a deadline");
     }
 }

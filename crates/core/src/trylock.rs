@@ -23,6 +23,7 @@
 //! winner's critical section is completed by its competitors
 //! (idempotently, via `wfl-idem`).
 
+use crate::abort::{poll_abort, AbortReason};
 use crate::config::LockConfig;
 use crate::descriptor::{
     make_priority, Desc, LockId, PRIO_TBD, PRIO_UNSET, ST_ACTIVE, ST_LOST, ST_WON,
@@ -211,6 +212,7 @@ pub fn try_locks(
 ) -> AttemptMetrics {
     validate(space, registry, cfg.l_max, cfg.t_max, &req);
     let start = ctx.steps();
+    let deadline = scratch.deadline;
     let tag_base = tags.next_base();
 
     // Descriptor + thunk frame (private until inserted).
@@ -227,17 +229,34 @@ pub fn try_locks(
 
     // Helping phase: clear the field of every already-revealed competitor.
     let mut helped = 0u64;
+    let mut aborted: Option<AbortReason> = None;
     if cfg.helping {
         // Split borrow: `helping` holds the member list being iterated
         // while `members` serves as run_desc's own scan buffer.
         let Scratch { helping, members, .. } = scratch;
-        for &l in req.locks {
+        'help: for &l in req.locks {
             revealed_members(ctx, space.set(l), helping);
             for &m in helping.iter() {
+                // Abort poll (uncounted) between helps: each competitor is
+                // helped to completion or not started — never left half
+                // run — and our own descriptor is still private.
+                if let Some(r) = poll_abort(ctx, deadline) {
+                    aborted = Some(r);
+                    break 'help;
+                }
                 run_desc(ctx, space, registry, Desc::from_item(m), members);
                 helped += 1;
             }
         }
+    }
+
+    // Pre-insert abort poll: the descriptor has never been revealed, so
+    // abandoning it here is trivially safe — no competitor has seen it.
+    if aborted.is_none() {
+        aborted = poll_abort(ctx, deadline);
+    }
+    if let Some(r) = aborted {
+        return abort_unrevealed(ctx, scratch, p, r, start, helped);
     }
 
     // multiInsert; the flag raise is the reveal step with the T0 delay.
@@ -250,6 +269,36 @@ pub fn try_locks(
     };
     multi_insert_into(ctx, &flag, p.item(), &scratch.sets, &mut scratch.slots);
     wfl_runtime::trace::emit(|| format!("t={} pid={} revealed {:?} prio={:x}", ctx.now(), ctx.pid(), p.0, ctx.heap().peek(p.prio_addr())));
+
+    // Post-reveal abort poll (the `T0` reveal stall just ran, so this is
+    // where an expired deadline usually surfaces). The descriptor is now
+    // public, so abandoning it must leave it helpable: the abort is an
+    // `eliminate` racing the helpers' `decide` — whichever one-shot status
+    // transition lands is final and visible to everyone. If a helper
+    // already decided the attempt *won*, the abort came too late: the
+    // critical section belongs to this attempt, so celebrate it (running
+    // the thunk to completion if the helper is still mid-flight) and
+    // report the win as a rescue.
+    if let Some(r) = poll_abort(ctx, deadline) {
+        let eliminated = ctx.cas_bool_sync(p.status_addr(), ST_ACTIVE, ST_LOST);
+        let rescued = !eliminated && p.status(ctx) == ST_WON;
+        if rescued {
+            celebrate_if_won(ctx, registry, p);
+        }
+        multi_remove(ctx, &flag, p.item(), &scratch.sets, &scratch.slots);
+        if let Some(cell) = scratch.probe {
+            ctx.write_rel(cell, 0);
+        }
+        wfl_runtime::trace::emit(|| format!("t={} pid={} abort({:?}) post-reveal {:?} rescued={}", ctx.now(), ctx.pid(), p.0, r, rescued));
+        return AttemptMetrics {
+            won: rescued,
+            steps: ctx.steps() - start,
+            helped,
+            delay_overrun: flag.overrun.get(),
+            aborted: Some(r),
+            rescued,
+        };
+    }
 
     // Compete.
     run_desc(ctx, space, registry, p, &mut scratch.members);
@@ -274,6 +323,36 @@ pub fn try_locks(
         steps: ctx.steps() - start,
         helped,
         delay_overrun: flag.overrun.get(),
+        aborted: None,
+        rescued: false,
+    }
+}
+
+/// Abandons an attempt whose descriptor was never revealed (pre-insert
+/// abort): eliminate it so any probe observer sees a settled status, clear
+/// the probe, and return without the end-of-attempt padding — an aborted
+/// attempt forfeits its fairness guarantees but costs nobody else anything
+/// (no competitor ever saw the descriptor).
+pub(crate) fn abort_unrevealed(
+    ctx: &Ctx<'_>,
+    scratch: &mut Scratch,
+    p: Desc,
+    reason: AbortReason,
+    start: u64,
+    helped: u64,
+) -> AttemptMetrics {
+    eliminate(ctx, p);
+    if let Some(cell) = scratch.probe {
+        ctx.write_rel(cell, 0);
+    }
+    wfl_runtime::trace::emit(|| format!("t={} pid={} abort({:?}) pre-reveal {:?}", ctx.now(), ctx.pid(), p.0, reason));
+    AttemptMetrics {
+        won: false,
+        steps: ctx.steps() - start,
+        helped,
+        delay_overrun: false,
+        aborted: Some(reason),
+        rescued: false,
     }
 }
 

@@ -24,11 +24,12 @@
 //!   compared; the attempt conservatively self-eliminates (wait-free, and
 //!   mutual exclusion is preserved; fairness cost measured in E6).
 
-use crate::descriptor::{make_priority, Desc, PRIO_TBD, PRIO_UNSET, ST_WON};
+use crate::abort::{poll_abort, AbortReason};
+use crate::descriptor::{make_priority, Desc, PRIO_TBD, PRIO_UNSET, ST_ACTIVE, ST_LOST, ST_WON};
 use crate::metrics::AttemptMetrics;
 use crate::scratch::Scratch;
 use crate::space::LockSpace;
-use crate::trylock::{run_desc, validate, TryLockRequest};
+use crate::trylock::{abort_unrevealed, celebrate_if_won, run_desc, validate, TryLockRequest};
 use wfl_activeset::{get_members_by, multi_insert_into, multi_remove, Flag};
 use wfl_idem::{Frame, Registry, TagSource};
 use wfl_runtime::Ctx;
@@ -113,6 +114,7 @@ pub fn try_locks_unknown(
 ) -> AttemptMetrics {
     validate(space, registry, cfg.l_limit.min(space.len()), usize::MAX, &req);
     let start = ctx.steps();
+    let deadline = scratch.deadline;
     let tag_base = tags.next_base();
 
     let frame = Frame::create(ctx, registry, req.thunk, tag_base, req.args);
@@ -125,15 +127,30 @@ pub fn try_locks_unknown(
 
     // Helping phase: run every already-revealed competitor to completion.
     let mut helped = 0u64;
+    let mut aborted: Option<AbortReason> = None;
     if cfg.helping {
         let Scratch { helping, members, .. } = scratch;
-        for &l in req.locks {
+        'help: for &l in req.locks {
             crate::trylock::revealed_members(ctx, space.set(l), helping);
             for &m in helping.iter() {
+                // Abort poll (uncounted) between helps; the descriptor is
+                // still private here (see `try_locks`).
+                if let Some(r) = poll_abort(ctx, deadline) {
+                    aborted = Some(r);
+                    break 'help;
+                }
                 run_desc(ctx, space, registry, Desc::from_item(m), members);
                 helped += 1;
             }
         }
+    }
+
+    // Pre-insert abort poll: nothing has been revealed yet.
+    if aborted.is_none() {
+        aborted = poll_abort(ctx, deadline);
+    }
+    if let Some(r) = aborted {
+        return abort_unrevealed(ctx, scratch, p, r, start, helped);
     }
 
     // multiInsert; the flag raise is the PARTICIPATION reveal (TBD).
@@ -141,6 +158,29 @@ pub fn try_locks_unknown(
     scratch.sets.extend(req.locks.iter().map(|&l| *space.set(l)));
     let flag = TbdFlag { start, delays: cfg.delays };
     multi_insert_into(ctx, &flag, p.item(), &scratch.sets, &mut scratch.slots);
+
+    // Post-participation abort poll (the first doubling stall just ran).
+    // The descriptor is public but still TBD: no helper ever runs a TBD
+    // descriptor (`run_desc` is only invoked on revealed priorities) and a
+    // competitor comparing against a TBD member self-eliminates rather
+    // than deciding it, so `decide(p)` cannot race us — the eliminate
+    // settles the status and removal is safe. Skipping the freeze also
+    // skips its snapshot allocation.
+    if let Some(r) = poll_abort(ctx, deadline) {
+        ctx.cas_bool_sync(p.status_addr(), ST_ACTIVE, ST_LOST);
+        multi_remove(ctx, &flag, p.item(), &scratch.sets, &scratch.slots);
+        if let Some(cell) = scratch.probe {
+            ctx.write_rel(cell, 0);
+        }
+        return AttemptMetrics {
+            won: false,
+            steps: ctx.steps() - start,
+            helped,
+            delay_overrun: false,
+            aborted: Some(r),
+            rescued: false,
+        };
+    }
 
     // Freeze the competitor sets: query every lock once (including TBD
     // participants) and publish the snapshot through the descriptor. The
@@ -184,6 +224,31 @@ pub fn try_locks_unknown(
     ctx.write_rel(p.prio_addr(), make_priority(r, tag_base));
     ctx.publication_fence();
 
+    // Post-priority-reveal abort poll: from here competitors can help the
+    // descriptor to completion, so abandonment is the eliminate-vs-decide
+    // race of the known-bounds algorithm (see `try_locks`): if a helper's
+    // `decide` landed first the attempt won anyway — celebrate and report
+    // the rescue.
+    if let Some(reason) = poll_abort(ctx, deadline) {
+        let eliminated = ctx.cas_bool_sync(p.status_addr(), ST_ACTIVE, ST_LOST);
+        let rescued = !eliminated && p.status(ctx) == ST_WON;
+        if rescued {
+            celebrate_if_won(ctx, registry, p);
+        }
+        multi_remove(ctx, &flag, p.item(), &scratch.sets, &scratch.slots);
+        if let Some(cell) = scratch.probe {
+            ctx.write_rel(cell, 0);
+        }
+        return AttemptMetrics {
+            won: rescued,
+            steps: ctx.steps() - start,
+            helped,
+            delay_overrun: false,
+            aborted: Some(reason),
+            rescued,
+        };
+    }
+
     // Compete over the frozen snapshot.
     run_desc(ctx, space, registry, p, &mut scratch.members);
 
@@ -202,5 +267,7 @@ pub fn try_locks_unknown(
         steps: ctx.steps() - start,
         helped,
         delay_overrun: false,
+        aborted: None,
+        rescued: false,
     }
 }

@@ -190,12 +190,12 @@ const T_MAX: usize = 3;
 pub fn run_adversary(spec: &AdversarySpec, algo: AlgoKind, mode: &ExecMode) -> FairnessReport {
     assert!(spec.nprocs >= 2);
     match *mode {
-        ExecMode::Sim { sched, max_steps, epoch_rounds } => {
+        ExecMode::Sim { sched, max_steps, epoch_rounds, .. } => {
             assert!(epoch_rounds.is_none(), "sim adversary runs are single-epoch");
             assert_eq!(spec.nlocks, 1, "the sim adversary contests a single lock");
             run_sim(spec, algo, sched, max_steps)
         }
-        ExecMode::Real { threads, run_for, cfg, epoch_rounds } => {
+        ExecMode::Real { threads, run_for, cfg, epoch_rounds, .. } => {
             assert_eq!(threads, spec.nprocs, "ExecMode::Real.threads must equal spec.nprocs");
             run_real(spec, algo, run_for, cfg, epoch_rounds.is_some(), mode)
         }
@@ -523,7 +523,7 @@ fn victim_batch(
         ctx.write_rel(w.probe, PROBE_OPAQUE);
         let out = contested_attempt(ctx, w, touch, log_cap, 0, slot, recording, tags, scratch);
         ctx.write_rel(w.probe, 0);
-        tel.record_attempt(out.won, out.steps);
+        tel.record_attempt_outcome(out.won, out.steps, out.aborted, out.rescued);
         *wins += out.won as u64;
         for _ in 0..spec.victim_period {
             ctx.local_step();
@@ -575,7 +575,7 @@ fn competitor_batch(
             continue;
         }
         let out = contested_attempt(ctx, w, touch, log_cap, pid, slot, recording, tags, scratch);
-        tel.record_attempt(out.won, out.steps);
+        tel.record_attempt_outcome(out.won, out.steps, out.aborted, out.rescued);
         *wins += out.won as u64;
         slot += 1;
         if spec.strength == AdvStrength::Calm {

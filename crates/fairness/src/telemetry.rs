@@ -171,6 +171,13 @@ pub struct ProcTelemetry {
     /// included, so an always-winning process reports 1 — counting a
     /// streak still unfinished at the end of recording.
     pub max_stretch: u64,
+    /// Attempts abandoned mid-flight (armed deadline expired / stop flag)
+    /// instead of losing to a competitor. Aborts count as ordinary losses
+    /// everywhere else in the telemetry (the streak keeps running).
+    pub aborts: u64,
+    /// Abandoned attempts a competitor's helping completed anyway — these
+    /// also count as wins and close the streak.
+    pub rescues: u64,
     /// Losing streak in progress.
     cur_tries: u64,
     /// Steps accumulated by the acquisition in progress.
@@ -199,6 +206,17 @@ impl ProcTelemetry {
         }
     }
 
+    /// Records one attempt with its abort markers (see
+    /// [`wfl_baselines::AttemptOutcome`]): `aborted` attempts tally
+    /// separately so an adversary report can split "starved by
+    /// competitors" from "gave up on its own SLO"; a `rescued` attempt is
+    /// an aborted win.
+    pub fn record_attempt_outcome(&mut self, won: bool, steps: u64, aborted: bool, rescued: bool) {
+        self.record_attempt(won, steps);
+        self.aborts += aborted as u64;
+        self.rescues += rescued as u64;
+    }
+
     /// Folds `other` (e.g. one epoch's telemetry) into `self`. Unfinished
     /// streaks contribute to `max_stretch` but not to the histograms, and
     /// do not continue across the fold (an epoch boundary genuinely ends
@@ -209,6 +227,8 @@ impl ProcTelemetry {
         self.tries.merge(&other.tries);
         self.latency.merge(&other.latency);
         self.max_stretch = self.max_stretch.max(other.max_stretch);
+        self.aborts += other.aborts;
+        self.rescues += other.rescues;
     }
 
     /// The success-rate estimator over all recorded attempts.

@@ -220,6 +220,7 @@ fn real_mode_holder_sequences_pass_the_lincheck_audit() {
         // ordered event timestamps.
         cfg: RealConfig::precise(),
         epoch_rounds: Some(8),
+        deadline_steps: None,
     };
     let r = run_adversary(&spec, wfl(3), &mode);
     assert!(r.safety_ok);

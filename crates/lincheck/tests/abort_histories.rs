@@ -1,0 +1,438 @@
+//! Property tests for the **abort path**: histories mixing won, lost,
+//! aborted and rescued tryLock attempts must pass the holder-exclusivity
+//! audit and the set-regularity detector, and corrupted variants of the
+//! same histories must trip them.
+//!
+//! The four attempt fates mirror what `lock_and_run_until` can produce:
+//!
+//! * **won** — decided ST_WON; the critical section ran and appended the
+//!   attempt's token to the holder log.
+//! * **lost** — eliminated (ST_LOST); no token appended.
+//! * **aborted** — the owner gave up on its deadline before the decision
+//!   point and the descriptor was eliminated; observationally a loss, but
+//!   the interval may have been cut short at any poll point.
+//! * **rescued** — the owner gave up *after* reveal and a helper drove the
+//!   descriptor to ST_WON anyway: the critical section ran (the helper
+//!   appended the token) and the owner observed the win on its way out.
+//!
+//! The checkers cannot (and must not) distinguish a rescued win from an
+//! ordinary one, or an abort from a loss — mutual exclusion is about which
+//! critical sections ran, not who executed them. What the properties pin
+//! down is that such histories are *accepted*, and that the corruptions an
+//! abort bug would produce — an abandoned token leaking into the log, a
+//! helper appending twice, a lost update, a sequence contradicting real
+//! time — are *rejected*.
+
+use proptest::prelude::*;
+use wfl_lincheck::holders::{check_holder_exclusivity, HOLD_OP};
+use wfl_lincheck::regular::{check_set_regularity, MS_GETSET, MS_INSERT, MS_REMOVE};
+use wfl_runtime::{Event, History};
+
+/// Deterministic xorshift stream (the vendored proptest shim only draws
+/// scalar strategies; structured inputs are derived from a sampled seed).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Fate {
+    Won,
+    Lost,
+    Aborted,
+    Rescued,
+}
+
+struct Attempt {
+    lock: u64,
+    token: u64,
+    fate: Fate,
+    invoke: u64,
+    response: u64,
+}
+
+/// A generated execution: the recorded history, the per-lock holder logs
+/// (tokens in commit order, exactly as the critical sections appended
+/// them), and the attempt table the negative controls mutate from.
+struct Execution {
+    history: History,
+    logs: Vec<(u64, Vec<u64>)>,
+    attempts: Vec<Attempt>,
+}
+
+/// Builds a mixed-fate execution. Attempts are laid out on `nprocs`
+/// sequential lanes over a shared clock that advances slower than the
+/// attempt intervals, so attempts on different lanes overlap freely. Each
+/// winning attempt (won or rescued) commits — takes its holder slot — at a
+/// point strictly inside its interval; the holder log lists winners in
+/// commit order, which is exactly what a correct lock produces: if A
+/// responded before B was invoked then A committed first.
+fn build(seed: u64, nprocs: usize, nlocks: u64, nattempts: usize) -> Execution {
+    let mut rng = Rng::new(seed);
+    let mut lanes: Vec<Vec<Event>> = vec![Vec::new(); nprocs];
+    let mut last_resp = vec![0u64; nprocs];
+    let mut base = 1u64;
+    let mut attempts = Vec::with_capacity(nattempts);
+    // (lock, commit, token) for every critical section that ran.
+    let mut commits: Vec<(u64, u64, u64)> = Vec::new();
+
+    for i in 0..nattempts {
+        let pid = i % nprocs;
+        let lock = rng.below(nlocks);
+        let fate = match rng.below(8) {
+            0..=2 => Fate::Won,
+            3..=4 => Fate::Lost,
+            5..=6 => Fate::Aborted,
+            _ => Fate::Rescued,
+        };
+        let token = 0x100 + i as u64; // unique and nonzero
+        base += rng.below(7);
+        let invoke = base.max(last_resp[pid] + 1);
+        let commit = invoke + 1 + rng.below(9);
+        // A rescued owner returns only after observing the helper's win,
+        // so response never precedes the commit point for any fate.
+        let response = commit + rng.below(9);
+        last_resp[pid] = response;
+        let won = matches!(fate, Fate::Won | Fate::Rescued);
+        lanes[pid].push(Event {
+            pid,
+            op: HOLD_OP,
+            a: lock,
+            b: token,
+            result: won as u64,
+            result_set: vec![],
+            invoke,
+            response,
+        });
+        if won {
+            commits.push((lock, commit, token));
+        }
+        attempts.push(Attempt { lock, token, fate, invoke, response });
+    }
+
+    commits.sort_by_key(|&(lock, commit, _)| (lock, commit));
+    let logs = (0..nlocks)
+        .map(|l| {
+            let toks =
+                commits.iter().filter(|&&(lock, _, _)| lock == l).map(|&(_, _, t)| t).collect();
+            (l, toks)
+        })
+        .collect();
+
+    Execution { history: History::from_parts(lanes), logs, attempts }
+}
+
+fn log_of(ex: &mut Execution, lock: u64) -> &mut Vec<u64> {
+    &mut ex.logs.iter_mut().find(|(l, _)| *l == lock).expect("every lock is audited").1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Clean mixed-fate executions pass the holder audit: aborted and lost
+    /// attempts leave no trace in the logs, won and rescued attempts each
+    /// hold exactly once, and commit order never contradicts real time.
+    #[test]
+    fn mixed_fate_histories_are_holder_exclusive(
+        seed in 0u64..1_000_000,
+        nprocs in 1usize..6,
+        nlocks in 1u64..5,
+        nattempts in 0usize..120,
+    ) {
+        let ex = build(seed, nprocs, nlocks, nattempts);
+        let v = check_holder_exclusivity(&ex.history, &ex.logs);
+        prop_assert!(v.is_empty(), "clean history flagged: {v:?}");
+        // The generator really does exercise the abort path.
+        if nattempts >= 64 {
+            for fate in [Fate::Won, Fate::Aborted, Fate::Rescued] {
+                prop_assert!(
+                    ex.attempts.iter().any(|a| a.fate == fate),
+                    "generator produced no {fate:?} attempt in {nattempts}"
+                );
+            }
+        }
+    }
+
+    /// Corruption control: a helper that re-runs an already-completed
+    /// critical section appends the same token twice.
+    #[test]
+    fn double_helped_critical_section_is_detected(seed in 0u64..1_000_000) {
+        let mut ex = build(seed, 4, 3, 80);
+        let Some(w) = ex.attempts.iter().find(|a| matches!(a.fate, Fate::Won | Fate::Rescued))
+        else { return; };
+        let (lock, token) = (w.lock, w.token);
+        log_of(&mut ex, lock).push(token);
+        let v = check_holder_exclusivity(&ex.history, &ex.logs);
+        prop_assert!(
+            v.iter().any(|x| x.lock == lock && x.reason.contains("twice")),
+            "duplicated token {token:#x} not flagged: {v:?}"
+        );
+    }
+
+    /// Corruption control: an aborted attempt whose token nevertheless
+    /// appears in the holder log — the abandoned-descriptor bug the
+    /// helpable-after-abort invariant exists to prevent.
+    #[test]
+    fn aborted_token_leaking_into_the_log_is_detected(seed in 0u64..1_000_000) {
+        let mut ex = build(seed, 4, 3, 80);
+        let Some(a) = ex.attempts.iter().find(|a| a.fate == Fate::Aborted)
+        else { return; };
+        let (lock, token) = (a.lock, a.token);
+        log_of(&mut ex, lock).push(token);
+        let v = check_holder_exclusivity(&ex.history, &ex.logs);
+        prop_assert!(
+            v.iter().any(|x| x.lock == lock && x.reason.contains("losing attempt")),
+            "aborted holder {token:#x} not flagged: {v:?}"
+        );
+        prop_assert!(v.iter().any(|x| x.reason.contains("disagrees")), "{v:?}");
+    }
+
+    /// Corruption control: a lost update — a win whose log entry vanished
+    /// (e.g. an aborting owner released a lock its helper had won).
+    #[test]
+    fn lost_update_is_detected(seed in 0u64..1_000_000) {
+        let mut ex = build(seed, 4, 3, 80);
+        let Some((lock, tok)) = ex
+            .logs
+            .iter()
+            .find(|(_, toks)| !toks.is_empty())
+            .map(|(l, toks)| (*l, toks[toks.len() / 2]))
+        else { return; };
+        log_of(&mut ex, lock).retain(|&t| t != tok);
+        let v = check_holder_exclusivity(&ex.history, &ex.logs);
+        prop_assert!(
+            v.iter().any(|x| x.lock == lock && x.reason.contains("disagrees")),
+            "dropped win {tok:#x} not flagged: {v:?}"
+        );
+    }
+
+    /// Corruption control: two wins separated in real time whose log slots
+    /// are swapped — the holder sequence contradicting wall-clock order.
+    #[test]
+    fn real_time_inversion_is_detected(seed in 0u64..1_000_000) {
+        let mut ex = build(seed, 4, 2, 80);
+        // A pair of wins on one lock where the earlier responded strictly
+        // before the later was invoked; the lanes overlap, so scan for one.
+        let mut pair = None;
+        'outer: for a in &ex.attempts {
+            if !matches!(a.fate, Fate::Won | Fate::Rescued) {
+                continue;
+            }
+            for b in &ex.attempts {
+                if matches!(b.fate, Fate::Won | Fate::Rescued)
+                    && a.lock == b.lock
+                    && a.response < b.invoke
+                {
+                    pair = Some((a.lock, a.token, b.token));
+                    break 'outer;
+                }
+            }
+        }
+        let Some((lock, ta, tb)) = pair else { return; };
+        let log = log_of(&mut ex, lock);
+        let ia = log.iter().position(|&t| t == ta).expect("win A holds");
+        let ib = log.iter().position(|&t| t == tb).expect("win B holds");
+        log.swap(ia, ib);
+        let v = check_holder_exclusivity(&ex.history, &ex.logs);
+        prop_assert!(
+            v.iter().any(|x| x.lock == lock && x.reason.contains("holds later")),
+            "swapped wins {ta:#x}/{tb:#x} not flagged: {v:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Set regularity under aborts: an attempt inserts itself into the lock's
+// multi active set at reveal; whoever finishes the attempt — the owner on a
+// win or loss, a helper after an abort — removes it. The detector must
+// accept those insert/remove/getSet interleavings and reject views that
+// resurrect a cleaned-up abort or lose a standing member.
+// ---------------------------------------------------------------------------
+
+fn ins(pid: usize, x: u64, set: u64, invoke: u64, response: u64) -> Event {
+    Event { pid, op: MS_INSERT, a: x, b: set, result: 0, result_set: vec![], invoke, response }
+}
+fn rem(pid: usize, x: u64, set: u64, invoke: u64, response: u64) -> Event {
+    Event { pid, op: MS_REMOVE, a: x, b: set, result: 0, result_set: vec![], invoke, response }
+}
+fn get(pid: usize, set: u64, members: Vec<u64>, invoke: u64, response: u64) -> Event {
+    let mut ms = members;
+    ms.sort_unstable();
+    Event { pid, op: MS_GETSET, a: 0, b: set, result: 0, result_set: ms, invoke, response }
+}
+
+/// A generated active-set history plus the index of every *quiescent*
+/// getSet (one that overlapped no update, so its view is forced) — the
+/// negative controls corrupt those.
+struct SetExecution {
+    events: Vec<Event>,
+    quiescent_getsets: Vec<usize>,
+}
+
+/// Sequential truth with injected overlap: updates and quiescent getSets
+/// advance a single clock; sometimes an insert or the remove that cleans up
+/// an aborted attempt is left dangling over the next getSet, which is then
+/// free to report either view. Membership is tracked exactly, so quiescent
+/// getSets report ground truth.
+fn build_set_history(seed: u64, nsteps: usize) -> SetExecution {
+    let mut rng = Rng::new(seed.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(1));
+    let mut events = Vec::new();
+    let mut quiescent = Vec::new();
+    let mut members: Vec<u64> = Vec::new();
+    let mut next_tok = 0x1000u64;
+    let mut t = 1u64;
+    let set = 0u64;
+
+    for step in 0..nsteps {
+        let pid = step % 3;
+        match rng.below(6) {
+            // Reveal: a fresh attempt inserts itself (it may later win,
+            // lose, or abort — the set does not care which).
+            0 | 1 => {
+                let x = next_tok;
+                next_tok += 1;
+                events.push(ins(pid, x, set, t, t + 1));
+                members.push(x);
+                t += 2;
+            }
+            // Completion or post-abort helper cleanup: remove a member.
+            2 => {
+                if members.is_empty() {
+                    continue;
+                }
+                let i = rng.below(members.len() as u64) as usize;
+                let x = members.remove(i);
+                events.push(rem(pid, x, set, t, t + 1));
+                t += 2;
+            }
+            // Quiescent getSet: no concurrent update, view is forced.
+            3 => {
+                quiescent.push(events.len());
+                events.push(get(pid, set, members.clone(), t, t + 1));
+                t += 2;
+            }
+            // An insert left hanging over a getSet: the reader may or may
+            // not see the still-revealing attempt.
+            4 => {
+                let x = next_tok;
+                next_tok += 1;
+                events.push(ins(pid, x, set, t, t + 6));
+                let mut view = members.clone();
+                if rng.below(2) == 1 {
+                    view.push(x);
+                }
+                events.push(get((pid + 1) % 3, set, view, t + 1, t + 2));
+                members.push(x);
+                t += 7;
+            }
+            // An abort's cleanup remove hanging over a getSet: the reader
+            // may still see the abandoned attempt, or already not.
+            _ => {
+                if members.is_empty() {
+                    continue;
+                }
+                let i = rng.below(members.len() as u64) as usize;
+                let x = members.remove(i);
+                events.push(rem(pid, x, set, t, t + 6));
+                let mut view = members.clone();
+                if rng.below(2) == 1 {
+                    view.push(x);
+                }
+                events.push(get((pid + 1) % 3, set, view, t + 1, t + 2));
+                t += 7;
+            }
+        }
+    }
+    SetExecution { events, quiescent_getsets: quiescent }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Clean abort-heavy active-set histories are set regular: helper
+    /// cleanup racing a reader is legal in either outcome, and forced
+    /// views match ground truth.
+    #[test]
+    fn abort_cleanup_histories_are_set_regular(
+        seed in 0u64..1_000_000,
+        nsteps in 0usize..150,
+    ) {
+        let ex = build_set_history(seed, nsteps);
+        let h = History::from_parts(vec![ex.events]);
+        let v = check_set_regularity(&h);
+        prop_assert!(v.is_empty(), "clean set history flagged: {v:?}");
+    }
+
+    /// Corruption control: a reader resurrects an attempt whose cleanup
+    /// finished before the read began (stale active-set view).
+    #[test]
+    fn resurrected_abort_is_detected(seed in 0u64..1_000_000) {
+        let mut ex = build_set_history(seed, 100);
+        // Find a quiescent getSet preceded by a completed remove whose
+        // token it correctly omits, and resurrect that token.
+        let Some((gi, tok)) = ex.quiescent_getsets.iter().find_map(|&gi| {
+            let g = &ex.events[gi];
+            ex.events[..gi]
+                .iter()
+                .filter(|e| e.op == MS_REMOVE && !g.result_set.contains(&e.a))
+                .map(|e| (gi, e.a))
+                .next_back()
+        }) else { return; };
+        ex.events[gi].result_set.push(tok);
+        ex.events[gi].result_set.sort_unstable();
+        let h = History::from_parts(vec![ex.events]);
+        let v = check_set_regularity(&h);
+        prop_assert!(
+            v.iter().any(|x| x.item == tok && x.reason.contains("removed")),
+            "resurrected token {tok:#x} not flagged: {v:?}"
+        );
+    }
+
+    /// Corruption control: a reader drops a member whose insert completed
+    /// and which nothing removed during the read (lost member).
+    #[test]
+    fn lost_member_is_detected(seed in 0u64..1_000_000) {
+        let mut ex = build_set_history(seed, 100);
+        let Some((gi, tok)) = ex
+            .quiescent_getsets
+            .iter()
+            .find(|&&gi| !ex.events[gi].result_set.is_empty())
+            .map(|&gi| (gi, ex.events[gi].result_set[0]))
+        else { return; };
+        ex.events[gi].result_set.retain(|&x| x != tok);
+        let h = History::from_parts(vec![ex.events]);
+        let v = check_set_regularity(&h);
+        prop_assert!(
+            v.iter().any(|x| x.item == tok && x.reason.contains("missing member")),
+            "dropped member {tok:#x} not flagged: {v:?}"
+        );
+    }
+
+    /// Corruption control: a phantom that was never inserted at all.
+    #[test]
+    fn phantom_member_is_detected(seed in 0u64..1_000_000) {
+        let mut ex = build_set_history(seed, 60);
+        let Some(&gi) = ex.quiescent_getsets.first() else { return; };
+        let phantom = 0xdead_beef;
+        ex.events[gi].result_set.push(phantom);
+        ex.events[gi].result_set.sort_unstable();
+        let h = History::from_parts(vec![ex.events]);
+        let v = check_set_regularity(&h);
+        prop_assert!(
+            v.iter().any(|x| x.item == phantom && x.reason.contains("no insert")),
+            "phantom {phantom:#x} not flagged: {v:?}"
+        );
+    }
+}

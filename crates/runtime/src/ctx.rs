@@ -84,6 +84,12 @@ pub struct Ctx<'h> {
     gate: Option<&'h Gate>,
     clock: &'h AtomicU64,
     stop: &'h AtomicBool,
+    /// Real-mode fault injection: when set and holding `pid + 1`, this
+    /// process is suspended — `stepped` spins (uncounted) until the
+    /// injector clears the word. Models the OS scheduler withholding steps
+    /// (the real-threads analogue of a [`crate::schedule::StallWindow`]):
+    /// own steps do not advance while suspended, exactly as in sim.
+    pauser: Option<&'h AtomicU64>,
     mailbox: Option<&'h Mailbox>,
     clock_mode: ClockMode,
     tier: OrderTier,
@@ -124,6 +130,7 @@ impl<'h> Ctx<'h> {
         gate: Option<&'h Gate>,
         clock: &'h AtomicU64,
         stop: &'h AtomicBool,
+        pauser: Option<&'h AtomicU64>,
         mailbox: Option<&'h Mailbox>,
         clock_mode: ClockMode,
         tier: OrderTier,
@@ -139,6 +146,7 @@ impl<'h> Ctx<'h> {
             gate,
             clock,
             stop,
+            pauser,
             mailbox,
             clock_mode,
             tier,
@@ -191,6 +199,15 @@ impl<'h> Ctx<'h> {
                 r
             }
             None => {
+                // Fault injection: a suspended process takes no steps until
+                // the injector releases it. The spin is uncounted — the
+                // step happens (and is counted) only once it is granted,
+                // mirroring the simulator's wasted scheduler slots.
+                if let Some(p) = self.pauser {
+                    while p.load(Ordering::Acquire) == self.pid as u64 + 1 {
+                        std::hint::spin_loop();
+                    }
+                }
                 let t = self.next_tick();
                 self.last_now.set(t);
                 f()
@@ -500,7 +517,7 @@ mod tests {
         let clock: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
         let stop: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
         (
-            Ctx::new(heap, 0, 1, 42, None, clock, stop, None, ClockMode::Precise, OrderTier::SeqCst),
+            Ctx::new(heap, 0, 1, 42, None, clock, stop, None, None, ClockMode::Precise, OrderTier::SeqCst),
             clock,
             stop,
         )
@@ -518,6 +535,7 @@ mod tests {
                 None,
                 clock,
                 stop,
+                None,
                 None,
                 ClockMode::Leased(block),
                 OrderTier::Tiered,
@@ -660,7 +678,7 @@ mod tests {
         let clock: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
         let stop: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
         let mk = |pid: usize| {
-            Ctx::new(&heap, pid, 4, 99, None, clock, stop, None, ClockMode::Precise, OrderTier::SeqCst)
+            Ctx::new(&heap, pid, 4, 99, None, clock, stop, None, None, ClockMode::Precise, OrderTier::SeqCst)
         };
         let c1 = mk(3);
         let c2 = mk(3);

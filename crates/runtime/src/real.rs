@@ -21,6 +21,25 @@ use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+/// Fault injection for real-threads runs: an injector thread periodically
+/// suspends one pseudo-randomly chosen process mid-whatever-it-is-doing
+/// (including mid-critical-section) for a configurable quantum. The
+/// suspension is the real-threads analogue of the simulator's
+/// [`crate::schedule::PeriodicFaults`]: the victim's own steps simply stop
+/// advancing (it spins uncounted inside its next step), exactly as if the
+/// OS scheduler had preempted it — which is the failure model the paper's
+/// helping protocol is built to survive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Wall-clock interval between consecutive fault injections.
+    pub period: Duration,
+    /// How long each victim stays suspended. Must not exceed `period`.
+    pub quantum: Duration,
+    /// Seed for the victim sequence (deterministic victim *choice*; the
+    /// suspension instants are wall-clock, hence not deterministic).
+    pub seed: u64,
+}
+
 /// Hot-path configuration of a real-threads run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RealConfig {
@@ -28,6 +47,9 @@ pub struct RealConfig {
     pub clock: ClockMode,
     /// Which hardware orderings the tiered memory operations use.
     pub order: OrderTier,
+    /// Optional fault injection (holder stalls/crashes). `None` keeps the
+    /// per-step hot path free of the pauser check.
+    pub faults: Option<FaultSpec>,
 }
 
 impl RealConfig {
@@ -35,14 +57,30 @@ impl RealConfig {
     /// timestamps, everything `SeqCst`. Required when recorded history
     /// timestamps must be globally ordered.
     pub fn precise() -> RealConfig {
-        RealConfig { clock: ClockMode::Precise, order: OrderTier::SeqCst }
+        RealConfig { clock: ClockMode::Precise, order: OrderTier::SeqCst, faults: None }
     }
 
     /// The contention-free throughput configuration: clock leases of
     /// [`ClockMode::DEFAULT_LEASE`] timestamps and the acquire/release
     /// ordering tier.
     pub fn fast() -> RealConfig {
-        RealConfig { clock: ClockMode::Leased(ClockMode::DEFAULT_LEASE), order: OrderTier::Tiered }
+        RealConfig {
+            clock: ClockMode::Leased(ClockMode::DEFAULT_LEASE),
+            order: OrderTier::Tiered,
+            faults: None,
+        }
+    }
+
+    /// This configuration with periodic fault injection armed.
+    pub fn with_faults(mut self, faults: FaultSpec) -> RealConfig {
+        assert!(
+            faults.quantum <= faults.period,
+            "fault quantum {:?} exceeds period {:?}",
+            faults.quantum,
+            faults.period
+        );
+        self.faults = Some(faults);
+        self
     }
 }
 
@@ -121,6 +159,9 @@ where
     assert!(nprocs > 0);
     let clock = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
+    // Fault-injection pauser word: 0 = nobody suspended, otherwise the
+    // suspended process's pid + 1. Written only by the injector thread.
+    let pauser = AtomicU64::new(0);
     let step_counts: Vec<Mutex<u64>> = (0..nprocs).map(|_| Mutex::new(0)).collect();
     let event_slots: Vec<Mutex<Vec<Event>>> = (0..nprocs).map(|_| Mutex::new(Vec::new())).collect();
     let panic_slots: Vec<Mutex<Option<String>>> = (0..nprocs).map(|_| Mutex::new(None)).collect();
@@ -142,9 +183,11 @@ where
             let panic_out = &panic_slots[pid];
             let finished = &finished;
             let finished_cv = &finished_cv;
+            let pause_ref = cfg.faults.is_some().then_some(&pauser);
             scope.spawn(move || {
                 let ctx = Ctx::new(
-                    heap, pid, nprocs, seed, None, clock, stop, None, cfg.clock, cfg.order,
+                    heap, pid, nprocs, seed, None, clock, stop, pause_ref, None, cfg.clock,
+                    cfg.order,
                 );
                 let result =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)));
@@ -163,6 +206,27 @@ where
                 }
                 *finished.lock() += 1;
                 finished_cv.notify_all();
+            });
+        }
+        if let Some(f) = cfg.faults {
+            // The injector: every `period`, suspend one seeded-random
+            // victim for `quantum`, then release it. It always releases
+            // before re-checking the exit conditions, so no body can be
+            // left suspended when the run winds down (the scope join would
+            // otherwise deadlock on a spinning victim).
+            let (pauser, stop, finished) = (&pauser, &stop, &finished);
+            scope.spawn(move || {
+                let mut rng = crate::rng::Pcg::new(f.seed, 0xFA);
+                loop {
+                    std::thread::sleep(f.period.saturating_sub(f.quantum));
+                    if stop.load(Ordering::SeqCst) || *finished.lock() >= nprocs {
+                        break;
+                    }
+                    let victim = rng.below(nprocs as u64);
+                    pauser.store(victim + 1, Ordering::Release);
+                    std::thread::sleep(f.quantum);
+                    pauser.store(0, Ordering::Release);
+                }
             });
         }
         if let Some(d) = run_for {
@@ -335,6 +399,43 @@ mod tests {
         report.assert_clean();
         assert!(report.wall >= Duration::from_millis(40));
         assert!(report.wall < Duration::from_secs(5), "stop flag never observed");
+    }
+
+    #[test]
+    fn fault_injection_makes_progress_and_never_wedges_the_join() {
+        // Four threads hammer a CAS counter while the injector repeatedly
+        // suspends one of them. The run must still terminate at the timer
+        // (the injector always releases its victim before exiting) and the
+        // counter stays exact — suspension pauses a thread, it never
+        // corrupts its operations.
+        let heap = Heap::new(1 << 10);
+        let c = heap.alloc_root(1);
+        let cfg = RealConfig::fast().with_faults(FaultSpec {
+            period: Duration::from_millis(5),
+            quantum: Duration::from_millis(2),
+            seed: 42,
+        });
+        let report = run_threads_with(&heap, 4, 1, Some(Duration::from_millis(60)), cfg, |_pid| {
+            move |ctx: &Ctx| {
+                while !ctx.stop_requested() {
+                    let v = ctx.read_acq(c);
+                    ctx.cas_bool_sync(c, v, v + 1);
+                }
+            }
+        });
+        report.assert_clean();
+        assert!(heap.peek(c) > 0, "faulted run still made progress");
+        assert!(report.wall < Duration::from_secs(5), "injector wedged the join");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum")]
+    fn fault_spec_quantum_must_fit_the_period() {
+        let _ = RealConfig::fast().with_faults(FaultSpec {
+            period: Duration::from_millis(1),
+            quantum: Duration::from_millis(2),
+            seed: 0,
+        });
     }
 
     #[test]

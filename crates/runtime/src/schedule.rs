@@ -206,6 +206,55 @@ impl<S: Schedule> Schedule for Stalls<S> {
     }
 }
 
+/// Deterministic periodic fault injection, the simulator half of the
+/// overload/fault harness (experiment E16). Time is cut into windows of
+/// `period` steps; in each window one pseudo-randomly chosen process (a
+/// fixed hash of the window index, so the composite stays a pure function
+/// of `t` — oblivious by construction) is the *victim* and receives no
+/// steps during the window's first `quantum` slots. A victim that was
+/// paused mid-critical-section models a holder stall/crash: competitors
+/// must help its descriptor to completion to make progress.
+pub struct PeriodicFaults<S> {
+    inner: S,
+    n: usize,
+    period: u64,
+    quantum: u64,
+    seed: u64,
+}
+
+impl<S: Schedule> PeriodicFaults<S> {
+    /// Wraps `inner` (over `n` processes) with periodic faults: each
+    /// `period`-step window stalls one seeded-random victim for its first
+    /// `quantum` steps.
+    pub fn new(inner: S, n: usize, period: u64, quantum: u64, seed: u64) -> PeriodicFaults<S> {
+        assert!(n > 0 && period > 0);
+        assert!(quantum <= period, "quantum {quantum} exceeds period {period}");
+        PeriodicFaults { inner, n, period, quantum, seed }
+    }
+
+    /// The window's victim: a splitmix64 hash of (seed, window index), so
+    /// `next` stays stateless in `t` and replays identically from any
+    /// point.
+    pub fn victim_of_window(&self, window: u64) -> usize {
+        let mut z = self.seed ^ window.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % self.n as u64) as usize
+    }
+}
+
+impl<S: Schedule> Schedule for PeriodicFaults<S> {
+    fn next(&mut self, t: u64) -> Option<usize> {
+        let pid = self.inner.next(t)?;
+        if t % self.period < self.quantum && self.victim_of_window(t / self.period) == pid {
+            None
+        } else {
+            Some(pid)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +331,41 @@ mod tests {
         assert_eq!(s.next(3), None);
         assert_eq!(s.next(4), Some(0));
         assert_eq!(s.next(5), Some(1)); // window over
+    }
+
+    #[test]
+    fn periodic_faults_stall_exactly_the_victim_quantum() {
+        let n = 4;
+        let mut s = PeriodicFaults::new(RoundRobin::new(n), n, 8, 3, 77);
+        let probe = PeriodicFaults::new(RoundRobin::new(n), n, 8, 3, 77);
+        for t in 0..160 {
+            let inner_pick = (t % n as u64) as usize;
+            let in_quantum = t % 8 < 3;
+            let victim = probe.victim_of_window(t / 8);
+            let expect =
+                if in_quantum && inner_pick == victim { None } else { Some(inner_pick) };
+            assert_eq!(s.next(t), expect, "t={t}");
+        }
+    }
+
+    #[test]
+    fn periodic_faults_are_deterministic_and_rotate_victims() {
+        let mk = || PeriodicFaults::new(SeededRandom::new(5, 3), 5, 16, 16, 9);
+        let mut a = mk();
+        let mut b = mk();
+        let mut victims = std::collections::HashSet::new();
+        for t in 0..2000 {
+            assert_eq!(a.next(t), b.next(t), "oblivious schedules must replay identically");
+            victims.insert(a.victim_of_window(t / 16));
+        }
+        assert!(victims.len() > 1, "the victim must rotate across windows");
+        assert!(victims.iter().all(|&v| v < 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum")]
+    fn periodic_faults_reject_quantum_longer_than_period() {
+        let _ = PeriodicFaults::new(RoundRobin::new(2), 2, 4, 5, 0);
     }
 
     #[test]

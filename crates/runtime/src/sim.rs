@@ -248,6 +248,7 @@ impl<'h: 'a, 'a> SimBuilder<'h, 'a> {
                         Some(gate),
                         clock,
                         stop,
+                        None,
                         Some(mailbox),
                         ClockMode::Precise,
                         OrderTier::SeqCst,
