@@ -2,7 +2,7 @@
 //!
 //! An announcements array of `C` slots (plus a permanent sentinel slot `C`
 //! that resolves the pseudocode's off-by-one corner case, see DESIGN.md
-//! §1.4). Each slot holds an `owner` word (the member item, or 0) and a
+//! §1.5). Each slot holds an `owner` word (the member item, or 0) and a
 //! `set` word (a pointer to an immutable snapshot list of the members at
 //! this slot and above). `insert` claims the first ownerless slot by CAS
 //! and *climbs*: at every slot from its own down to 0, twice, it recomputes
@@ -15,7 +15,7 @@
 //! it was read; stale climbers can never overwrite newer snapshots (the
 //! pointer-reuse ABA that a literal reading of the pseudocode would allow).
 
-use wfl_runtime::{Addr, Ctx, Heap};
+use wfl_runtime::{Addr, Ctx, Heap, Placement, LINE_WORDS};
 
 /// Handle to an active set object in the shared heap.
 ///
@@ -25,6 +25,12 @@ use wfl_runtime::{Addr, Ctx, Heap};
 pub struct ActiveSet {
     base: Addr,
     capacity: u32,
+    /// Words between consecutive slot bases: [`SLOT_WORDS`] packed (the
+    /// historical back-to-back layout, 4 slots per cache line), or
+    /// [`LINE_WORDS`] padded (each slot — and with it the hot owner word
+    /// and its snapshot pointer — owns a full 64B line). The stride is
+    /// pure address arithmetic: step sequences are identical either way.
+    stride: u32,
 }
 
 /// List node: `[elem, next]`. `elem == 0` marks a copy-of-empty head node.
@@ -32,23 +38,50 @@ const NODE_WORDS: usize = 2;
 const SLOT_WORDS: u32 = 2;
 
 impl ActiveSet {
-    /// Number of heap words an active set with `capacity` slots occupies.
+    /// Number of heap words an active set with `capacity` slots occupies
+    /// in the packed layout.
     pub fn words(capacity: usize) -> usize {
-        (capacity + 1) * SLOT_WORDS as usize
+        Self::words_placed(capacity, Placement::Packed)
+    }
+
+    /// Number of heap words an active set with `capacity` slots occupies
+    /// under `placement` (excluding alignment slack).
+    pub fn words_placed(capacity: usize, placement: Placement) -> usize {
+        let stride = match placement {
+            Placement::Packed => SLOT_WORDS as usize,
+            Placement::Padded => LINE_WORDS,
+        };
+        (capacity + 1) * stride
     }
 
     /// Creates an active set with room for `capacity` concurrent members
     /// (the paper sizes this at the contention bound `κ`, or at the number
     /// of processes `P` for the unknown-bounds variant). Harness setup.
+    /// Packed layout (kept byte-compatible for address-pinned tests); the
+    /// harness default goes through [`ActiveSet::create_root_placed`].
     ///
     /// # Panics
     /// Panics if `capacity` is zero.
     pub fn create_root(heap: &Heap, capacity: usize) -> ActiveSet {
+        Self::create_root_placed(heap, capacity, Placement::Packed)
+    }
+
+    /// Creates an active set under an explicit [`Placement`]. Padded sets
+    /// get a line-aligned base and one cache line per slot, so concurrent
+    /// claims of different slots (and the sentinel) never false-share.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn create_root_placed(heap: &Heap, capacity: usize, placement: Placement) -> ActiveSet {
         assert!(capacity > 0, "active set capacity must be positive");
-        let base = heap.alloc_root(Self::words(capacity));
+        let words = Self::words_placed(capacity, placement);
         // All words zero: every owner empty, every snapshot pointer empty,
         // including the sentinel slot `capacity`.
-        ActiveSet { base, capacity: capacity as u32 }
+        let (base, stride) = match placement {
+            Placement::Packed => (heap.alloc_root(words), SLOT_WORDS),
+            Placement::Padded => (heap.alloc_root_aligned(words), LINE_WORDS as u32),
+        };
+        ActiveSet { base, capacity: capacity as u32, stride }
     }
 
     /// The configured capacity.
@@ -56,14 +89,28 @@ impl ActiveSet {
         self.capacity as usize
     }
 
+    /// The placement this set was created under.
+    pub fn placement(&self) -> Placement {
+        if self.stride == SLOT_WORDS {
+            Placement::Packed
+        } else {
+            Placement::Padded
+        }
+    }
+
+    /// The heap address of the first slot (tests and shard accounting).
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
     #[inline]
     fn owner_addr(&self, slot: u32) -> Addr {
-        self.base.off(slot * SLOT_WORDS)
+        self.base.off(slot * self.stride)
     }
 
     #[inline]
     fn set_addr(&self, slot: u32) -> Addr {
-        self.base.off(slot * SLOT_WORDS + 1)
+        self.base.off(slot * self.stride + 1)
     }
 
     /// Inserts `item` (nonzero), returning the slot index to pass to
@@ -297,6 +344,68 @@ mod tests {
             // Must not scale with capacity when the set is near-empty.
             assert!(steps < 80, "cap {cap}: insert+remove took {steps} steps");
         }
+    }
+
+    #[test]
+    fn padded_placement_isolates_slots_on_distinct_lines() {
+        let heap = Heap::new(1 << 12);
+        let set = ActiveSet::create_root_placed(&heap, 4, Placement::Padded);
+        assert_eq!(set.placement(), Placement::Padded);
+        assert_eq!(set.base().0 as usize % LINE_WORDS, 0, "base is line-aligned");
+        for i in 0..=4u32 {
+            // Slot i (including the sentinel) starts on its own line.
+            let owner = set.owner_addr(i).0 as usize;
+            assert_eq!(owner % LINE_WORDS, 0, "slot {i} owner not line-aligned");
+            assert_eq!(owner / LINE_WORDS, set.base().0 as usize / LINE_WORDS + i as usize);
+        }
+    }
+
+    #[test]
+    fn padded_placement_preserves_semantics() {
+        let heap = Heap::new(1 << 16);
+        let set = ActiveSet::create_root_placed(&heap, 4, Placement::Padded);
+        let report = SimBuilder::new(&heap, 1)
+            .spawn(move |ctx: &Ctx| {
+                let s1 = set.insert(ctx, 1);
+                let s2 = set.insert(ctx, 2);
+                let mut out = Vec::new();
+                set.get_set(ctx, &mut out);
+                out.sort_unstable();
+                assert_eq!(out, vec![1, 2]);
+                set.remove(ctx, s1);
+                set.get_set(ctx, &mut out);
+                assert_eq!(out, vec![2]);
+                set.remove(ctx, s2);
+            })
+            .run();
+        report.assert_clean();
+    }
+
+    #[test]
+    fn placement_does_not_change_counted_steps() {
+        // The E13 A/B contract: placement is pure address arithmetic, so a
+        // deterministic schedule takes the identical step sequence under
+        // either layout.
+        let steps_for = |placement: Placement| {
+            let heap = Heap::new(1 << 16);
+            let set = ActiveSet::create_root_placed(&heap, 4, placement);
+            let report = SimBuilder::new(&heap, 2)
+                .schedule(SeededRandom::new(2, 77))
+                .spawn_all(|pid| {
+                    move |ctx: &Ctx| {
+                        for round in 0..10u64 {
+                            let s = set.insert(ctx, (pid as u64) * 100 + round + 1);
+                            let mut out = Vec::new();
+                            set.get_set(ctx, &mut out);
+                            set.remove(ctx, s);
+                        }
+                    }
+                })
+                .run();
+            report.assert_clean();
+            report.steps
+        };
+        assert_eq!(steps_for(Placement::Packed), steps_for(Placement::Padded));
     }
 
     #[test]

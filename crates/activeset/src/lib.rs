@@ -39,6 +39,8 @@
 
 pub mod active_set;
 pub mod multi;
+pub mod shard;
 
 pub use active_set::ActiveSet;
 pub use multi::{get_members, get_members_by, multi_insert, multi_insert_into, multi_remove, Flag};
+pub use shard::{create_sharded_roots, ShardMap};

@@ -16,7 +16,28 @@
 use crate::api::{AttemptOutcome, LockAlgo};
 use wfl_core::{Scratch, TryLockRequest};
 use wfl_idem::{Frame, Registry, TagSource};
-use wfl_runtime::{Addr, Ctx, Heap};
+use wfl_runtime::{Addr, Ctx, Heap, Placement, LINE_WORDS};
+
+/// Contention-management policy of the blocking baseline's spin loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockingMode {
+    /// Naked test-and-test-and-set: poll the lock word on every scheduled
+    /// step. The historical baseline — and, past ~8 threads, a strawman:
+    /// every contender hammers the holder's cache line.
+    #[default]
+    Spin,
+    /// TTAS with bounded exponential backoff between polls (the local-spin
+    /// discipline of cohort locks, per Fissile Locks): after each failed
+    /// poll the contender burns a doubling number of *local* steps before
+    /// touching the shared word again, capped at [`COHORT_MAX_BACKOFF`].
+    /// Keeps the 16–64-thread comparison honest — coherence traffic on the
+    /// lock line stays bounded instead of scaling with the contender count.
+    Cohort,
+}
+
+/// Backoff ceiling (local steps between polls) of [`BlockingMode::Cohort`].
+/// Bounded so a freed lock is observed within O(cap) own steps.
+pub const COHORT_MAX_BACKOFF: u64 = 128;
 
 /// Blocking two-phase locking over an array of spinlock words.
 pub struct BlockingTpl<'a> {
@@ -24,24 +45,56 @@ pub struct BlockingTpl<'a> {
     pub registry: &'a Registry,
     locks: Addr,
     nlocks: usize,
+    /// Words between consecutive lock words: 1 packed, [`LINE_WORDS`]
+    /// padded (each lock word owns a cache line).
+    stride: u32,
+    mode: BlockingMode,
 }
 
 impl<'a> BlockingTpl<'a> {
-    /// Creates the lock words (harness setup).
+    /// Creates the lock words (harness setup). Packed layout, plain spin —
+    /// byte-compatible with the historical baseline (tests pin addresses).
     pub fn create_root(heap: &Heap, registry: &'a Registry, nlocks: usize) -> BlockingTpl<'a> {
+        Self::create_root_placed(heap, registry, nlocks, Placement::Packed)
+    }
+
+    /// Creates the lock words under an explicit [`Placement`]: padded
+    /// spreads each lock word onto its own 64B line so contended spins on
+    /// different locks never false-share.
+    pub fn create_root_placed(
+        heap: &Heap,
+        registry: &'a Registry,
+        nlocks: usize,
+        placement: Placement,
+    ) -> BlockingTpl<'a> {
         assert!(nlocks > 0);
-        BlockingTpl { registry, locks: heap.alloc_root(nlocks), nlocks }
+        let (locks, stride) = match placement {
+            Placement::Packed => (heap.alloc_root(nlocks), 1),
+            Placement::Padded => {
+                (heap.alloc_root_aligned(nlocks * LINE_WORDS), LINE_WORDS as u32)
+            }
+        };
+        BlockingTpl { registry, locks, nlocks, stride, mode: BlockingMode::default() }
+    }
+
+    /// This baseline with a different spin policy.
+    pub fn with_mode(mut self, mode: BlockingMode) -> BlockingTpl<'a> {
+        self.mode = mode;
+        self
     }
 
     fn lock_word(&self, id: u32) -> Addr {
         assert!((id as usize) < self.nlocks, "unknown lock id {id}");
-        self.locks.off(id)
+        self.locks.off(id * self.stride)
     }
 }
 
 impl LockAlgo for BlockingTpl<'_> {
     fn name(&self) -> &'static str {
-        "blocking"
+        match self.mode {
+            BlockingMode::Spin => "blocking",
+            BlockingMode::Cohort => "blocking-cohort",
+        }
     }
 
     fn blocks_under_crash(&self) -> bool {
@@ -68,7 +121,12 @@ impl LockAlgo for BlockingTpl<'_> {
         let mut acquired = 0usize;
         for i in 0..scratch.order.len() {
             let w = self.lock_word(scratch.order[i]);
+            // Cohort backoff state, reset per lock: the holder change that
+            // freed the previous lock says nothing about this one.
+            let mut backoff = 1u64;
             loop {
+                // TTAS: the read filters the CAS, so only contenders that
+                // just observed the word free write to the line.
                 if ctx.read_acq(w) == 0 && ctx.cas_bool_sync(w, 0, me) {
                     acquired += 1;
                     break;
@@ -92,6 +150,14 @@ impl LockAlgo for BlockingTpl<'_> {
                         aborted: true,
                         rescued: false,
                     };
+                }
+                if self.mode == BlockingMode::Cohort {
+                    // Local spin between polls: counted own steps that
+                    // touch no shared memory, doubling up to the cap.
+                    for _ in 0..backoff {
+                        ctx.local_step();
+                    }
+                    backoff = (backoff * 2).min(COHORT_MAX_BACKOFF);
                 }
             }
         }
@@ -158,6 +224,94 @@ mod tests {
             report.assert_clean();
             assert_eq!(cell::value(heap.peek(counter)), 20, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn cohort_mode_counter_is_exact_and_renamed() {
+        for seed in 0..10 {
+            let mut registry = Registry::new();
+            let incr = registry.register(Incr);
+            let heap = Heap::new(1 << 20);
+            let algo = BlockingTpl::create_root_placed(&heap, &registry, 2, Placement::Padded)
+                .with_mode(BlockingMode::Cohort);
+            assert_eq!(algo.name(), "blocking-cohort");
+            let counter = heap.alloc_root(1);
+            let algo_ref = &algo;
+            let report = SimBuilder::new(&heap, 4)
+                .schedule(SeededRandom::new(4, seed))
+                .max_steps(10_000_000)
+                .spawn_all(|pid| {
+                    move |ctx: &Ctx| {
+                        let mut tags = TagSource::new(pid);
+                        let mut scratch = wfl_core::Scratch::new();
+                        for _ in 0..5 {
+                            let locks = [LockId(0), LockId(1)];
+                            let req = TryLockRequest {
+                                locks: &locks,
+                                thunk: incr,
+                                args: &[counter.to_word()],
+                            };
+                            let out = algo_ref.attempt(ctx, &mut tags, &mut scratch, &req);
+                            assert!(out.won, "cohort backoff must still always acquire");
+                        }
+                    }
+                })
+                .run();
+            report.assert_clean();
+            assert_eq!(cell::value(heap.peek(counter)), 20, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn padded_lock_words_own_distinct_lines() {
+        let registry = Registry::new();
+        let heap = Heap::new(1 << 12);
+        let algo = BlockingTpl::create_root_placed(&heap, &registry, 4, Placement::Padded);
+        let lines: Vec<usize> =
+            (0..4).map(|id| algo.lock_word(id).0 as usize / wfl_runtime::LINE_WORDS).collect();
+        let mut dedup = lines.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4, "padded lock words share lines: {lines:?}");
+    }
+
+    #[test]
+    fn cohort_deadline_still_bails_out() {
+        // The backoff loop must not starve the bail-out polls: an armed
+        // deadline still aborts a contender spinning on a dead holder.
+        let mut registry = Registry::new();
+        let incr = registry.register(Incr);
+        let heap = Heap::new(1 << 16);
+        let algo = BlockingTpl::create_root(&heap, &registry, 1).with_mode(BlockingMode::Cohort);
+        let counter = heap.alloc_root(1);
+        let algo_ref = &algo;
+        let report = SimBuilder::new(&heap, 2)
+            .schedule(RoundRobin::new(2))
+            .max_steps(1_000_000)
+            .drain_cap(100_000)
+            .spawn(move |ctx: &Ctx| {
+                let w = Addr(1);
+                loop {
+                    if ctx.read(w) == 0 && ctx.cas_bool(w, 0, 1) {
+                        break;
+                    }
+                }
+                loop {
+                    ctx.local_step();
+                }
+            })
+            .spawn(move |ctx: &Ctx| {
+                let mut tags = TagSource::new(1);
+                let mut scratch = wfl_core::Scratch::new();
+                scratch.deadline = wfl_core::Deadline::after(ctx, 2_000);
+                let locks = [LockId(0)];
+                let req =
+                    TryLockRequest { locks: &locks, thunk: incr, args: &[counter.to_word()] };
+                let out = algo_ref.attempt(ctx, &mut tags, &mut scratch, &req);
+                assert!(!out.won && out.aborted);
+            })
+            .run();
+        assert_eq!(report.poisoned, vec![0], "the cohort contender must exit on its own");
     }
 
     #[test]

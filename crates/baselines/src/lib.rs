@@ -25,6 +25,6 @@ pub mod naive;
 pub mod tsp;
 
 pub use api::{AttemptOutcome, LockAlgo, WflKnown, WflUnknown};
-pub use blocking::BlockingTpl;
+pub use blocking::{BlockingMode, BlockingTpl};
 pub use naive::NaiveTryLock;
 pub use tsp::TspLock;

@@ -11,7 +11,7 @@
 use crate::api::{AttemptOutcome, LockAlgo};
 use wfl_core::{Scratch, TryLockRequest};
 use wfl_idem::{Frame, Registry, TagSource};
-use wfl_runtime::{Addr, Ctx, Heap};
+use wfl_runtime::{Addr, Ctx, Heap, Placement, LINE_WORDS};
 
 /// No-helping tryLock over an array of CAS lock words.
 pub struct NaiveTryLock<'a> {
@@ -19,18 +19,39 @@ pub struct NaiveTryLock<'a> {
     pub registry: &'a Registry,
     locks: Addr,
     nlocks: usize,
+    /// Words between consecutive lock words (1 packed, a line padded).
+    stride: u32,
 }
 
 impl<'a> NaiveTryLock<'a> {
-    /// Creates the lock words (harness setup).
+    /// Creates the lock words (harness setup). Packed layout, kept
+    /// byte-compatible for address-pinned tests.
     pub fn create_root(heap: &Heap, registry: &'a Registry, nlocks: usize) -> NaiveTryLock<'a> {
+        Self::create_root_placed(heap, registry, nlocks, Placement::Packed)
+    }
+
+    /// Creates the lock words under an explicit [`Placement`]: padded puts
+    /// each CAS word on its own 64B line so failed probes of different
+    /// locks never false-share.
+    pub fn create_root_placed(
+        heap: &Heap,
+        registry: &'a Registry,
+        nlocks: usize,
+        placement: Placement,
+    ) -> NaiveTryLock<'a> {
         assert!(nlocks > 0);
-        NaiveTryLock { registry, locks: heap.alloc_root(nlocks), nlocks }
+        let (locks, stride) = match placement {
+            Placement::Packed => (heap.alloc_root(nlocks), 1),
+            Placement::Padded => {
+                (heap.alloc_root_aligned(nlocks * LINE_WORDS), LINE_WORDS as u32)
+            }
+        };
+        NaiveTryLock { registry, locks, nlocks, stride }
     }
 
     fn lock_word(&self, id: u32) -> Addr {
         assert!((id as usize) < self.nlocks, "unknown lock id {id}");
-        self.locks.off(id)
+        self.locks.off(id * self.stride)
     }
 }
 

@@ -18,7 +18,7 @@
 use crate::api::{AttemptOutcome, LockAlgo};
 use wfl_core::{Scratch, TryLockRequest};
 use wfl_idem::{Frame, Registry, TagSource};
-use wfl_runtime::{Addr, Ctx, Heap};
+use wfl_runtime::{Addr, Ctx, Heap, Placement, LINE_WORDS};
 
 /// TSP-style lock-free locks.
 pub struct TspLock<'a> {
@@ -26,6 +26,10 @@ pub struct TspLock<'a> {
     pub registry: &'a Registry,
     locks: Addr,
     nlocks: usize,
+    /// Words between consecutive lock words (1 packed, a line padded).
+    /// Descriptors need no placement knob: they are allocated per-attempt
+    /// from the owner's lane, which is already cache-line isolated.
+    stride: u32,
 }
 
 // Descriptor layout: [frame, nlocks, done, lock ids...]
@@ -35,15 +39,32 @@ const D_DONE: u32 = 2;
 const D_LOCKS: u32 = 3;
 
 impl<'a> TspLock<'a> {
-    /// Creates the lock words (harness setup).
+    /// Creates the lock words (harness setup). Packed layout.
     pub fn create_root(heap: &Heap, registry: &'a Registry, nlocks: usize) -> TspLock<'a> {
+        Self::create_root_placed(heap, registry, nlocks, Placement::Packed)
+    }
+
+    /// Creates the lock words under an explicit [`Placement`]: padded puts
+    /// each descriptor-pointer word on its own 64B line.
+    pub fn create_root_placed(
+        heap: &Heap,
+        registry: &'a Registry,
+        nlocks: usize,
+        placement: Placement,
+    ) -> TspLock<'a> {
         assert!(nlocks > 0);
-        TspLock { registry, locks: heap.alloc_root(nlocks), nlocks }
+        let (locks, stride) = match placement {
+            Placement::Packed => (heap.alloc_root(nlocks), 1),
+            Placement::Padded => {
+                (heap.alloc_root_aligned(nlocks * LINE_WORDS), LINE_WORDS as u32)
+            }
+        };
+        TspLock { registry, locks, nlocks, stride }
     }
 
     fn lock_word(&self, id: u64) -> Addr {
         assert!((id as usize) < self.nlocks, "unknown lock id {id}");
-        self.locks.off(id as u32)
+        self.locks.off(id as u32 * self.stride)
     }
 
     /// Runs (or helps run) a published descriptor to completion: acquire

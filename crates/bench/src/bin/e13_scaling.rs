@@ -1,4 +1,4 @@
-//! E13 — real-threads scaling, and the proof obligations for the two
+//! E13 — real-threads scaling, and the proof obligations for the three
 //! contention-free hot paths:
 //!
 //! * **legacy vs fast** (since PR 1): the historical driver configuration
@@ -11,24 +11,39 @@
 //!   descriptor and log record) against the sharded per-process allocation
 //!   lanes ([`AllocMode::laned`] — a plain uncontended bump, one shared
 //!   RMW per slab), on the allocation-heavy random-conflict workload.
+//! * **packed+unified vs padded+sharded** (since PR 8): the historical
+//!   memory layout (lock words and active-set slots allocated
+//!   back-to-back, one neighborhood) against the cache-line-isolated
+//!   layout ([`SpaceLayout`]: one 64B line per hot record, locks grouped
+//!   into shard neighborhoods with guard lines), per algorithm — including
+//!   the cohort-backoff blocking baseline so the high-thread comparison
+//!   measures algorithms, not a spin-loop strawman. The padded+sharded
+//!   series also yields each algorithm's **scaling knee**: the first
+//!   swept thread count whose marginal goodput per added thread drops
+//!   below 50% of the base (lowest-thread-count) slope.
 //!
 //! Since PR 2 this binary is a thin client of the **unified workload
 //! harness**, so every timed cell also runs its workload's safety check,
-//! and the wall clock ends when the bodies do. Sweeps 2..=8 threads,
-//! prints ops/sec tables, and emits `BENCH_scaling.json` (rows carry an
-//! `allocator` tag and the per-lane high-water vector) so future changes
-//! have a perf trajectory to compare against.
+//! and the wall clock ends when the bodies do. The default sweep runs past
+//! typical physical core counts into oversubscription (every JSON row
+//! records `available_parallelism` so oversubscribed cells are
+//! distinguishable), prints ops/sec tables, and emits `BENCH_scaling.json`.
 //!
-//! Usage: `e13_scaling [--smoke]`
-//!   --smoke : CI-sized sweep (2 threads, small attempt counts). The
-//!             smoke run **gates** the allocator refactor: it fails if the
-//!             laned arena regresses successful acquisitions/sec by more
-//!             than 20% against the global cursor at the smoke thread
-//!             count.
+//! Usage: `e13_scaling [--smoke] [--threads N,N,...]`
+//!   --smoke   : CI-sized sweep (2 and 4 threads, small attempt counts).
+//!               The smoke run **gates** two refactors: the laned arena
+//!               must keep >= 0.8x of the global cursor's wins/s, and the
+//!               padded+sharded layout must keep >= 0.95x of
+//!               packed+unified at the low thread count and strictly beat
+//!               it at the top of the sweep (the strict half only where
+//!               `available_parallelism > 1` — on a single hardware
+//!               thread, cross-core cache traffic cannot manifest).
+//!   --threads : comma-separated sweep list (default 2,4,8,16; smoke 2,4).
 
 use std::fmt::Write as _;
+use wfl_core::SpaceLayout;
 use wfl_runtime::real::RealConfig;
-use wfl_runtime::AllocMode;
+use wfl_runtime::{available_parallelism, AllocMode, Placement};
 use wfl_workloads::harness::{
     run_philosophers_mode, run_random_conflict_mode, AlgoKind, ExecMode, HarnessReport, SimSpec,
 };
@@ -100,10 +115,12 @@ impl Sample {
     }
 }
 
-fn algo_kind(name: &str) -> AlgoKind {
+fn algo_kind(name: &str, threads: usize) -> AlgoKind {
     match name {
-        "wfl" => AlgoKind::Wfl { kappa: 2, delays: false, helping: true },
+        "wfl" => AlgoKind::Wfl { kappa: threads.max(2), delays: false, helping: true },
         "tsp" => AlgoKind::Tsp,
+        "blocking" => AlgoKind::Blocking,
+        "blocking-cohort" => AlgoKind::BlockingCohort,
         _ => AlgoKind::Naive,
     }
 }
@@ -122,7 +139,7 @@ fn run_config(algo_name: &str, mode: Mode, threads: usize, attempts: usize) -> S
             epoch_rounds: None,
             deadline_steps: None,
         };
-        let r = run_philosophers_mode(threads, attempts, 42, algo_kind(algo_name), 1 << 23, &exec);
+        let r = run_philosophers_mode(threads, attempts, 42, algo_kind(algo_name, 2), 1 << 23, &exec);
         assert!(
             r.safety_ok,
             "{algo_name}/{}/{threads}t: philosopher meal counters diverged",
@@ -156,6 +173,77 @@ fn run_alloc_cell(alloc: AllocMode, threads: usize, attempts: usize, repeats: us
     best.expect("at least one repeat")
 }
 
+/// One layout cell: the random-conflict workload under an explicit
+/// [`SpaceLayout`]. Back-to-back attempts over a lock pool sized at two
+/// locks per thread keep per-lock contention low and cross-lock traffic
+/// high — exactly the regime where false sharing, not the algorithm,
+/// dominates; the layout A/B isolates it.
+fn run_layout_cell(
+    algo_name: &str,
+    layout: SpaceLayout,
+    threads: usize,
+    attempts: usize,
+    repeats: usize,
+) -> Sample {
+    let mut best: Option<Sample> = None;
+    for _ in 0..repeats {
+        let mut spec = SimSpec::new(threads, attempts, (2 * threads).max(3), 2);
+        spec.seed = 42;
+        spec.think_max = 0;
+        spec.heap_words = 1 << 23;
+        spec.layout = layout;
+        let r = run_random_conflict_mode(&spec, algo_kind(algo_name, threads), &ExecMode::real(threads));
+        assert!(
+            r.safety_ok,
+            "random_conflict/{algo_name}/{}/{threads}t: safety check failed",
+            layout.label()
+        );
+        best = Some(Sample::from_report(&r).better_of(best));
+    }
+    best.expect("at least one repeat")
+}
+
+/// The scaling knee of a `(threads, wins/s)` series: the first thread
+/// count whose **marginal** goodput per added thread falls below 50% of
+/// the base slope (wins/s per thread at the lowest swept count). 0 when
+/// the series never kneels inside the sweep.
+fn knee_threads(series: &[(usize, f64)]) -> usize {
+    let Some(&(t0, ops0)) = series.first() else {
+        return 0;
+    };
+    let base_slope = ops0 / t0 as f64;
+    for w in series.windows(2) {
+        let (ta, opsa) = w[0];
+        let (tb, opsb) = w[1];
+        let marginal = (opsb - opsa) / (tb - ta) as f64;
+        if marginal < 0.5 * base_slope {
+            return tb;
+        }
+    }
+    0
+}
+
+fn parse_threads(args: &[String]) -> Option<Vec<usize>> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let list = if let Some(rest) = a.strip_prefix("--threads=") {
+            rest.to_string()
+        } else if a == "--threads" {
+            it.next().expect("--threads needs a comma-separated list").clone()
+        } else {
+            continue;
+        };
+        let counts: Vec<usize> = list
+            .split(',')
+            .map(|t| t.trim().parse().unwrap_or_else(|_| panic!("bad thread count {t:?}")))
+            .collect();
+        assert!(!counts.is_empty(), "--threads list is empty");
+        assert!(counts.iter().all(|&t| t >= 2), "philosophers need >= 2 threads");
+        return Some(counts);
+    }
+    None
+}
+
 fn json_lanes(lanes: &[usize]) -> String {
     let mut s = String::from("[");
     for (i, w) in lanes.iter().enumerate() {
@@ -176,6 +264,7 @@ fn json_row(
     algo: &str,
     mode: &str,
     allocator: &str,
+    layout: &str,
     threads: usize,
     s: &Sample,
 ) {
@@ -186,9 +275,11 @@ fn json_row(
     let _ = write!(
         json,
         "    {{\"workload\": \"{workload}\", \"algo\": \"{algo}\", \"mode\": \"{mode}\", \
-         \"allocator\": \"{allocator}\", \"threads\": {threads}, \
+         \"allocator\": \"{allocator}\", \"layout\": \"{layout}\", \"threads\": {threads}, \
+         \"available_parallelism\": {}, \
          \"ops_per_sec\": {:.1}, \"wall_secs\": {:.6}, \"wins\": {}, \"attempts\": {}, \
          \"epochs\": {}, \"heap_high_water\": {}, \"heap_high_water_lanes\": {}}}",
+        available_parallelism(),
         s.ops_per_sec,
         s.wall_secs,
         s.wins,
@@ -200,20 +291,32 @@ fn json_row(
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    // Philosophers need a table of >= 2, so the sweep starts at 2 threads.
-    let thread_counts: &[usize] = if smoke { &[2] } else { &[2, 4, 8] };
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let avail = available_parallelism();
+    // Philosophers need a table of >= 2, so the sweep starts at 2 threads;
+    // the default full sweep runs past typical core counts into
+    // oversubscription on purpose (the knee is the point).
+    let thread_counts: Vec<usize> = parse_threads(&args)
+        .unwrap_or_else(|| if smoke { vec![2, 4] } else { vec![2, 4, 8, 16] });
+    let top_threads = *thread_counts.last().unwrap();
     let phil_attempts = if smoke { 300 } else { 2000 };
     let conflict_attempts = if smoke { 400 } else { 2000 };
     let algos = ["wfl", "tsp", "naive"];
-    println!("# E13: real-threads scaling — hot-path and allocator A/B cells (smoke = {smoke})");
-    println!("(unified harness; philosophers {phil_attempts} attempts/thread, random-conflict {conflict_attempts} attempts/thread, best of {REPEATS})");
+    let layout_algos = ["wfl", "tsp", "naive", "blocking", "blocking-cohort"];
+    println!("# E13: real-threads scaling — hot-path, allocator and layout A/B cells (smoke = {smoke})");
+    println!(
+        "(unified harness; philosophers {phil_attempts} attempts/thread, random-conflict \
+         {conflict_attempts} attempts/thread, best of {REPEATS}; threads {thread_counts:?}, \
+         available_parallelism {avail})"
+    );
     println!();
 
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"e13_scaling\",");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"available_parallelism\": {avail},");
     let _ = writeln!(json, "  \"attempts_per_thread\": {phil_attempts},");
     let _ = writeln!(json, "  \"repeats\": {REPEATS},");
     json.push_str("  \"results\": [\n");
@@ -223,11 +326,11 @@ fn main() {
     let mut first = true;
     for &algo in &algos {
         wfl_bench::header(&["threads", "legacy wins/s", "fast wins/s", "speedup"]);
-        for &threads in thread_counts {
+        for &threads in &thread_counts {
             let legacy = run_config(algo, Mode::Legacy, threads, phil_attempts);
             let fast = run_config(algo, Mode::Fast, threads, phil_attempts);
             let speedup = fast.ops_per_sec / legacy.ops_per_sec;
-            if algo == "wfl" && threads == *thread_counts.last().unwrap() {
+            if algo == "wfl" && threads == top_threads {
                 wfl_speedup_at_max = speedup;
             }
             wfl_bench::row(&[
@@ -237,7 +340,17 @@ fn main() {
                 format!("{speedup:.2}x"),
             ]);
             for (mode_name, s) in [("legacy", &legacy), ("fast", &fast)] {
-                json_row(&mut json, &mut first, "philosophers", algo, mode_name, "laned", threads, s);
+                json_row(
+                    &mut json,
+                    &mut first,
+                    "philosophers",
+                    algo,
+                    mode_name,
+                    "laned",
+                    "padded+sharded",
+                    threads,
+                    s,
+                );
             }
         }
         println!();
@@ -247,15 +360,15 @@ fn main() {
     println!("## allocator: global bump cursor vs sharded lanes");
     wfl_bench::header(&["threads", "global wins/s", "laned wins/s", "speedup"]);
     let mut laned_over_global_at_max = 0.0f64;
-    // The smoke gate compares millisecond-scale runs on a shared CI
+    // The smoke gates compare millisecond-scale runs on a shared CI
     // runner: take the best of more repeats there so a single noisy
-    // neighbor on one side cannot fake a >20% regression.
-    let alloc_repeats = if smoke { 7 } else { REPEATS };
-    for &threads in thread_counts {
-        let global = run_alloc_cell(AllocMode::Global, threads, conflict_attempts, alloc_repeats);
-        let laned = run_alloc_cell(AllocMode::laned(), threads, conflict_attempts, alloc_repeats);
+    // neighbor on one side cannot fake a regression.
+    let gate_repeats = if smoke { 7 } else { REPEATS };
+    for &threads in &thread_counts {
+        let global = run_alloc_cell(AllocMode::Global, threads, conflict_attempts, gate_repeats);
+        let laned = run_alloc_cell(AllocMode::laned(), threads, conflict_attempts, gate_repeats);
         let speedup = laned.ops_per_sec / global.ops_per_sec;
-        if threads == *thread_counts.last().unwrap() {
+        if threads == top_threads {
             laned_over_global_at_max = speedup;
         }
         wfl_bench::row(&[
@@ -265,7 +378,17 @@ fn main() {
             format!("{speedup:.2}x"),
         ]);
         for (alloc_name, s) in [("global", &global), ("laned", &laned)] {
-            json_row(&mut json, &mut first, "random_conflict", "wfl", "fast", alloc_name, threads, s);
+            json_row(
+                &mut json,
+                &mut first,
+                "random_conflict",
+                "wfl",
+                "fast",
+                alloc_name,
+                "padded+sharded",
+                threads,
+                s,
+            );
         }
         if smoke {
             // The CI gate: the sharded allocator must not cost throughput.
@@ -280,16 +403,135 @@ fn main() {
     }
     println!();
 
+    // --- packed+unified vs padded+sharded, per algorithm ---
+    println!("## layout: packed+unified vs padded+sharded (random-conflict)");
+    // Longer cells than the allocator A/B: the layout effect is a few
+    // percent, so full runs stretch each cell (still under the 4095
+    // rounds/process tag-space cap of a single epoch) to push scheduler
+    // noise below it.
+    let layout_attempts = if smoke { conflict_attempts } else { 4000 };
+    // Best-of-9 in full runs: with cells this short, the quantity of
+    // interest is each layout's noise-free ceiling, and the max of more
+    // repeats converges to it from below.
+    let layout_repeats = if smoke { gate_repeats } else { 9 };
+    let packed_unified = SpaceLayout::packed_unified();
+    let padded_sharded = SpaceLayout::default();
+    let mut layout_speedup_at_max = 0.0f64;
+    let mut knees: Vec<(&str, usize)> = Vec::new();
+    for &algo in &layout_algos {
+        wfl_bench::header(&["threads", "packed+unified", "padded+sharded", "speedup"]);
+        let mut padded_series: Vec<(usize, f64)> = Vec::new();
+        for &threads in &thread_counts {
+            let packed = run_layout_cell(algo, packed_unified, threads, layout_attempts, layout_repeats);
+            let padded = run_layout_cell(algo, padded_sharded, threads, layout_attempts, layout_repeats);
+            let speedup = padded.ops_per_sec / packed.ops_per_sec;
+            padded_series.push((threads, padded.ops_per_sec));
+            if algo == "wfl" && threads == top_threads {
+                layout_speedup_at_max = speedup;
+            }
+            wfl_bench::row(&[
+                format!("{algo} x{threads}"),
+                format!("{:.0}", packed.ops_per_sec),
+                format!("{:.0}", padded.ops_per_sec),
+                format!("{speedup:.2}x"),
+            ]);
+            for (layout, s) in [(&packed_unified, &packed), (&padded_sharded, &padded)] {
+                json_row(
+                    &mut json,
+                    &mut first,
+                    "random_conflict",
+                    algo,
+                    "fast",
+                    "laned",
+                    &layout.label(),
+                    threads,
+                    s,
+                );
+            }
+            if algo == "wfl" {
+                // The off-diagonal cells: which half of the layout change
+                // carries the win?
+                for layout in [
+                    SpaceLayout { placement: Placement::Padded, shards: 1 },
+                    SpaceLayout { placement: Placement::Packed, shards: 0 },
+                ] {
+                    let s = run_layout_cell(algo, layout, threads, layout_attempts, REPEATS);
+                    json_row(
+                        &mut json,
+                        &mut first,
+                        "random_conflict",
+                        algo,
+                        "fast",
+                        "laned",
+                        &layout.label(),
+                        threads,
+                        &s,
+                    );
+                }
+            }
+            if smoke && algo == "wfl" {
+                // The layout gate. Floor everywhere: padded+sharded must
+                // never cost more than 5% of packed+unified.
+                assert!(
+                    padded.ops_per_sec >= 0.95 * packed.ops_per_sec,
+                    "padded+sharded regresses >5% at {threads} threads: \
+                     {:.0} vs {:.0} wins/s",
+                    padded.ops_per_sec,
+                    packed.ops_per_sec
+                );
+                // Strictly better at the top of the sweep — but only where
+                // more than one hardware thread exists: with every thread
+                // multiplexed onto one core, cross-core cache-line traffic
+                // (the thing the layout removes) cannot manifest, and the
+                // comparison is a coin flip.
+                if threads == top_threads {
+                    if avail > 1 {
+                        assert!(
+                            padded.ops_per_sec > packed.ops_per_sec,
+                            "padded+sharded not ahead at the top of the sweep \
+                             ({threads} threads): {:.0} vs {:.0} wins/s",
+                            padded.ops_per_sec,
+                            packed.ops_per_sec
+                        );
+                    } else {
+                        println!(
+                            "(skipping strict top-of-sweep layout gate: \
+                             available_parallelism = 1)"
+                        );
+                    }
+                }
+            }
+        }
+        let knee = knee_threads(&padded_series);
+        knees.push((algo, knee));
+        if knee == 0 {
+            println!("{algo}: no scaling knee inside the sweep");
+        } else {
+            println!("{algo}: scaling knee at {knee} threads");
+        }
+        println!();
+    }
+
     json.push_str("\n  ],\n");
     let _ = writeln!(json, "  \"wfl_fast_over_legacy_at_max_threads\": {wfl_speedup_at_max:.3},");
-    let _ = writeln!(json, "  \"laned_over_global_at_max_threads\": {laned_over_global_at_max:.3}");
+    let _ = writeln!(json, "  \"laned_over_global_at_max_threads\": {laned_over_global_at_max:.3},");
+    let _ = writeln!(
+        json,
+        "  \"padded_sharded_over_packed_unified_at_max_threads\": {layout_speedup_at_max:.3},"
+    );
+    json.push_str("  \"knee_threads\": {");
+    for (i, (algo, knee)) in knees.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(json, "\"{algo}\": {knee}");
+    }
+    json.push_str("}\n");
     json.push_str("}\n");
 
     std::fs::write("BENCH_scaling.json", &json).expect("write BENCH_scaling.json");
-    println!("wfl fast/legacy at {} threads: {wfl_speedup_at_max:.2}x", thread_counts.last().unwrap());
-    println!(
-        "wfl laned/global at {} threads: {laned_over_global_at_max:.2}x",
-        thread_counts.last().unwrap()
-    );
+    println!("wfl fast/legacy at {top_threads} threads: {wfl_speedup_at_max:.2}x");
+    println!("wfl laned/global at {top_threads} threads: {laned_over_global_at_max:.2}x");
+    println!("wfl padded+sharded/packed+unified at {top_threads} threads: {layout_speedup_at_max:.2}x");
     println!("wrote BENCH_scaling.json");
 }

@@ -49,6 +49,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 use wfl_bench::{header, row, verdict};
 use wfl_core::GiveUp;
+use wfl_runtime::clamp_threads;
 use wfl_runtime::real::{FaultSpec, RealConfig};
 use wfl_workloads::harness::{
     run_random_conflict_mode, AlgoKind, ExecMode, HarnessReport, SchedKind, SimSpec,
@@ -97,7 +98,7 @@ fn rounds_for(algo: AlgoKind, smoke: bool) -> usize {
         AlgoKind::Wfl { .. } => 300,
         AlgoKind::WflUnknown => 330,
         AlgoKind::Tsp => 600,
-        AlgoKind::Blocking | AlgoKind::Naive => 600,
+        AlgoKind::Blocking | AlgoKind::BlockingCohort | AlgoKind::Naive => 600,
     };
     // The tag space caps an epoch at 4095 rounds per process.
     if smoke { r } else { (2 * r).min(4_000) }
@@ -387,7 +388,10 @@ fn main() {
 
     // --- real block: same path on hardware (safety-gated only; timing
     // ratios on a shared machine are reported, not asserted) ---
-    let real_threads = if smoke { 3 } else { 4 };
+    // The wall-clock injector needs its own hardware thread to fire on
+    // time: clamp the worker count so workers + injector fit the machine
+    // (warns and floors at 2 when it bites — e.g. single-core CI).
+    let real_threads = clamp_threads(if smoke { 3 } else { 4 }, 1, "e16 real fault block");
     let real_attempts = if smoke { 60 } else { 300 };
     println!();
     println!("## real threads, {real_threads} procs, wall-clock injector (2ms stall / 4ms)");

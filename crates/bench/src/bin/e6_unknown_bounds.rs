@@ -53,5 +53,5 @@ fn main() {
     println!();
     println!("Theorem 6.10 bound: {}", verdict(all_ok));
     println!("(E6b) the known-vs-unknown rate gap under WeightedRamp reflects the");
-    println!("conservative self-eliminate-on-TBD reconstruction (DESIGN.md §1.5).");
+    println!("conservative self-eliminate-on-TBD reconstruction (DESIGN.md §1.6).");
 }

@@ -76,6 +76,6 @@ pub use descriptor::{Desc, LockId, ST_ACTIVE, ST_LOST, ST_WON};
 pub use metrics::{AttemptMetrics, RetryMetrics};
 pub use retry::{lock_and_run, lock_and_run_limited, lock_and_run_until};
 pub use scratch::Scratch;
-pub use space::LockSpace;
+pub use space::{LockSpace, SpaceLayout};
 pub use trylock::{try_locks, TryLockRequest};
 pub use unknown::{try_locks_unknown, UnknownConfig};

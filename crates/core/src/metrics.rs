@@ -1,4 +1,12 @@
 //! Per-attempt and per-operation metrics reported by the lock algorithm.
+//!
+//! False-sharing audit (DESIGN.md §1.3): these structs are **returned by
+//! value** from each attempt and consumed on the calling process's stack —
+//! they are never stored in cross-process arrays — so they need no cache
+//! alignment. The shared aggregation points that *do* see concurrent
+//! writes are the harness `Outcomes` heap region (line-strided per
+//! process) and the real driver's result slots (`CachePadded`); `GiveUp`
+//! tallies are folded single-threaded after the run.
 
 use crate::abort::{AbortReason, GiveUp};
 

@@ -20,6 +20,14 @@ use wfl_runtime::Addr;
 
 /// Per-process scratch space for lock-attempt hot paths. Create one per
 /// process (next to its `TagSource`) and pass it to every attempt.
+///
+/// Cache-line aligned (false-sharing audit, DESIGN.md §1.3): harness
+/// drivers hold these in per-process arrays, and the Vec headers
+/// (ptr/len/cap) are rewritten on every attempt — without the alignment,
+/// two processes' headers could share a line and every `clear()` would
+/// cross-invalidate. The buffers' payloads are separately heap-allocated
+/// and already private.
+#[repr(align(64))]
 #[derive(Debug, Default)]
 pub struct Scratch {
     /// Member scan used inside `run`/helping of the descriptor being run.

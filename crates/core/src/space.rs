@@ -1,8 +1,56 @@
 //! The lock space: the system of locks, each represented by an active set.
 
 use crate::descriptor::LockId;
-use wfl_activeset::ActiveSet;
-use wfl_runtime::Heap;
+use wfl_activeset::{create_sharded_roots, ActiveSet, ShardMap};
+use wfl_runtime::{Heap, Placement};
+
+/// Memory-layout policy of a [`LockSpace`]: how its active sets are placed
+/// relative to cache lines ([`Placement`]) and how many lock-neighborhood
+/// shards partition them (see `wfl_activeset::shard`).
+///
+/// Layout is pure address arithmetic — it never changes any operation's
+/// counted step sequence — so a sim replay is identical under every
+/// `SpaceLayout`; the E13 harness A/Bs layouts on the real backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpaceLayout {
+    /// Slot placement inside each active set.
+    pub placement: Placement,
+    /// Shard count: `0` = auto (one shard per ~4 locks), `1` = unified
+    /// (the historical single neighborhood), `n > 1` = exactly `n`
+    /// neighborhoods (clamped to the lock count).
+    pub shards: usize,
+}
+
+impl SpaceLayout {
+    /// The historical layout: back-to-back sets in one neighborhood. Kept
+    /// for the E13 A/B baseline and for address-pinned tests.
+    pub fn packed_unified() -> SpaceLayout {
+        SpaceLayout { placement: Placement::Packed, shards: 1 }
+    }
+
+    /// The shard count this layout resolves to for `nlocks` locks.
+    pub fn shards_for(&self, nlocks: usize) -> usize {
+        match self.shards {
+            0 => nlocks.div_ceil(4),
+            n => n.min(nlocks),
+        }
+    }
+
+    /// Label for tables and JSON: `"packed+unified"`, `"padded+sharded"`,
+    /// and the two off-diagonal combinations.
+    pub fn label(&self) -> String {
+        let shard = if self.shards == 1 { "unified" } else { "sharded" };
+        format!("{}+{}", self.placement.label(), shard)
+    }
+}
+
+impl Default for SpaceLayout {
+    /// Padded slots, auto-sharded neighborhoods — the layout that kills
+    /// cross-lock cache traffic. The measured default for all harness runs.
+    fn default() -> Self {
+        SpaceLayout { placement: Placement::Padded, shards: 0 }
+    }
+}
 
 /// A fixed collection of locks created at setup time. Each lock is an
 /// active set (§6: "each lock is represented by an active set object that
@@ -10,20 +58,36 @@ use wfl_runtime::Heap;
 #[derive(Debug)]
 pub struct LockSpace {
     locks: Vec<ActiveSet>,
+    shards: ShardMap,
 }
 
 impl LockSpace {
     /// Creates `nlocks` locks whose active sets each hold up to `capacity`
     /// concurrent attempts: the contention bound `κ` for the known-bounds
     /// algorithm (§6), or the process count `P` for the unknown-bounds
-    /// variant (§6.2).
+    /// variant (§6.2). Historical packed+unified layout; the harness
+    /// default goes through [`LockSpace::create_root_with`].
     ///
     /// # Panics
     /// Panics if `nlocks` or `capacity` is zero.
     pub fn create_root(heap: &Heap, nlocks: usize, capacity: usize) -> LockSpace {
+        Self::create_root_with(heap, nlocks, capacity, SpaceLayout::packed_unified())
+    }
+
+    /// Creates the lock space under an explicit [`SpaceLayout`].
+    ///
+    /// # Panics
+    /// Panics if `nlocks` or `capacity` is zero.
+    pub fn create_root_with(
+        heap: &Heap,
+        nlocks: usize,
+        capacity: usize,
+        layout: SpaceLayout,
+    ) -> LockSpace {
         assert!(nlocks > 0, "need at least one lock");
-        let locks = (0..nlocks).map(|_| ActiveSet::create_root(heap, capacity)).collect();
-        LockSpace { locks }
+        let (shards, locks) =
+            create_sharded_roots(heap, nlocks, capacity, layout.placement, layout.shards_for(nlocks));
+        LockSpace { locks, shards }
     }
 
     /// Number of locks.
@@ -44,6 +108,11 @@ impl LockSpace {
         &self.locks[lock.0 as usize]
     }
 
+    /// The shard geometry the space was created with (tests, telemetry).
+    pub fn shards(&self) -> &ShardMap {
+        &self.shards
+    }
+
     /// All lock ids, for workload generators.
     pub fn ids(&self) -> impl Iterator<Item = LockId> + '_ {
         (0..self.locks.len() as u32).map(LockId)
@@ -62,5 +131,32 @@ mod tests {
         assert!(!space.is_empty());
         assert_eq!(space.ids().count(), 3);
         assert_eq!(space.set(LockId(2)).capacity(), 4);
+        // The compat constructor keeps the historical single neighborhood.
+        assert_eq!(space.shards().nshards(), 1);
+    }
+
+    #[test]
+    fn default_layout_is_padded_and_sharded() {
+        let layout = SpaceLayout::default();
+        assert_eq!(layout.placement, Placement::Padded);
+        assert_eq!(layout.shards_for(16), 4, "auto = one shard per ~4 locks");
+        assert_eq!(layout.label(), "padded+sharded");
+        assert_eq!(SpaceLayout::packed_unified().label(), "packed+unified");
+
+        let heap = Heap::new(1 << 14);
+        let space = LockSpace::create_root_with(&heap, 16, 2, layout);
+        assert_eq!(space.len(), 16);
+        assert_eq!(space.shards().nshards(), 4);
+        for id in 0..16 {
+            assert_eq!(space.shards().shard_of(id), id / 4);
+        }
+    }
+
+    #[test]
+    fn explicit_shard_counts_are_clamped_to_locks() {
+        let heap = Heap::new(1 << 14);
+        let layout = SpaceLayout { placement: Placement::Packed, shards: 64 };
+        let space = LockSpace::create_root_with(&heap, 5, 2, layout);
+        assert_eq!(space.shards().nshards(), 5, "one shard per lock at most");
     }
 }

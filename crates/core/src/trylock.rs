@@ -130,7 +130,7 @@ pub(crate) fn celebrate_if_won(ctx: &Ctx<'_>, registry: &Registry, p: Desc) {
 /// For §6.2 descriptors (those carrying a frozen snapshot), the member
 /// lists come from the snapshot instead of querying the active sets, and a
 /// competitor whose priority is still TBD causes `p` to self-eliminate
-/// (the conservative reconstruction documented in DESIGN.md §1.5).
+/// (the conservative reconstruction documented in DESIGN.md §1.6).
 pub(crate) fn run_desc(
     ctx: &Ctx<'_>,
     space: &LockSpace,

@@ -3,7 +3,7 @@
 //!
 //! Differences from the known-bounds algorithm, following the paper's
 //! sketch (the full pseudocode is only in the arXiv full version; the
-//! reconstruction choices are documented in DESIGN.md §1.5):
+//! reconstruction choices are documented in DESIGN.md §1.6):
 //!
 //! * Active sets are sized at the process count `P` instead of `κ` (the
 //!   caller does this when creating the [`crate::space::LockSpace`]).

@@ -34,7 +34,7 @@ use wfl_runtime::epoch::{run_epoch_worker, EpochState, EpochSync};
 use wfl_runtime::real::run_threads_epochs;
 use wfl_runtime::sim::SimBuilder;
 use wfl_runtime::stats::Bernoulli;
-use wfl_runtime::{Addr, Ctx, Heap, History};
+use wfl_runtime::{Addr, CachePadded, Ctx, Heap, History};
 use wfl_workloads::harness::{AlgoHandle, AlgoKind, ExecMode};
 use wfl_workloads::player::{
     flood_decision, run_player_loop_stats, AdvStrength, TargetedStarter, PROBE_OPAQUE,
@@ -369,8 +369,12 @@ fn run_real(
 
     let sync = EpochSync::new(nprocs);
     let world = RwLock::new(make_world(0));
-    let slots: Vec<Mutex<ProcTelemetry>> =
-        (0..nprocs).map(|_| Mutex::new(ProcTelemetry::new())).collect();
+    // One telemetry slot per process, each padded to its own cache line:
+    // every worker merges into its slot at every epoch boundary, and the
+    // unpadded mutexes used to share lines (false-sharing audit,
+    // DESIGN.md §1.3).
+    let slots: Vec<CachePadded<Mutex<ProcTelemetry>>> =
+        (0..nprocs).map(|_| CachePadded(Mutex::new(ProcTelemetry::new()))).collect();
     // Wins recorded by everyone during the current epoch (the leader takes
     // and resets it at the boundary; workers add before arriving, so the
     // barrier orders the additions before the take).
@@ -412,7 +416,7 @@ fn run_real(
                             &mut scratch, &mut tel, &mut wins,
                         );
                     }
-                    slots_ref[pid].lock().unwrap().merge(&tel);
+                    slots_ref[pid].0.lock().unwrap().merge(&tel);
                     *wins_ref.lock().unwrap() += wins;
                 },
                 |ctx, epoch| {
@@ -456,7 +460,7 @@ fn run_real(
         "driver epoch count disagrees with boundary aggregation"
     );
     FairnessReport {
-        per_proc: slots.into_iter().map(|m| m.into_inner().unwrap()).collect(),
+        per_proc: slots.into_iter().map(|m| m.0.into_inner().unwrap()).collect(),
         safety_ok: acc.safety_ok,
         epochs: acc.epochs,
         wall: Some(report.wall),

@@ -32,7 +32,7 @@
 //!   provided CAS-target cells are mutated only through tagged operations
 //!   (no unrelated racy plain writes to CAS targets) — the restriction,
 //!   relative to the paper's full-version construction, is documented in
-//!   `DESIGN.md` §1.3. All uses in this repository satisfy it.
+//!   `DESIGN.md` §1.4. All uses in this repository satisfy it.
 //! * **One-shot transitions** (e.g. a descriptor status moving
 //!   `active → won`) need no log at all: monotonic CAS transitions are
 //!   idempotent under arbitrary races.

@@ -15,7 +15,7 @@
 //! result, and hence (for deterministic thunks) on the entire operation
 //! sequence.
 //!
-//! # Safety scope (see DESIGN.md §1.3)
+//! # Safety scope (see DESIGN.md §1.4)
 //!
 //! * `read` is correct under arbitrary concurrent mutation of the cell.
 //! * `write` and `cas` are correct when, during the thunk's interval, the

@@ -155,6 +155,47 @@ impl Default for AllocMode {
     }
 }
 
+/// How setup-time shared records (lock words, active-set slot arrays) are
+/// placed relative to cache lines. Orthogonal to [`AllocMode`]: the
+/// allocator shards *who allocates*, placement shards *what neighbors
+/// what*.
+///
+/// Placement is pure address arithmetic — it changes which words a record
+/// occupies, never the counted step sequence of any operation — so the
+/// simulator replays identically under either mode (the E13 A/B contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// The historical layout: records allocated back-to-back, so up to
+    /// [`LINE_WORDS`] unrelated hot words share one cache line. Kept for
+    /// the E13 packed-vs-padded A/B cell and for tests that pin absolute
+    /// addresses.
+    Packed,
+    /// Cache-line-isolated layout: each hot record (a baseline lock word,
+    /// an active-set slot) is strided to own a full 64B line, and record
+    /// bases are line-aligned, so operations on disjoint records touch
+    /// disjoint lines.
+    #[default]
+    Padded,
+}
+
+impl Placement {
+    /// Short label for tables and JSON ("packed" / "padded").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Placement::Packed => "packed",
+            Placement::Padded => "padded",
+        }
+    }
+}
+
+/// Pads and aligns `T` to a cache line so adjacent values in an array (or
+/// adjacent stack slots) never false-share. Used for the real-threads
+/// driver's shared control words (clock, stop flag, pauser) and per-thread
+/// result slots; the heap-resident analogue is [`Placement::Padded`].
+#[repr(C, align(64))]
+#[derive(Debug, Default)]
+pub struct CachePadded<T>(pub T);
+
 /// Default number of process lanes (pids) a laned heap supports. Far above
 /// any experiment's thread count; the per-lane state costs one cache line
 /// each, so the headroom is ~4 KiB.
@@ -504,6 +545,21 @@ impl Heap {
         }
     }
 
+    /// Like [`Heap::alloc_root`], but the returned base is rounded up to a
+    /// [`LINE_WORDS`] multiple, i.e. the record starts on a 64B cache-line
+    /// boundary (the backing array is itself line-aligned). Over-allocates
+    /// at most `LINE_WORDS - 1` words of setup-time slack; fully
+    /// deterministic, so sim replays are unaffected by which placement
+    /// requested it.
+    ///
+    /// # Panics
+    /// Panics when the heap is exhausted, like [`Heap::alloc_root`].
+    pub fn alloc_root_aligned(&self, n: usize) -> Addr {
+        let raw = self.alloc_root(n + LINE_WORDS - 1);
+        let base = (raw.0 as usize).next_multiple_of(LINE_WORDS);
+        Addr(base as u32)
+    }
+
     /// Reads a word without counting a step (harness/controller use only;
     /// algorithm code must go through [`crate::Ctx::read`]).
     #[inline]
@@ -675,6 +731,33 @@ mod tests {
         assert!(!a.is_null());
         assert_eq!(a.0, 1, "first allocation starts after the null word");
         assert_eq!(b.0, a.0 + 3, "same lane allocates contiguously inside a slab");
+    }
+
+    #[test]
+    fn aligned_root_allocs_start_on_line_boundaries() {
+        let heap = Heap::new(1 << 10);
+        let a = heap.alloc_root_aligned(3);
+        let b = heap.alloc_root_aligned(10);
+        assert_eq!(a.0 as usize % LINE_WORDS, 0);
+        assert_eq!(b.0 as usize % LINE_WORDS, 0);
+        assert!(b.0 >= a.0 + 3, "aligned allocations are disjoint");
+        // Zeroed like any root allocation.
+        for off in 0..10 {
+            assert_eq!(heap.peek(b.off(off)), 0);
+        }
+    }
+
+    #[test]
+    fn placement_labels_and_default() {
+        assert_eq!(Placement::Packed.label(), "packed");
+        assert_eq!(Placement::Padded.label(), "padded");
+        assert_eq!(Placement::default(), Placement::Padded);
+    }
+
+    #[test]
+    fn cache_padded_occupies_a_full_line() {
+        assert_eq!(std::mem::size_of::<CachePadded<u64>>(), 64);
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 64);
     }
 
     #[test]

@@ -68,7 +68,12 @@ pub mod trace;
 
 pub use ctx::{ClockMode, Ctx, OrderTier};
 pub use epoch::{run_epoch_worker, Arrival, EpochState, EpochSync};
-pub use heap::{Addr, AllocMode, Heap, HeapExhausted, HeapMark, NULL};
+pub use heap::{
+    Addr, AllocMode, CachePadded, Heap, HeapExhausted, HeapMark, Placement, LINE_WORDS, NULL,
+};
 pub use history::{Event, History};
-pub use real::{run_threads, run_threads_epochs, run_threads_with, RealConfig};
+pub use real::{
+    available_parallelism, clamp_threads, run_threads, run_threads_epochs, run_threads_with,
+    RealConfig,
+};
 pub use schedule::Schedule;

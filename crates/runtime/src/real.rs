@@ -15,11 +15,38 @@
 
 use crate::ctx::{ClockMode, Ctx, OrderTier};
 use crate::epoch::{EpochState, EpochSync};
-use crate::heap::Heap;
+use crate::heap::{CachePadded, Heap};
 use crate::history::{Event, History};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// How many hardware threads this host can actually run in parallel.
+/// Falls back to 1 when the OS refuses to say (the conservative answer:
+/// everything is oversubscribed).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Clamps a requested thread count against the host's
+/// [`available_parallelism`], keeping `reserved` hardware threads aside
+/// for auxiliary machinery (fault injector, adversary controller). Prints
+/// a warning to stderr when it clamps, instead of silently oversubscribing
+/// a CI runner; never returns less than 2 (a "concurrent" run of one
+/// thread would be meaningless) and never raises the request.
+pub fn clamp_threads(requested: usize, reserved: usize, what: &str) -> usize {
+    let avail = available_parallelism();
+    let budget = avail.saturating_sub(reserved).max(2);
+    if requested > budget {
+        eprintln!(
+            "warning: {what}: clamping {requested} threads to {budget} \
+             (available_parallelism={avail}, reserved={reserved})"
+        );
+        budget
+    } else {
+        requested
+    }
+}
 
 /// Fault injection for real-threads runs: an injector thread periodically
 /// suspends one pseudo-randomly chosen process mid-whatever-it-is-doing
@@ -157,12 +184,30 @@ where
     G: FnOnce(&Ctx<'_>) + Send + 'a,
 {
     assert!(nprocs > 0);
-    let clock = AtomicU64::new(0);
-    let stop = AtomicBool::new(false);
+    if cfg.faults.is_some() && nprocs + 1 > available_parallelism() {
+        // The injector thread's sleep/store cadence only approximates the
+        // configured fault period when it actually gets a core; warn rather
+        // than silently letting an oversubscribed runner stretch quanta.
+        eprintln!(
+            "warning: fault injection with {nprocs} worker threads + 1 injector \
+             oversubscribes available_parallelism={} (fault quanta will stretch)",
+            available_parallelism()
+        );
+    }
+    // The three shared control words each own a cache line: the clock is
+    // written on every step (Precise) or lease claim, while stop/pauser are
+    // read on hot paths — packing them together made every stop poll a miss
+    // whenever the clock ticked (false-sharing audit, DESIGN.md §1.3).
+    let clock = CachePadded(AtomicU64::new(0));
+    let stop = CachePadded(AtomicBool::new(false));
     // Fault-injection pauser word: 0 = nobody suspended, otherwise the
     // suspended process's pid + 1. Written only by the injector thread.
-    let pauser = AtomicU64::new(0);
-    let step_counts: Vec<Mutex<u64>> = (0..nprocs).map(|_| Mutex::new(0)).collect();
+    let pauser = CachePadded(AtomicU64::new(0));
+    // Per-thread result slots are line-padded: each is written once at body
+    // exit, but the epilogue of all threads lands at once and the slots used
+    // to share lines 8-to-a-line.
+    let step_counts: Vec<CachePadded<Mutex<u64>>> =
+        (0..nprocs).map(|_| CachePadded(Mutex::new(0))).collect();
     let event_slots: Vec<Mutex<Vec<Event>>> = (0..nprocs).map(|_| Mutex::new(Vec::new())).collect();
     let panic_slots: Vec<Mutex<Option<String>>> = (0..nprocs).map(|_| Mutex::new(None)).collect();
     let bodies: Vec<_> = (0..nprocs).map(&mut make_body).collect();
@@ -176,14 +221,14 @@ where
     let start = Instant::now();
     std::thread::scope(|scope| {
         for (pid, body) in bodies.into_iter().enumerate() {
-            let clock = &clock;
-            let stop = &stop;
-            let steps_out = &step_counts[pid];
+            let clock = &clock.0;
+            let stop = &stop.0;
+            let steps_out = &step_counts[pid].0;
             let events_out = &event_slots[pid];
             let panic_out = &panic_slots[pid];
             let finished = &finished;
             let finished_cv = &finished_cv;
-            let pause_ref = cfg.faults.is_some().then_some(&pauser);
+            let pause_ref = cfg.faults.is_some().then_some(&pauser.0);
             scope.spawn(move || {
                 let ctx = Ctx::new(
                     heap, pid, nprocs, seed, None, clock, stop, pause_ref, None, cfg.clock,
@@ -214,7 +259,7 @@ where
             // before re-checking the exit conditions, so no body can be
             // left suspended when the run winds down (the scope join would
             // otherwise deadlock on a spinning victim).
-            let (pauser, stop, finished) = (&pauser, &stop, &finished);
+            let (pauser, stop, finished) = (&pauser.0, &stop.0, &finished);
             scope.spawn(move || {
                 let mut rng = crate::rng::Pcg::new(f.seed, 0xFA);
                 loop {
@@ -240,12 +285,12 @@ where
                 finished_cv.wait_for(&mut done, deadline - now);
             }
             drop(done);
-            stop.store(true, Ordering::SeqCst);
+            stop.0.store(true, Ordering::SeqCst);
         }
     });
     let wall = start.elapsed();
 
-    let steps: Vec<u64> = step_counts.iter().map(|m| *m.lock()).collect();
+    let steps: Vec<u64> = step_counts.iter().map(|m| *m.0.lock()).collect();
     let events: Vec<Vec<Event>> = event_slots.iter().map(|m| std::mem::take(&mut *m.lock())).collect();
     let panics: Vec<(usize, String)> = panic_slots
         .iter()
@@ -482,6 +527,20 @@ mod tests {
         let lanes = state.high_water_lanes();
         assert_eq!(&lanes[0..3], &[4, 4, 4], "one transient record per worker lane");
         assert_eq!(lanes[heap.root_lane()], 1, "the persistent root");
+    }
+
+    #[test]
+    fn clamp_threads_floors_at_two_and_never_raises() {
+        let avail = available_parallelism();
+        assert!(avail >= 1);
+        // A request within budget passes through untouched.
+        assert_eq!(clamp_threads(2, 0, "test"), 2);
+        // An absurd request is clamped to the hardware budget (floor 2).
+        let clamped = clamp_threads(10_000, 1, "test");
+        assert!(clamped >= 2);
+        assert!(clamped <= avail.max(2));
+        // Clamping never *raises* a small request.
+        assert_eq!(clamp_threads(3, 0, "test").min(3), clamp_threads(3, 0, "test"));
     }
 
     #[test]

@@ -50,9 +50,13 @@ use crate::graph::Graph;
 use crate::list::SortedList;
 use crate::philosophers;
 use wfl_baselines::{
-    AttemptOutcome, BlockingTpl, LockAlgo, NaiveTryLock, TspLock, WflKnown, WflUnknown,
+    AttemptOutcome, BlockingMode, BlockingTpl, LockAlgo, NaiveTryLock, TspLock, WflKnown,
+    WflUnknown,
 };
-use wfl_core::{Deadline, GiveUp, LockConfig, LockId, LockSpace, Scratch, TryLockRequest, UnknownConfig};
+use wfl_core::{
+    Deadline, GiveUp, LockConfig, LockId, LockSpace, Scratch, SpaceLayout, TryLockRequest,
+    UnknownConfig,
+};
 use wfl_idem::{cell, IdemRun, Registry, TagSource, Thunk, ThunkId};
 use wfl_runtime::epoch::{run_epoch_worker, EpochState, EpochSync};
 use wfl_runtime::real::{run_threads_epochs, RealConfig};
@@ -360,6 +364,11 @@ struct Outcomes {
     steps: Addr,
     breaks: Addr,
     cap: usize,
+    /// Words between consecutive processes' slot regions: `cap` rounded up
+    /// to a cache-line multiple, so concurrent recorders never share a
+    /// line (false-sharing audit, DESIGN.md §1.3). The bases are
+    /// line-aligned, making every `pid * stride` region line-disjoint.
+    stride: usize,
     nprocs: usize,
     base_round: usize,
 }
@@ -379,18 +388,27 @@ impl Outcomes {
             cap <= wfl_idem::tag::MIN_PROCESS_CAPACITY as usize,
             "epoch length {cap} exceeds the per-process tag capacity"
         );
+        let stride = cap.next_multiple_of(wfl_runtime::LINE_WORDS);
         Outcomes {
-            outcomes: heap.alloc_root(nprocs * cap),
-            steps: heap.alloc_root(nprocs * cap),
-            breaks: heap.alloc_root(nprocs),
+            outcomes: heap.alloc_root_aligned(nprocs * stride),
+            steps: heap.alloc_root_aligned(nprocs * stride),
+            // One line per process: the break word is written exactly once
+            // per epoch, but all processes write it in the same drain
+            // window.
+            breaks: heap.alloc_root_aligned(nprocs * wfl_runtime::LINE_WORDS),
             cap,
+            stride,
             nprocs,
             base_round,
         }
     }
 
     fn idx(&self, pid: usize, slot: usize) -> u32 {
-        (pid * self.cap + slot) as u32
+        (pid * self.stride + slot) as u32
+    }
+
+    fn break_idx(&self, pid: usize) -> u32 {
+        (pid * wfl_runtime::LINE_WORDS) as u32
     }
 
     /// Records one attempt (counted heap writes from the process itself).
@@ -430,7 +448,7 @@ impl Outcomes {
     /// unconditionally keeps the step count schedule-independent).
     fn record_break(&self, ctx: &Ctx<'_>, pid: usize, reason: Option<GiveUp>) {
         let word = reason.map_or(0, |g| 1 + g.index() as u64);
-        ctx.write_rel(self.breaks.off(pid as u32), word);
+        ctx.write_rel(self.breaks.off(self.break_idx(pid)), word);
     }
 
     /// Folds this epoch's recorded outcomes into a [`HarnessReport`] (with
@@ -476,7 +494,7 @@ impl Outcomes {
                     on_win(pid, self.base_round + slot);
                 }
             }
-            let brk = heap.peek(self.breaks.off(pid as u32));
+            let brk = heap.peek(self.breaks.off(self.break_idx(pid)));
             if brk != 0 {
                 let idx = (brk - 1) as usize;
                 assert!(idx < GiveUp::COUNT, "corrupt batch-exit word {brk}");
@@ -601,6 +619,11 @@ pub enum AlgoKind {
     /// Blocking ordered two-phase locking (always succeeds outside of
     /// cooperative shutdown; blocks under crashes).
     Blocking,
+    /// Blocking two-phase locking with the cohort/backoff spin discipline
+    /// (TTAS + bounded exponential backoff, per Fissile Locks): the honest
+    /// blocking comparison point at 16–64 threads, where the naked spin is
+    /// a coherence-traffic strawman.
+    BlockingCohort,
     /// No-helping tryLock (may fail; never blocks).
     Naive,
 }
@@ -613,6 +636,7 @@ impl AlgoKind {
             AlgoKind::WflUnknown => "wfl-unknown",
             AlgoKind::Tsp => "tsp",
             AlgoKind::Blocking => "blocking",
+            AlgoKind::BlockingCohort => "blocking-cohort",
             AlgoKind::Naive => "naive",
         }
     }
@@ -630,12 +654,14 @@ impl AlgoKind {
 }
 
 /// Everything needed to (re-)create the algorithm under test on a fresh
-/// heap: kind, lock-space shape, and the known-bounds configuration.
+/// heap: kind, lock-space shape, memory layout, and the known-bounds
+/// configuration.
 #[derive(Debug, Clone, Copy)]
 struct AlgoSpec {
     kind: AlgoKind,
     nlocks: usize,
     aset: usize,
+    layout: SpaceLayout,
     cfg: LockConfig,
 }
 
@@ -652,21 +678,37 @@ enum AlgoInstance<'reg> {
 
 impl<'reg> AlgoInstance<'reg> {
     fn create(heap: &Heap, registry: &'reg Registry, spec: &AlgoSpec) -> AlgoInstance<'reg> {
+        let layout = spec.layout;
         match spec.kind {
             AlgoKind::Wfl { .. } => AlgoInstance::Wfl {
-                space: LockSpace::create_root(heap, spec.nlocks, spec.aset),
+                space: LockSpace::create_root_with(heap, spec.nlocks, spec.aset, layout),
                 cfg: spec.cfg,
             },
             AlgoKind::WflUnknown => AlgoInstance::Unknown {
-                space: LockSpace::create_root(heap, spec.nlocks, spec.aset),
+                space: LockSpace::create_root_with(heap, spec.nlocks, spec.aset, layout),
             },
-            AlgoKind::Tsp => AlgoInstance::Tsp(TspLock::create_root(heap, registry, spec.nlocks)),
-            AlgoKind::Blocking => {
-                AlgoInstance::Blocking(BlockingTpl::create_root(heap, registry, spec.nlocks))
-            }
-            AlgoKind::Naive => {
-                AlgoInstance::Naive(NaiveTryLock::create_root(heap, registry, spec.nlocks))
-            }
+            AlgoKind::Tsp => AlgoInstance::Tsp(TspLock::create_root_placed(
+                heap,
+                registry,
+                spec.nlocks,
+                layout.placement,
+            )),
+            AlgoKind::Blocking => AlgoInstance::Blocking(BlockingTpl::create_root_placed(
+                heap,
+                registry,
+                spec.nlocks,
+                layout.placement,
+            )),
+            AlgoKind::BlockingCohort => AlgoInstance::Blocking(
+                BlockingTpl::create_root_placed(heap, registry, spec.nlocks, layout.placement)
+                    .with_mode(BlockingMode::Cohort),
+            ),
+            AlgoKind::Naive => AlgoInstance::Naive(NaiveTryLock::create_root_placed(
+                heap,
+                registry,
+                spec.nlocks,
+                layout.placement,
+            )),
         }
     }
 
@@ -710,8 +752,33 @@ impl<'reg> AlgoHandle<'reg> {
         l_max: usize,
         t_max: usize,
     ) -> AlgoHandle<'reg> {
+        Self::create_with_layout(
+            heap,
+            registry,
+            kind,
+            nlocks,
+            nprocs,
+            l_max,
+            t_max,
+            SpaceLayout::default(),
+        )
+    }
+
+    /// [`AlgoHandle::create`] with an explicit memory [`SpaceLayout`]
+    /// (layout A/B experiments; everything else uses the default).
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_with_layout(
+        heap: &Heap,
+        registry: &'reg Registry,
+        kind: AlgoKind,
+        nlocks: usize,
+        nprocs: usize,
+        l_max: usize,
+        t_max: usize,
+        layout: SpaceLayout,
+    ) -> AlgoHandle<'reg> {
         let cfg = known_cfg(kind, nprocs, l_max, t_max);
-        let spec = AlgoSpec { kind, nlocks, aset: nprocs.max(2), cfg };
+        let spec = AlgoSpec { kind, nlocks, aset: nprocs.max(2), layout, cfg };
         AlgoHandle { registry, instance: AlgoInstance::create(heap, registry, &spec) }
     }
 
@@ -1076,6 +1143,11 @@ pub struct SimSpec {
     /// Allocator mode for the arena (default: sharded lanes; `Global`
     /// keeps the historical single bump cursor for the E13 A/B cell).
     pub alloc: AllocMode,
+    /// Memory layout of the lock space and baseline lock words (default:
+    /// padded + sharded; `SpaceLayout::packed_unified()` is the historical
+    /// layout for the E13 A/B cells). Pure address arithmetic — sim replays
+    /// are identical under every layout.
+    pub layout: SpaceLayout,
 }
 
 impl SimSpec {
@@ -1093,6 +1165,7 @@ impl SimSpec {
             max_steps: 400_000_000,
             heap_words: 1 << 23,
             alloc: AllocMode::laned(),
+            layout: SpaceLayout::default(),
         }
     }
 
@@ -1186,7 +1259,8 @@ pub fn run_random_conflict_mode(spec: &SimSpec, algo: AlgoKind, mode: &ExecMode)
     let touch = registry.register(TouchAll { max_locks: spec.locks_per_attempt, cs_work: spec.cs_work });
     let heap = Heap::with_mode(spec.heap_words, spec.alloc);
     let cfg = known_cfg(algo, spec.nprocs, spec.locks_per_attempt, 2 * spec.locks_per_attempt);
-    let aspec = AlgoSpec { kind: algo, nlocks: spec.nlocks, aset: spec.nprocs.max(2), cfg };
+    let aspec =
+        AlgoSpec { kind: algo, nlocks: spec.nlocks, aset: spec.nprocs.max(2), layout: spec.layout, cfg };
     let wl = ConflictWl { spec: *spec, touch };
     drive_epochs(&heap, &registry, aspec, spec.nprocs, spec.seed, spec.attempts_per_proc, mode, &wl)
 }
@@ -1267,7 +1341,7 @@ pub fn run_philosophers_mode(
     let eat = registry.register(philosophers::EatThunk);
     let heap = Heap::new(heap_words);
     let cfg = known_cfg(algo, 2, 2, 2);
-    let aspec = AlgoSpec { kind: algo, nlocks: n, aset: 3, cfg };
+    let aspec = AlgoSpec { kind: algo, nlocks: n, aset: 3, layout: SpaceLayout::default(), cfg };
     let wl = PhilWl { n, eat };
     drive_epochs(&heap, &registry, aspec, n, seed, attempts, mode, &wl)
 }
@@ -1429,7 +1503,13 @@ fn run_bank_inner(
     let transfer = registry.register(crate::bank::TransferThunk);
     let heap = Heap::new(heap_words);
     let cfg = known_cfg(algo, nprocs, 2, 4);
-    let aspec = AlgoSpec { kind: algo, nlocks: accounts, aset: nprocs.max(2), cfg };
+    let aspec = AlgoSpec {
+        kind: algo,
+        nlocks: accounts,
+        aset: nprocs.max(2),
+        layout: SpaceLayout::default(),
+        cfg,
+    };
     let wl = BankWl {
         accounts,
         initial,
@@ -1554,7 +1634,13 @@ pub fn run_list_mode(
     let pool = 1 + nprocs * keys_per_epoch;
     let heap = Heap::new(heap_words);
     let cfg = known_cfg(algo, nprocs, 2, 4);
-    let aspec = AlgoSpec { kind: algo, nlocks: pool, aset: nprocs.max(2), cfg };
+    let aspec = AlgoSpec {
+        kind: algo,
+        nlocks: pool,
+        aset: nprocs.max(2),
+        layout: SpaceLayout::default(),
+        cfg,
+    };
     let wl = ListWl { nprocs, keys_per_epoch, insert_thunk: insert, delete_thunk: delete };
     drive_epochs(&heap, &registry, aspec, nprocs, seed, keys_per_proc, mode, &wl)
 }
@@ -1645,7 +1731,13 @@ pub fn run_graph_mode(
     let relax = registry.register(crate::graph::RelaxThunk { max_degree: 2 });
     let heap = Heap::new(heap_words);
     let cfg = known_cfg(algo, nprocs, 3, 5);
-    let aspec = AlgoSpec { kind: algo, nlocks: vertices, aset: nprocs.max(2), cfg };
+    let aspec = AlgoSpec {
+        kind: algo,
+        nlocks: vertices,
+        aset: nprocs.max(2),
+        layout: SpaceLayout::default(),
+        cfg,
+    };
     let wl = GraphWl { vertices, seed, relax, init: vec![1u32; vertices] };
     drive_epochs(&heap, &registry, aspec, nprocs, seed, rounds, mode, &wl)
 }
@@ -1714,6 +1806,48 @@ mod tests {
             assert_eq!(r.attempts, 9, "{algo:?}");
             if matches!(algo, AlgoKind::Tsp | AlgoKind::Blocking) {
                 assert_eq!(r.wins, 9, "{algo:?}: blocking-style algorithms always succeed");
+            }
+        }
+    }
+
+    #[test]
+    fn blocking_cohort_always_wins_and_is_labeled() {
+        assert_eq!(AlgoKind::BlockingCohort.label(), "blocking-cohort");
+        let mut spec = SimSpec::new(3, 3, 3, 2);
+        spec.seed = 21;
+        let r = run_random_conflict(&spec, AlgoKind::BlockingCohort);
+        assert!(r.safety_ok, "cohort safety check failed");
+        assert_eq!(r.attempts, 9);
+        assert_eq!(r.wins, 9, "blocking-style algorithms always succeed");
+    }
+
+    #[test]
+    fn sim_replay_is_identical_across_layouts() {
+        // The E13 A/B contract at the harness level: the schedule is
+        // oblivious and layout is pure address arithmetic, so the same
+        // seed must produce the same outcome stream under every layout.
+        let run = |layout: SpaceLayout, algo: AlgoKind| {
+            let mut spec = SimSpec::new(4, 6, 8, 2);
+            spec.seed = 33;
+            spec.layout = layout;
+            let r = run_random_conflict(&spec, algo);
+            assert!(r.safety_ok);
+            (r.attempts, r.wins, r.aborts, r.steps.max(), r.steps.mean().to_bits(), r.per_pid.clone())
+        };
+        for algo in [
+            AlgoKind::Wfl { kappa: 4, delays: true, helping: true },
+            AlgoKind::Naive,
+            AlgoKind::BlockingCohort,
+        ] {
+            let layouts = [
+                SpaceLayout::packed_unified(),
+                SpaceLayout::default(),
+                SpaceLayout { placement: wfl_runtime::Placement::Padded, shards: 1 },
+                SpaceLayout { placement: wfl_runtime::Placement::Packed, shards: 0 },
+            ];
+            let first = run(layouts[0], algo);
+            for layout in &layouts[1..] {
+                assert_eq!(run(*layout, algo), first, "{algo:?} diverged under {layout:?}");
             }
         }
     }

@@ -86,13 +86,14 @@ pub use wfl_workloads as workloads;
 // Common entry points at the top level.
 pub use wfl_core::{
     lock_and_run, lock_and_run_limited, try_locks, try_locks_unknown, AttemptMetrics, LockConfig,
-    LockId, LockSpace, RetryMetrics, Scratch, TryLockRequest, UnknownConfig,
+    LockId, LockSpace, RetryMetrics, Scratch, SpaceLayout, TryLockRequest, UnknownConfig,
 };
 pub use wfl_idem::{cell, Frame, IdemRun, Registry, TagSource, Thunk, ThunkId};
 pub use wfl_runtime::epoch::{EpochState, EpochSync};
 pub use wfl_runtime::schedule::{Bursty, RoundRobin, SeededRandom, StallWindow, Stalls, Weighted};
 pub use wfl_runtime::sim::SimBuilder;
 pub use wfl_runtime::{
-    run_threads, run_threads_epochs, run_threads_with, Addr, AllocMode, ClockMode, Ctx, Heap,
-    HeapExhausted, HeapMark, OrderTier, RealConfig,
+    available_parallelism, clamp_threads, run_threads, run_threads_epochs, run_threads_with, Addr,
+    AllocMode, CachePadded, ClockMode, Ctx, Heap, HeapExhausted, HeapMark, OrderTier, Placement,
+    RealConfig, LINE_WORDS,
 };
