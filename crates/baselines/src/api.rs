@@ -22,12 +22,27 @@ pub struct AttemptOutcome {
     /// anyway (`won` is also true). `rescued / aborted` is E16's
     /// abandoned-attempt helping rate.
     pub rescued: bool,
+    /// The win was executed by a combining peer (wfl's `CombineMode`
+    /// batch, or a delegation combiner for fc/ccsynch): `won` is true and
+    /// the critical section ran on another process's timeline. Disjoint
+    /// from `rescued` by construction (E17).
+    pub combined: bool,
+    /// For a combining winner: pending peer thunks it executed in its
+    /// batch before releasing (the E17 combine-batch histogram source).
+    pub combined_peers: u64,
 }
 
 impl AttemptOutcome {
     /// An outcome that ran to a decision (no abort machinery involved).
     pub fn decided(won: bool, steps: u64) -> AttemptOutcome {
-        AttemptOutcome { won, steps, aborted: false, rescued: false }
+        AttemptOutcome {
+            won,
+            steps,
+            aborted: false,
+            rescued: false,
+            combined: false,
+            combined_peers: 0,
+        }
     }
 }
 
@@ -85,7 +100,14 @@ impl LockAlgo for WflKnown<'_> {
         req: &TryLockRequest<'_>,
     ) -> AttemptOutcome {
         let m = try_locks(ctx, self.space, self.registry, &self.cfg, tags, scratch, *req);
-        AttemptOutcome { won: m.won, steps: m.steps, aborted: m.aborted.is_some(), rescued: m.rescued }
+        AttemptOutcome {
+            won: m.won,
+            steps: m.steps,
+            aborted: m.aborted.is_some(),
+            rescued: m.rescued,
+            combined: m.combined,
+            combined_peers: m.combined_peers,
+        }
     }
 }
 
@@ -113,6 +135,13 @@ impl LockAlgo for WflUnknown<'_> {
         req: &TryLockRequest<'_>,
     ) -> AttemptOutcome {
         let m = try_locks_unknown(ctx, self.space, self.registry, &self.cfg, tags, scratch, *req);
-        AttemptOutcome { won: m.won, steps: m.steps, aborted: m.aborted.is_some(), rescued: m.rescued }
+        AttemptOutcome {
+            won: m.won,
+            steps: m.steps,
+            aborted: m.aborted.is_some(),
+            rescued: m.rescued,
+            combined: false,
+            combined_peers: 0,
+        }
     }
 }

@@ -149,6 +149,8 @@ impl LockAlgo for BlockingTpl<'_> {
                         steps: ctx.steps() - start,
                         aborted: true,
                         rescued: false,
+                        combined: false,
+                        combined_peers: 0,
                     };
                 }
                 if self.mode == BlockingMode::Cohort {

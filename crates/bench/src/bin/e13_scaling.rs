@@ -117,11 +117,12 @@ impl Sample {
 
 fn algo_kind(name: &str, threads: usize) -> AlgoKind {
     match name {
+        // E13 wfl runs without delays (the delay padding is a simulator
+        // -model cost); every other label resolves through the shared
+        // extended roster, so `--algos` accepts wfl+combine/fc/ccsynch too.
         "wfl" => AlgoKind::Wfl { kappa: threads.max(2), delays: false, helping: true },
-        "tsp" => AlgoKind::Tsp,
-        "blocking" => AlgoKind::Blocking,
-        "blocking-cohort" => AlgoKind::BlockingCohort,
-        _ => AlgoKind::Naive,
+        _ => AlgoKind::from_label(name, threads)
+            .unwrap_or_else(|| panic!("unknown algorithm {name:?}")),
     }
 }
 
@@ -302,8 +303,28 @@ fn main() {
     let top_threads = *thread_counts.last().unwrap();
     let phil_attempts = if smoke { 300 } else { 2000 };
     let conflict_attempts = if smoke { 400 } else { 2000 };
-    let algos = ["wfl", "tsp", "naive"];
-    let layout_algos = ["wfl", "tsp", "naive", "blocking", "blocking-cohort"];
+    // `--algos` narrows (or, with extended labels, replaces) both rosters;
+    // requested names are validated against the full extended label set.
+    let algo_filter = wfl_bench::parse_algos(&args);
+    let known: Vec<String> =
+        AlgoKind::all_extended(2).iter().map(|k| k.label().to_string()).collect();
+    if let Some(names) = &algo_filter {
+        for n in names {
+            assert!(
+                known.iter().any(|k| k == n),
+                "--algos: unknown algorithm {n:?} (known: {})",
+                known.join(", ")
+            );
+        }
+    }
+    let pick = |defaults: &[&'static str]| -> Vec<String> {
+        match &algo_filter {
+            Some(names) => names.clone(),
+            None => defaults.iter().map(|s| s.to_string()).collect(),
+        }
+    };
+    let algos = pick(&["wfl", "tsp", "naive"]);
+    let layout_algos = pick(&["wfl", "tsp", "naive", "blocking", "blocking-cohort"]);
     println!("# E13: real-threads scaling — hot-path, allocator and layout A/B cells (smoke = {smoke})");
     println!(
         "(unified harness; philosophers {phil_attempts} attempts/thread, random-conflict \
@@ -324,7 +345,8 @@ fn main() {
     // --- legacy vs fast (philosophers; arena stays the default laned) ---
     let mut wfl_speedup_at_max = 0.0f64;
     let mut first = true;
-    for &algo in &algos {
+    for algo in &algos {
+        let algo = algo.as_str();
         wfl_bench::header(&["threads", "legacy wins/s", "fast wins/s", "speedup"]);
         for &threads in &thread_counts {
             let legacy = run_config(algo, Mode::Legacy, threads, phil_attempts);
@@ -418,7 +440,8 @@ fn main() {
     let padded_sharded = SpaceLayout::default();
     let mut layout_speedup_at_max = 0.0f64;
     let mut knees: Vec<(&str, usize)> = Vec::new();
-    for &algo in &layout_algos {
+    for algo in &layout_algos {
+        let algo = algo.as_str();
         wfl_bench::header(&["threads", "packed+unified", "padded+sharded", "speedup"]);
         let mut padded_series: Vec<(usize, f64)> = Vec::new();
         for &threads in &thread_counts {

@@ -12,9 +12,15 @@
 //! cell's `epochs` and `heap_high_water`, so the JSON tracks arena
 //! pressure across the perf trajectory).
 //!
-//! Usage: `e14_workload_matrix [--smoke] [--soak]`
+//! Usage: `e14_workload_matrix [--smoke] [--soak] [--algos a,b,c]`
 //!   --smoke : CI-sized matrix (1–2 threads, tiny attempt counts, short
 //!             timed budget) so the real-threads harness path cannot rot.
+//!             The smoke matrix runs the **extended roster** — the five
+//!             standard kinds plus wfl+combine, blocking-cohort, fc and
+//!             ccsynch — so every algorithm the harness can instantiate is
+//!             safety-checked on every workload in CI.
+//!   --algos : narrow the roster to the named algorithms (any
+//!             [`AlgoKind::all_extended`] label).
 //!   --soak  : the **multi-epoch soak** matrix instead of the standard one:
 //!             timed real cells with a deliberately small heap and short
 //!             epoch batches, so every cell crosses several quiescent
@@ -112,15 +118,27 @@ const WORKLOADS: [&str; 5] = ["random_conflict", "philosophers", "bank", "list",
 
 /// The matrix's algorithm set. Wfl runs without delays: the delay padding
 /// is a simulator-model cost whose curves E1–E6/E11 validate; the matrix
-/// is about safety coverage and wall-clock throughput.
-fn algos(threads: usize) -> [AlgoKind; 5] {
-    [
+/// is about safety coverage and wall-clock throughput. The `extended`
+/// roster (the `--smoke` matrix, so CI exercises it on every workload)
+/// adds the combining fast path, the cohort spin discipline and both
+/// delegation baselines; `--algos` narrows either roster.
+fn algos(threads: usize, extended: bool, filter: Option<&Vec<String>>) -> Vec<AlgoKind> {
+    let mut roster = vec![
         AlgoKind::Wfl { kappa: threads.max(2), delays: false, helping: true },
         AlgoKind::WflUnknown,
         AlgoKind::Tsp,
         AlgoKind::Blocking,
         AlgoKind::Naive,
-    ]
+    ];
+    if extended || filter.is_some() {
+        roster.extend([
+            AlgoKind::WflCombine { kappa: threads.max(2) },
+            AlgoKind::BlockingCohort,
+            AlgoKind::FlatCombining,
+            AlgoKind::CcSynch,
+        ]);
+    }
+    wfl_bench::retain_algos(roster, |k| k.label(), filter)
 }
 
 struct CellShape {
@@ -239,6 +257,7 @@ fn json_cell(
 }
 
 fn run_matrix(p: &MatrixParams, smoke: bool) {
+    let algo_filter = wfl_bench::parse_algos(&std::env::args().collect::<Vec<_>>());
     println!("# E14: workload matrix — algos x workloads x threads, sim + real");
     println!("(every cell doubles as a mutual-exclusion test; smoke = {smoke})");
     println!();
@@ -267,7 +286,7 @@ fn run_matrix(p: &MatrixParams, smoke: bool) {
             if threads != row_threads && p.thread_counts.contains(&threads) {
                 continue; // widened cell already covered by its own row
             }
-            for algo in algos(threads) {
+            for algo in algos(threads, smoke, algo_filter.as_ref()) {
                 let modes = [
                     ExecMode::sim(SchedKind::Random, p.sim_steps),
                     ExecMode::real_timed(threads, p.real_budget),
@@ -309,6 +328,7 @@ fn run_matrix(p: &MatrixParams, smoke: bool) {
 }
 
 fn run_soak(p: &SoakParams, smoke: bool) {
+    let algo_filter = wfl_bench::parse_algos(&std::env::args().collect::<Vec<_>>());
     println!("# E14 --soak: multi-epoch soak — quiescent resets under wall-clock pressure");
     println!(
         "(heap {} words, {} rounds/epoch, real budget {:?}; every real cell must cross >= 3 epochs; smoke = {smoke})",
@@ -355,7 +375,7 @@ fn run_soak(p: &SoakParams, smoke: bool) {
             if threads != row_threads && p.thread_counts.contains(&threads) {
                 continue;
             }
-            for algo in algos(threads) {
+            for algo in algos(threads, false, algo_filter.as_ref()) {
                 // The list workload uses a smaller epoch (each round may
                 // draw up to 64 retry tags, so its batch must stay well
                 // inside the per-process tag space).

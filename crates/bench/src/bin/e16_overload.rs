@@ -33,7 +33,11 @@
 //! the real-threads block arms the wall-clock injector
 //! ([`FaultSpec`]) as an end-to-end check of the same path on hardware.
 //!
-//! Emits `BENCH_overload.json`. Usage: `e16_overload [--smoke]`
+//! Emits `BENCH_overload.json`.
+//! Usage: `e16_overload [--smoke] [--algos a,b,c]`
+//!   --algos : narrow the matrix to the named algorithms (any
+//!             [`AlgoKind::all_extended`] label); gates that compare
+//!             against a filtered-out algorithm are skipped.
 //!   --smoke : CI-sized cells, and the run **gates**:
 //!     (a) wfl goodput under faults stays ≥ 0.8× its fault-free goodput
 //!         at the SLO deadline;
@@ -95,25 +99,35 @@ fn fault_window(threads: usize) -> (u64, u64) {
 /// while keeping the simulated-step bill CI-sized.
 fn rounds_for(algo: AlgoKind, smoke: bool) -> usize {
     let r = match algo {
-        AlgoKind::Wfl { .. } => 300,
+        AlgoKind::Wfl { .. } | AlgoKind::WflCombine { .. } => 300,
         AlgoKind::WflUnknown => 330,
         AlgoKind::Tsp => 600,
         AlgoKind::Blocking | AlgoKind::BlockingCohort | AlgoKind::Naive => 600,
+        // The combiner applies requests in tens of steps; contenders mostly
+        // spin-wait (uncounted), so delegation rounds are blocking-cheap.
+        AlgoKind::FlatCombining | AlgoKind::CcSynch => 600,
     };
     // The tag space caps an epoch at 4095 rounds per process.
     if smoke { r } else { (2 * r).min(4_000) }
 }
 
-/// The four contenders of the overload matrix. (Naive retries are the
-/// E8/E14 story; under deadlines it reduces to tsp-without-wins, so the
-/// matrix spends its budget on the four informative columns.)
-fn algos(threads: usize) -> [AlgoKind; 4] {
-    [
-        AlgoKind::Wfl { kappa: threads.max(2), delays: true, helping: true },
-        AlgoKind::WflUnknown,
-        AlgoKind::Tsp,
-        AlgoKind::Blocking,
-    ]
+/// The four contenders of the overload matrix, optionally narrowed by
+/// `--algos`. (Naive retries are the E8/E14 story; under deadlines it
+/// reduces to tsp-without-wins, so the matrix spends its budget on the
+/// four informative columns. E17 covers the delegation roster, but
+/// `--algos` accepts any extended label here too.)
+fn algos(threads: usize, filter: Option<&Vec<String>>) -> Vec<AlgoKind> {
+    let roster = if filter.is_some() {
+        AlgoKind::all_extended(threads).to_vec()
+    } else {
+        vec![
+            AlgoKind::Wfl { kappa: threads.max(2), delays: true, helping: true },
+            AlgoKind::WflUnknown,
+            AlgoKind::Tsp,
+            AlgoKind::Blocking,
+        ]
+    };
+    wfl_bench::retain_algos(roster, |k| k.label(), filter)
 }
 
 struct Cell {
@@ -263,7 +277,9 @@ fn fmt_deadline(d: Option<u64>) -> String {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let algo_filter = wfl_bench::parse_algos(&args);
     let thread_counts: &[usize] = if smoke { &[3] } else { &[3, 4] };
 
     println!("# E16: overload — deadline SLOs x injected holder stalls (smoke = {smoke})");
@@ -296,7 +312,7 @@ fn main() {
         // wfl's own faulted/fault-free goodput ratio at the SLO — the
         // yardstick the blocking collapse gate compares against.
         let mut wfl_ratio = 0.0f64;
-        for algo in algos(threads) {
+        for algo in algos(threads, algo_filter.as_ref()) {
             // (fault-free, faulted) goodput at the SLO deadline, for ratios.
             let mut slo_pair = [0.0f64; 2];
             for deadline in deadlines {
@@ -350,7 +366,10 @@ fn main() {
                     );
                     gates_ok &= ratio >= 0.8;
                 }
-                AlgoKind::Blocking => {
+                // The wfl yardstick only exists when the (earlier) wfl rows
+                // ran — under an `--algos` filter that drops wfl the
+                // collapse gate is skipped rather than compared against 0.
+                AlgoKind::Blocking if wfl_ratio > 0.0 => {
                     // The collapse marker: blocking loses a real fraction of
                     // its fault-free goodput (spinning against frozen
                     // holders is wasted work), and keeps measurably less of
@@ -377,8 +396,9 @@ fn main() {
     // Gate (d): a faulted, deadline-armed wfl cell is deterministic —
     // byte-identical outcome books on replay.
     let t0 = thread_counts[0];
-    let a = run_sim_cell(algos(t0)[0], t0, 60, Some(tight(t0)), true);
-    let b = run_sim_cell(algos(t0)[0], t0, 60, Some(tight(t0)), true);
+    let replay_algo = AlgoKind::Wfl { kappa: t0.max(2), delays: true, helping: true };
+    let a = run_sim_cell(replay_algo, t0, 60, Some(tight(t0)), true);
+    let b = run_sim_cell(replay_algo, t0, 60, Some(tight(t0)), true);
     let replay_ok = a.report.wins == b.report.wins
         && a.report.aborts == b.report.aborts
         && a.report.rescues == b.report.rescues
@@ -396,7 +416,7 @@ fn main() {
     println!();
     println!("## real threads, {real_threads} procs, wall-clock injector (2ms stall / 4ms)");
     header(&["algo", "faults", "wins/att", "aborts", "rescues", "wall ms"]);
-    for algo in algos(real_threads) {
+    for algo in algos(real_threads, algo_filter.as_ref()) {
         for faulted in [false, true] {
             let c = run_real_cell(algo, real_threads, real_attempts, slo(real_threads), faulted);
             row(&[

@@ -31,6 +31,49 @@ pub fn verdict(ok: bool) -> &'static str {
     }
 }
 
+/// Parses an `--algos a,b,c` (or `--algos=a,b,c`) filter flag into the
+/// requested label list, if present. Labels are matched against each
+/// binary's roster by [`retain_algos`].
+pub fn parse_algos(args: &[String]) -> Option<Vec<String>> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let list = if let Some(rest) = a.strip_prefix("--algos=") {
+            rest.to_string()
+        } else if a == "--algos" {
+            it.next().expect("--algos needs a comma-separated list").clone()
+        } else {
+            continue;
+        };
+        let names: Vec<String> = list
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        assert!(!names.is_empty(), "--algos list is empty");
+        return Some(names);
+    }
+    None
+}
+
+/// Applies an `--algos` filter to a labeled roster: keeps roster order,
+/// panics on a requested label the roster does not know (typos must not
+/// silently produce an empty sweep). `None` keeps the full roster.
+pub fn retain_algos<T>(
+    roster: Vec<T>,
+    label: impl Fn(&T) -> &str,
+    filter: Option<&Vec<String>>,
+) -> Vec<T> {
+    let Some(names) = filter else { return roster };
+    for n in names {
+        assert!(
+            roster.iter().any(|t| label(t) == n),
+            "--algos: unknown algorithm {n:?} (known: {})",
+            roster.iter().map(|t| label(t).to_string()).collect::<Vec<_>>().join(", ")
+        );
+    }
+    roster.into_iter().filter(|t| names.iter().any(|n| n == label(t))).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,5 +93,34 @@ mod tests {
     fn verdict_strings() {
         assert_eq!(verdict(true), "ok");
         assert_eq!(verdict(false), "VIOLATED");
+    }
+
+    #[test]
+    fn algos_flag_parses_both_spellings() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_algos(&args(&["bench", "--smoke"])), None);
+        assert_eq!(
+            parse_algos(&args(&["bench", "--algos", "wfl, fc"])),
+            Some(vec!["wfl".to_string(), "fc".to_string()])
+        );
+        assert_eq!(
+            parse_algos(&args(&["bench", "--algos=ccsynch"])),
+            Some(vec!["ccsynch".to_string()])
+        );
+    }
+
+    #[test]
+    fn retain_algos_filters_in_roster_order() {
+        let roster = vec!["wfl", "fc", "ccsynch"];
+        let filter = Some(vec!["ccsynch".to_string(), "wfl".to_string()]);
+        assert_eq!(retain_algos(roster.clone(), |s| s, filter.as_ref()), vec!["wfl", "ccsynch"]);
+        assert_eq!(retain_algos(roster.clone(), |s| s, None), roster);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown algorithm")]
+    fn retain_algos_rejects_typos() {
+        let filter = Some(vec!["wlf".to_string()]);
+        retain_algos(vec!["wfl"], |s| s, filter.as_ref());
     }
 }

@@ -26,6 +26,13 @@ pub struct LockConfig {
     /// Pre-insert helping phase enabled (disable only for the E12
     /// ablation).
     pub helping: bool,
+    /// Combining fast path enabled (`CombineMode`, E17): a winner scans
+    /// its locks' active sets for still-active competitors whose lock
+    /// sets are covered by its own and executes their thunks in a batch
+    /// before releasing. Off by default — combining changes the counted
+    /// step sequence, so recorded sim schedules replay identically unless
+    /// the schedule family opts in.
+    pub combine: bool,
 }
 
 impl LockConfig {
@@ -35,7 +42,16 @@ impl LockConfig {
     /// Panics if any bound is zero.
     pub fn new(kappa: usize, l_max: usize, t_max: usize) -> LockConfig {
         assert!(kappa > 0 && l_max > 0 && t_max > 0, "bounds must be positive");
-        LockConfig { kappa, l_max, t_max, c0: 40, c1: 40, delays: true, helping: true }
+        LockConfig {
+            kappa,
+            l_max,
+            t_max,
+            c0: 40,
+            c1: 40,
+            delays: true,
+            helping: true,
+            combine: false,
+        }
     }
 
     /// The fixed number of own steps from attempt start to the reveal step
@@ -64,6 +80,17 @@ impl LockConfig {
         self
     }
 
+    /// Enables the combining fast path (E17): winners batch-execute
+    /// compatible pending thunks before releasing. Safe for mutual
+    /// exclusion and exactly-once (the grant is a one-shot status CAS,
+    /// arbitrating against `eliminate`/`decide` like any helper), but it
+    /// perturbs step counts, so only opt in where determinism against
+    /// previously recorded schedules is not required.
+    pub fn with_combining(mut self) -> LockConfig {
+        self.combine = true;
+        self
+    }
+
     /// Disables the pre-insert helping phase (E12 ablation). Mutual
     /// exclusion still holds but both the fairness argument and the
     /// bounded-steps-under-stall property are forfeited.
@@ -88,9 +115,10 @@ mod tests {
     #[test]
     fn ablation_builders() {
         let cfg = LockConfig::new(2, 2, 2);
-        assert!(cfg.delays && cfg.helping);
+        assert!(cfg.delays && cfg.helping && !cfg.combine);
         assert!(!cfg.without_delays().delays);
         assert!(!cfg.without_helping().helping);
+        assert!(cfg.with_combining().combine);
     }
 
     #[test]

@@ -31,6 +31,20 @@ pub const ST_ACTIVE: u64 = 0;
 pub const ST_WON: u64 = 1;
 /// Status value: eliminated by a higher-priority competitor.
 pub const ST_LOST: u64 = 2;
+/// Status value: won, and the thunk was claimed for batch execution by a
+/// combining lock holder (the `CombineMode` fast path). Semantically a
+/// win — every status check that accepts [`ST_WON`] must accept this via
+/// [`is_won`] — but recorded separately so the owner's retry loop can
+/// report an `OUT_COMBINED` outcome instead of re-running the protocol.
+pub const ST_COMBINED: u64 = 3;
+
+/// Whether a status word denotes a win (either the ordinary `decide` CAS
+/// or a combining grant). The `active → combined` transition is a one-shot
+/// CAS just like `decide`, so it is mutually exclusive with `eliminate`.
+#[inline]
+pub fn is_won(status: u64) -> bool {
+    status == ST_WON || status == ST_COMBINED
+}
 
 /// Priority value: unset (multi-active-set flag is false).
 pub const PRIO_UNSET: u64 = 0;

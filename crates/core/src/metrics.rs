@@ -35,6 +35,19 @@ pub struct AttemptMetrics {
     /// as a win (`won: true`). The rate of rescues among abandoned attempts
     /// is the "abandoned-attempt helping rate" of experiment E16.
     pub rescued: bool,
+    /// The win was granted by a combining lock holder (`CombineMode`,
+    /// E17): a winner holding a superset of this attempt's locks claimed
+    /// the descriptor (`active → combined`) and executed its thunk inside
+    /// the holder's batch. Always a non-aborted win — an abort racing a
+    /// combining grant reports [`rescued`] instead, so `combined` and
+    /// `rescued` are disjoint by construction.
+    ///
+    /// [`rescued`]: AttemptMetrics::rescued
+    pub combined: bool,
+    /// For a combining winner: how many pending competitor thunks it
+    /// executed in its batch before releasing (0 when combining is off or
+    /// nothing compatible was pending).
+    pub combined_peers: u64,
 }
 
 /// Outcome and cost of a retry-until-success lock acquisition.
@@ -72,6 +85,8 @@ mod tests {
             delay_overrun: false,
             aborted: None,
             rescued: false,
+            combined: false,
+            combined_peers: 0,
         };
         let b = a;
         assert_eq!(a, b);

@@ -26,7 +26,8 @@
 use crate::abort::{poll_abort, AbortReason};
 use crate::config::LockConfig;
 use crate::descriptor::{
-    make_priority, Desc, LockId, PRIO_TBD, PRIO_UNSET, ST_ACTIVE, ST_LOST, ST_WON,
+    is_won, make_priority, Desc, LockId, PRIO_TBD, PRIO_UNSET, ST_ACTIVE, ST_COMBINED, ST_LOST,
+    ST_WON,
 };
 use crate::metrics::AttemptMetrics;
 use crate::scratch::Scratch;
@@ -111,11 +112,15 @@ pub(crate) fn decide(ctx: &Ctx<'_>, p: Desc) {
     ctx.cas_bool_sync(p.status_addr(), ST_ACTIVE, ST_WON);
 }
 
-/// `celebrateIfWon(p)`: if `p` has won, run its thunk (idempotently; any
-/// number of helpers may do this concurrently).
+/// `celebrateIfWon(p)`: if `p` has won (by `decide` or by a combining
+/// grant — [`ST_COMBINED`] is a win), run its thunk (idempotently; any
+/// number of helpers may do this concurrently). Treating `COMBINED` as
+/// won here is what serializes combined executions: a competitor that
+/// sees a claimed member helps its thunk to completion before deciding
+/// itself, exactly as for an ordinary winner.
 #[inline]
 pub(crate) fn celebrate_if_won(ctx: &Ctx<'_>, registry: &Registry, p: Desc) {
-    if p.status(ctx) == ST_WON {
+    if is_won(p.status(ctx)) {
         wfl_runtime::trace::emit(|| format!("t={} pid={} celebrate({:?}) begin", ctx.now(), ctx.pid(), p.0));
         p.frame(ctx).help(ctx, registry);
         wfl_runtime::trace::emit(|| format!("t={} pid={} celebrate({:?}) end", ctx.now(), ctx.pid(), p.0));
@@ -281,7 +286,11 @@ pub fn try_locks(
     // report the win as a rescue.
     if let Some(r) = poll_abort(ctx, deadline) {
         let eliminated = ctx.cas_bool_sync(p.status_addr(), ST_ACTIVE, ST_LOST);
-        let rescued = !eliminated && p.status(ctx) == ST_WON;
+        // A combining grant that lands before the eliminate is a win the
+        // same way a helper's `decide` is: the thunk already belongs to
+        // the claimant's batch, so the abort came too late — report the
+        // rescue (never `combined`: rescued and combined are disjoint).
+        let rescued = !eliminated && is_won(p.status(ctx));
         if rescued {
             celebrate_if_won(ctx, registry, p);
         }
@@ -297,11 +306,107 @@ pub fn try_locks(
             delay_overrun: flag.overrun.get(),
             aborted: Some(r),
             rescued,
+            combined: false,
+            combined_peers: 0,
         };
     }
 
     // Compete.
     run_desc(ctx, space, registry, p, &mut scratch.members);
+
+    // Combining fast path (E17, `cfg.combine`): having won by our own
+    // `decide` — own thunk complete, descriptor still in every active set
+    // — claim competitors that revealed after the competition scan and
+    // are still ACTIVE, granting each a win (`active → combined`, a
+    // one-shot CAS arbitrating against their eliminate/decide exactly
+    // like `decide` does) and running their thunks before releasing.
+    //
+    // A claimed peer skips its own competition, so every claim must be
+    // arbitrated on its behalf. Each *combine round* claims at most ONE
+    // peer (full argument in DESIGN.md §2.7):
+    //
+    // 1. **Settle pass.** Re-read every revealed member of this
+    //    attempt's locks (a superset of every claim candidate's locks).
+    //    The first still-ACTIVE member whose lock set is covered by ours
+    //    becomes the round's *chosen* candidate; every other ACTIVE
+    //    member — candidate or not — is eliminated (the fairness cost of
+    //    combining; losing is always safe). A member already COMBINED
+    //    has a finished claimant (a mid-batch claimant is always visibly
+    //    WON on a shared lock, which aborts us next), so its frame is
+    //    complete. If the pass finds any **other WON member, combining
+    //    is abandoned**: that winner may be mid-frame or mid-batch.
+    //    This abort rule is also what arbitrates between two would-be
+    //    claimants on overlapping locks — the later one still sees the
+    //    earlier one WON in a shared active set.
+    //
+    // 2. **Claim the chosen peer** (`active → combined`) and run its
+    //    thunk. At the claim point every other member is settled, so the
+    //    only parties that can still decide are attempts that revealed
+    //    after the pass — and the chosen peer revealed *before* it, so
+    //    the reveal/scan fence guarantees their post-reveal scan sees
+    //    it: ACTIVE (they compete against it — their eliminate beats our
+    //    claim, or they lose to it) or COMBINED (they help its frame to
+    //    completion before deciding, exactly as for an ordinary winner).
+    //    One claim per pass is essential: with two unclaimed candidates
+    //    in flight, one could decide against the other claim unseen.
+    //
+    // Rounds repeat (bounded by κ) while claims land, so one winner can
+    // still drain several peers; any failed claim or in-flight winner
+    // ends combining for this attempt.
+    //
+    // Gated on ST_WON, not `is_won`: an attempt that was itself claimed
+    // (COMBINED) holds nothing — its thunk ran inside the claimant's
+    // batch and the locks may already have new owners — so it must not
+    // start a batch of its own.
+    let mut combined_peers = 0u64;
+    if cfg.combine && p.status(ctx) == ST_WON {
+        let Scratch { members, .. } = scratch;
+        let covered = |ctx: &Ctx<'_>, q: Desc| {
+            let qn = q.nlocks(ctx);
+            qn <= req.locks.len() && (0..qn).all(|i| req.locks.contains(&q.lock(ctx, i)))
+        };
+        'rounds: while combined_peers < cfg.kappa.max(1) as u64 {
+            let mut chosen: Option<u64> = None;
+            for &l in req.locks {
+                revealed_members(ctx, space.set(l), members);
+                for &sm in members.iter() {
+                    if sm == p.item() || chosen == Some(sm) {
+                        continue;
+                    }
+                    let s = Desc::from_item(sm);
+                    loop {
+                        match s.status(ctx) {
+                            ST_WON => break 'rounds,
+                            ST_ACTIVE => {
+                                if chosen.is_none() && covered(ctx, s) {
+                                    chosen = Some(sm);
+                                    break;
+                                }
+                                if ctx.cas_bool_sync(s.status_addr(), ST_ACTIVE, ST_LOST) {
+                                    wfl_runtime::trace::emit(|| format!("t={} pid={} combine({:?}) pass eliminates {:?}", ctx.now(), ctx.pid(), p.0, s.0));
+                                    break;
+                                }
+                                // Lost the race to its decide: re-read.
+                            }
+                            // LOST is settled; COMBINED is complete (above).
+                            _ => break,
+                        }
+                    }
+                }
+            }
+            let Some(qm) = chosen else { break };
+            let q = Desc::from_item(qm);
+            // The claim CAS is sync; this fence pairs with competitors'
+            // reveal fences for the pass-vs-scan visibility argument.
+            ctx.publication_fence();
+            if !ctx.cas_bool_sync(q.status_addr(), ST_ACTIVE, ST_COMBINED) {
+                break;
+            }
+            wfl_runtime::trace::emit(|| format!("t={} pid={} combine({:?}) claims {:?}", ctx.now(), ctx.pid(), p.0, q.0));
+            celebrate_if_won(ctx, registry, q);
+            combined_peers += 1;
+        }
+    }
 
     // Clean up, then pad to the fixed attempt length. The probe clears
     // before the padding: the competition is decided, and keeping the clear
@@ -318,13 +423,19 @@ pub fn try_locks(
         ctx.stall_until_steps(start + cfg.t0() + cfg.t1());
     }
 
+    let status = p.status(ctx);
     AttemptMetrics {
-        won: p.status(ctx) == ST_WON,
+        won: is_won(status),
         steps: ctx.steps() - start,
         helped,
         delay_overrun: flag.overrun.get(),
         aborted: None,
         rescued: false,
+        // This attempt's own win was granted by a combining peer (its
+        // `decide` lost to a claimant's CAS; the thunk ran in the peer's
+        // batch): the retry loop observes a settled win either way.
+        combined: status == ST_COMBINED,
+        combined_peers,
     }
 }
 
@@ -353,6 +464,8 @@ pub(crate) fn abort_unrevealed(
         delay_overrun: false,
         aborted: Some(reason),
         rescued: false,
+        combined: false,
+        combined_peers: 0,
     }
 }
 
@@ -382,9 +495,10 @@ pub(crate) fn validate(
     assert!(ops <= t_max, "thunk declares {ops} ops, exceeding the configured T = {t_max}");
 }
 
-/// Uncounted inspection helper for tests: whether a descriptor won.
+/// Uncounted inspection helper for tests: whether a descriptor won
+/// (by `decide` or by a combining grant).
 pub fn peek_won(heap: &wfl_runtime::Heap, p: Desc) -> bool {
-    p.peek_status(heap) == ST_WON
+    is_won(p.peek_status(heap))
 }
 
 /// Address of a word inside the snapshot region (used by `unknown.rs`).

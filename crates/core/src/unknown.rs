@@ -25,7 +25,7 @@
 //!   mutual exclusion is preserved; fairness cost measured in E6).
 
 use crate::abort::{poll_abort, AbortReason};
-use crate::descriptor::{make_priority, Desc, PRIO_TBD, PRIO_UNSET, ST_ACTIVE, ST_LOST, ST_WON};
+use crate::descriptor::{is_won, make_priority, Desc, PRIO_TBD, PRIO_UNSET, ST_ACTIVE, ST_LOST};
 use crate::metrics::AttemptMetrics;
 use crate::scratch::Scratch;
 use crate::space::LockSpace;
@@ -179,6 +179,8 @@ pub fn try_locks_unknown(
             delay_overrun: false,
             aborted: Some(r),
             rescued: false,
+            combined: false,
+            combined_peers: 0,
         };
     }
 
@@ -231,7 +233,7 @@ pub fn try_locks_unknown(
     // the rescue.
     if let Some(reason) = poll_abort(ctx, deadline) {
         let eliminated = ctx.cas_bool_sync(p.status_addr(), ST_ACTIVE, ST_LOST);
-        let rescued = !eliminated && p.status(ctx) == ST_WON;
+        let rescued = !eliminated && is_won(p.status(ctx));
         if rescued {
             celebrate_if_won(ctx, registry, p);
         }
@@ -246,6 +248,8 @@ pub fn try_locks_unknown(
             delay_overrun: false,
             aborted: Some(reason),
             rescued,
+            combined: false,
+            combined_peers: 0,
         };
     }
 
@@ -263,11 +267,13 @@ pub fn try_locks_unknown(
     }
 
     AttemptMetrics {
-        won: p.status(ctx) == ST_WON,
+        won: is_won(p.status(ctx)),
         steps: ctx.steps() - start,
         helped,
         delay_overrun: false,
         aborted: None,
         rescued: false,
+        combined: false,
+        combined_peers: 0,
     }
 }

@@ -42,6 +42,12 @@ impl Summary {
         self.samples.len()
     }
 
+    /// The raw samples, in insertion order (the bench binaries re-bucket
+    /// them into histograms with workload-specific bucket edges).
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
     /// Whether no samples were recorded.
     pub fn is_empty(&self) -> bool {
         self.samples.is_empty()

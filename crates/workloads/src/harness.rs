@@ -57,6 +57,7 @@ use wfl_core::{
     Deadline, GiveUp, LockConfig, LockId, LockSpace, Scratch, SpaceLayout, TryLockRequest,
     UnknownConfig,
 };
+use wfl_delegation::{CcSynch, FcLock};
 use wfl_idem::{cell, IdemRun, Registry, TagSource, Thunk, ThunkId};
 use wfl_runtime::epoch::{run_epoch_worker, EpochState, EpochSync};
 use wfl_runtime::real::{run_threads_epochs, RealConfig};
@@ -121,6 +122,20 @@ pub enum SchedKind {
         /// Stalled slots per window (`<= period`).
         quantum: u64,
     },
+    /// [`SchedKind::Random`], additionally opting the run in to the wfl
+    /// combining fast path ([`LockConfig::combine`]). Combining changes the
+    /// counted step sequence, so it stays off in sim replays unless the
+    /// schedule family names it — recordings under the plain families keep
+    /// replaying bit-identically.
+    RandomCombining,
+    /// [`SchedKind::RandomFaults`] with combining opted in (the E17 sim
+    /// fault arm: frozen processes *and* a live combining fast path).
+    FaultsCombining {
+        /// Window length in scheduled slots.
+        period: u64,
+        /// Stalled slots per window (`<= period`).
+        quantum: u64,
+    },
 }
 
 impl SchedKind {
@@ -136,14 +151,24 @@ impl SchedKind {
                 &(0..n as u64).map(|i| 1 + 3 * i).collect::<Vec<_>>(),
                 seed,
             )),
-            SchedKind::RandomFaults { period, quantum } => Box::new(PeriodicFaults::new(
+            SchedKind::RandomFaults { period, quantum }
+            | SchedKind::FaultsCombining { period, quantum } => Box::new(PeriodicFaults::new(
                 SeededRandom::new(n, seed),
                 n,
                 period,
                 quantum,
                 seed ^ 0x5EED_FA17,
             )),
+            SchedKind::RandomCombining => Box::new(SeededRandom::new(n, seed)),
         }
+    }
+
+    /// Whether sim runs under this family may use the wfl combining fast
+    /// path. The interleaving families are unchanged — opting in only
+    /// unmasks [`LockConfig::combine`] in [`ExecMode::Sim`] (real-threads
+    /// runs always honor the config; they never claim replayability).
+    pub fn allows_combining(self) -> bool {
+        matches!(self, SchedKind::RandomCombining | SchedKind::FaultsCombining { .. })
     }
 }
 
@@ -304,6 +329,15 @@ pub struct HarnessReport {
     /// abort *latency* distribution (steps from round start to bailing
     /// out). Its tail against the armed budget is E16's abort-p99 gate.
     pub abort_steps: Summary,
+    /// Wins granted by a combining holder (wfl's [`LockConfig::combine`]
+    /// fast path, or a delegation baseline's combiner applying the request)
+    /// rather than by the attempt's own competition. A subset of `wins`,
+    /// disjoint from `rescues`.
+    pub combined_wins: u64,
+    /// Batch sizes observed by combining winners: one sample per winner
+    /// that applied at least one peer request (the sample is the peer
+    /// count). Empty when combining never fired — E17's histogram gate.
+    pub combine_batch: Summary,
     /// Give-up events by reason, indexed by [`GiveUp::index`]: per-attempt
     /// aborts land under `Deadline`/`Stop`; a batch cut short by heap
     /// pressure or the stop flag adds one `HeapLow`/`Stop` event per
@@ -378,6 +412,12 @@ const OUT_WON: u64 = 1;
 const OUT_ABORTED: u64 = 2;
 const OUT_RESCUED: u64 = 4;
 const OUT_STOPPING: u64 = 8;
+/// The win was granted by a combining holder (disjoint from
+/// [`OUT_RESCUED`]; implies [`OUT_WON`]).
+const OUT_COMBINED: u64 = 16;
+/// Bits above this shift carry the winner's combine batch size (peer
+/// requests applied while holding; 0 for non-combining wins).
+const OUT_PEERS_SHIFT: u32 = 5;
 
 impl Outcomes {
     fn create_root(heap: &Heap, nprocs: usize, cap: usize, base_round: usize) -> Outcomes {
@@ -438,6 +478,10 @@ impl Outcomes {
         if out.rescued {
             bits |= OUT_RESCUED;
         }
+        if out.combined {
+            bits |= OUT_COMBINED;
+        }
+        bits |= out.combined_peers << OUT_PEERS_SHIFT;
         ctx.write_rel(self.outcomes.off(idx), 1 + bits);
         ctx.write_rel(self.steps.off(idx), out.steps);
     }
@@ -465,6 +509,8 @@ impl Outcomes {
         let mut rescues = 0u64;
         let mut abort_steps = Summary::new();
         let mut give_up = [0u64; GiveUp::COUNT];
+        let mut combined_wins = 0u64;
+        let mut combine_batch = Summary::new();
         for (pid, pp) in per_pid.iter_mut().enumerate() {
             for slot in 0..self.cap {
                 let idx = self.idx(pid, slot);
@@ -487,6 +533,13 @@ impl Outcomes {
                 }
                 if bits & OUT_RESCUED != 0 {
                     rescues += 1;
+                }
+                if bits & OUT_COMBINED != 0 {
+                    combined_wins += 1;
+                }
+                let peers = bits >> OUT_PEERS_SHIFT;
+                if peers > 0 {
+                    combine_batch.push(peers);
                 }
                 if won {
                     wins += 1;
@@ -511,6 +564,8 @@ impl Outcomes {
             aborts,
             rescues,
             abort_steps,
+            combined_wins,
+            combine_batch,
             give_up,
             wall: None,
             epochs: 1,
@@ -532,6 +587,8 @@ struct Totals {
     aborts: u64,
     rescues: u64,
     abort_steps: Summary,
+    combined_wins: u64,
+    combine_batch: Summary,
     give_up: [u64; GiveUp::COUNT],
     epochs: u64,
 }
@@ -548,6 +605,8 @@ impl Totals {
             aborts: 0,
             rescues: 0,
             abort_steps: Summary::new(),
+            combined_wins: 0,
+            combine_batch: Summary::new(),
             give_up: [0; GiveUp::COUNT],
             epochs: 0,
         }
@@ -567,6 +626,8 @@ impl Totals {
         self.aborts += epoch_report.aborts;
         self.rescues += epoch_report.rescues;
         self.abort_steps.merge(&epoch_report.abort_steps);
+        self.combined_wins += epoch_report.combined_wins;
+        self.combine_batch.merge(&epoch_report.combine_batch);
         for (acc, e) in self.give_up.iter_mut().zip(&epoch_report.give_up) {
             *acc += e;
         }
@@ -584,6 +645,8 @@ impl Totals {
             aborts: self.aborts,
             rescues: self.rescues,
             abort_steps: self.abort_steps,
+            combined_wins: self.combined_wins,
+            combine_batch: self.combine_batch,
             give_up: self.give_up,
             wall,
             epochs: self.epochs,
@@ -626,6 +689,18 @@ pub enum AlgoKind {
     BlockingCohort,
     /// No-helping tryLock (may fail; never blocks).
     Naive,
+    /// The known-bounds algorithm with the combining fast path
+    /// ([`LockConfig::combine`]): a winner batches compatible pending
+    /// requests before releasing. Wait-freedom and the fairness bound are
+    /// untouched — combining only adds extra-early grants.
+    WflCombine {
+        /// Contention bound κ for the delay formulas.
+        kappa: usize,
+    },
+    /// Flat combining (Hendler et al.): publication array + combiner lock.
+    FlatCombining,
+    /// CCSynch (Fatourou & Kallimanis): swap-based combining queue.
+    CcSynch,
 }
 
 impl AlgoKind {
@@ -638,6 +713,9 @@ impl AlgoKind {
             AlgoKind::Blocking => "blocking",
             AlgoKind::BlockingCohort => "blocking-cohort",
             AlgoKind::Naive => "naive",
+            AlgoKind::WflCombine { .. } => "wfl+combine",
+            AlgoKind::FlatCombining => "fc",
+            AlgoKind::CcSynch => "ccsynch",
         }
     }
 
@@ -650,6 +728,30 @@ impl AlgoKind {
             AlgoKind::Blocking,
             AlgoKind::Naive,
         ]
+    }
+
+    /// Every kind the harness can run: [`AlgoKind::all`] plus the cohort
+    /// spin discipline, the combining fast path, and both delegation
+    /// baselines (the E14 extended matrix / E17 roster).
+    pub fn all_extended(nprocs: usize) -> [AlgoKind; 9] {
+        let [wfl, unknown, tsp, blocking, naive] = Self::all(nprocs);
+        [
+            wfl,
+            AlgoKind::WflCombine { kappa: nprocs.max(2) },
+            unknown,
+            tsp,
+            blocking,
+            AlgoKind::BlockingCohort,
+            naive,
+            AlgoKind::FlatCombining,
+            AlgoKind::CcSynch,
+        ]
+    }
+
+    /// Parses a [`AlgoKind::label`] back into a kind with default
+    /// parameters (κ = `nprocs`) — the `--algos` filter flags.
+    pub fn from_label(name: &str, nprocs: usize) -> Option<AlgoKind> {
+        Self::all_extended(nprocs).into_iter().find(|k| k.label() == name)
     }
 }
 
@@ -674,13 +776,17 @@ enum AlgoInstance<'reg> {
     Tsp(TspLock<'reg>),
     Blocking(BlockingTpl<'reg>),
     Naive(NaiveTryLock<'reg>),
+    Fc(FcLock<'reg>),
+    Cc(CcSynch<'reg>),
 }
 
 impl<'reg> AlgoInstance<'reg> {
     fn create(heap: &Heap, registry: &'reg Registry, spec: &AlgoSpec) -> AlgoInstance<'reg> {
         let layout = spec.layout;
         match spec.kind {
-            AlgoKind::Wfl { .. } => AlgoInstance::Wfl {
+            // WflCombine differs only in `spec.cfg.combine` (see
+            // `known_cfg`); the heap instantiation is identical.
+            AlgoKind::Wfl { .. } | AlgoKind::WflCombine { .. } => AlgoInstance::Wfl {
                 space: LockSpace::create_root_with(heap, spec.nlocks, spec.aset, layout),
                 cfg: spec.cfg,
             },
@@ -709,6 +815,21 @@ impl<'reg> AlgoInstance<'reg> {
                 spec.nlocks,
                 layout.placement,
             )),
+            // The delegation baselines size their per-process publication
+            // records by the process count; `aset` is exactly
+            // `nprocs.max(2)` everywhere the harness builds a spec.
+            AlgoKind::FlatCombining => AlgoInstance::Fc(FcLock::create_root_placed(
+                heap,
+                registry,
+                spec.aset,
+                layout.placement,
+            )),
+            AlgoKind::CcSynch => AlgoInstance::Cc(CcSynch::create_root_placed(
+                heap,
+                registry,
+                spec.aset,
+                layout.placement,
+            )),
         }
     }
 
@@ -723,6 +844,8 @@ impl<'reg> AlgoInstance<'reg> {
             AlgoInstance::Tsp(a) => f(a),
             AlgoInstance::Blocking(a) => f(a),
             AlgoInstance::Naive(a) => f(a),
+            AlgoInstance::Fc(a) => f(a),
+            AlgoInstance::Cc(a) => f(a),
         }
     }
 }
@@ -793,11 +916,13 @@ impl<'reg> AlgoHandle<'reg> {
 fn known_cfg(algo: AlgoKind, default_kappa: usize, l_max: usize, t_max: usize) -> LockConfig {
     let (kappa, delays, helping) = match algo {
         AlgoKind::Wfl { kappa, delays, helping } => (kappa, delays, helping),
+        AlgoKind::WflCombine { kappa } => (kappa, true, true),
         _ => (default_kappa, true, true),
     };
     let mut cfg = LockConfig::new(kappa.max(1), l_max, t_max);
     cfg.delays = delays;
     cfg.helping = helping;
+    cfg.combine = matches!(algo, AlgoKind::WflCombine { .. });
     cfg
 }
 
@@ -926,6 +1051,14 @@ fn drive_epochs<WL: EpochWorkload>(
     let state = EpochState::new(heap);
     let epoch_len = mode.epoch_len(total_rounds);
     let deadline_steps = mode.deadline_steps();
+    // Combining is masked in the simulator unless the schedule family opts
+    // in: a combining winner takes extra counted steps, so recordings made
+    // under the plain families must keep replaying bit-identically
+    // (`SchedKind::allows_combining`). Real runs always honor the config.
+    let mut spec = spec;
+    if let ExecMode::Sim { sched, .. } = *mode {
+        spec.cfg.combine &= sched.allows_combining();
+    }
     let make_world = |epoch: usize| World {
         algo: AlgoInstance::create(heap, registry, &spec),
         roots: wl.re_root(heap),
@@ -1822,6 +1955,83 @@ mod tests {
     }
 
     #[test]
+    fn extended_roster_labels_round_trip() {
+        for kind in AlgoKind::all_extended(4) {
+            assert_eq!(
+                AlgoKind::from_label(kind.label(), 4),
+                Some(kind),
+                "{kind:?}: label does not round-trip"
+            );
+        }
+        assert_eq!(AlgoKind::from_label("nope", 4), None);
+        assert_eq!(AlgoKind::FlatCombining.label(), "fc");
+        assert_eq!(AlgoKind::CcSynch.label(), "ccsynch");
+        assert_eq!(AlgoKind::WflCombine { kappa: 4 }.label(), "wfl+combine");
+    }
+
+    #[test]
+    fn delegation_baselines_pass_harness_safety_checks() {
+        for algo in [AlgoKind::FlatCombining, AlgoKind::CcSynch] {
+            let mut spec = SimSpec::new(3, 4, 3, 2);
+            spec.seed = 41;
+            let r = run_random_conflict(&spec, algo);
+            assert!(r.safety_ok, "{algo:?}: safety check failed");
+            assert_eq!(r.attempts, 12, "{algo:?}");
+            assert_eq!(r.wins, 12, "{algo:?}: the combiner applies every request");
+            assert!(
+                r.combined_wins > 0,
+                "{algo:?}: some request must have been applied by another's combiner"
+            );
+        }
+    }
+
+    #[test]
+    fn wfl_combine_is_masked_under_plain_sim_schedules() {
+        // Replay-compat contract: under a schedule family that does not
+        // opt in, WflCombine must be bit-identical to plain Wfl — the
+        // combining fast path changes the counted step sequence, so it
+        // only runs when the family names it.
+        let run = |algo: AlgoKind| {
+            let mut spec = SimSpec::new(4, 6, 4, 2);
+            spec.seed = 77;
+            spec.think_max = 0;
+            let r = run_random_conflict(&spec, algo);
+            assert!(r.safety_ok, "{algo:?}");
+            (r.attempts, r.wins, r.aborts, r.steps.max(), r.steps.mean().to_bits(), r.per_pid.clone())
+        };
+        let plain = run(AlgoKind::Wfl { kappa: 4, delays: true, helping: true });
+        let combine = run(AlgoKind::WflCombine { kappa: 4 });
+        assert_eq!(combine, plain, "masked combining diverged from plain wfl");
+        let mut spec = SimSpec::new(4, 6, 4, 2);
+        spec.seed = 77;
+        spec.think_max = 0;
+        let r = run_random_conflict(&spec, AlgoKind::WflCombine { kappa: 4 });
+        assert_eq!(r.combined_wins, 0, "combining fired under a non-combining family");
+        assert!(r.combine_batch.is_empty());
+    }
+
+    #[test]
+    fn wfl_combine_fires_under_opted_in_schedules() {
+        // Single shared lock, no think time: every attempt contends, so
+        // over enough rounds some winner must find a claimable ACTIVE peer.
+        let mut spec = SimSpec::new(4, 40, 1, 1);
+        spec.seed = 5;
+        spec.think_max = 0;
+        spec.sched = SchedKind::RandomCombining;
+        let r = run_random_conflict(&spec, AlgoKind::WflCombine { kappa: 4 });
+        assert!(r.safety_ok, "combining broke the counter invariant");
+        assert_eq!(r.attempts, 160);
+        assert!(r.combined_wins > 0, "combining never fired under RandomCombining");
+        assert!(!r.combine_batch.is_empty(), "no batch sizes recorded");
+        assert!(r.combined_wins <= r.wins);
+        // Each combined win was granted by exactly one batch sample peer.
+        assert!(
+            r.combine_batch.len() as u64 <= r.combined_wins.max(r.wins),
+            "more batches than winners"
+        );
+    }
+
+    #[test]
     fn sim_replay_is_identical_across_layouts() {
         // The E13 A/B contract at the harness level: the schedule is
         // oblivious and layout is pure address arithmetic, so the same
@@ -1883,6 +2093,24 @@ mod tests {
             assert_eq!(r.attempts, 240, "{algo:?}: untimed real runs complete every round");
             assert!(r.wall.is_some());
             assert_eq!(r.epochs, 1);
+        }
+    }
+
+    /// The E17 roster on free-running threads: the combining fast path and
+    /// both delegation baselines must pass the same recorded-outcome
+    /// safety check as everything else (real mode never masks combining).
+    #[test]
+    fn real_threads_extended_algos_safe() {
+        for algo in
+            [AlgoKind::WflCombine { kappa: 4 }, AlgoKind::FlatCombining, AlgoKind::CcSynch]
+        {
+            let mut spec = SimSpec::new(4, 60, 4, 2);
+            spec.seed = 9;
+            spec.heap_words = 1 << 22;
+            let r = run_random_conflict_mode(&spec, algo, &ExecMode::real(4));
+            assert!(r.safety_ok, "{algo:?}: real-threads safety check failed");
+            assert_eq!(r.attempts, 240, "{algo:?}");
+            assert!(r.combined_wins <= r.wins, "{algo:?}");
         }
     }
 

@@ -23,6 +23,9 @@
 //!   unknown-bounds (§6.2) variants and the retry-until-success wrapper.
 //! * [`baselines`] — Turek–Shasha–Prakash-style lock-free locks, blocking
 //!   two-phase locking, and a no-helping tryLock, behind one trait.
+//! * [`delegation`] — combining lock baselines (flat combining, CCSynch)
+//!   behind the same trait: the delegation execution model head-to-head
+//!   against wfl and its combining fast path (E17).
 //! * [`workloads`] — dining philosophers, bank transfers, a sorted linked
 //!   list, graph updates, and the experiment harness.
 //! * [`lincheck`] — linearizability, set-regularity and holder-
@@ -77,6 +80,7 @@
 pub use wfl_activeset as activeset;
 pub use wfl_baselines as baselines;
 pub use wfl_core as core;
+pub use wfl_delegation as delegation;
 pub use wfl_fairness as fairness;
 pub use wfl_idem as idem;
 pub use wfl_lincheck as lincheck;
