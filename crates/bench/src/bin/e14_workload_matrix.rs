@@ -12,7 +12,7 @@
 //! cell's `epochs` and `heap_high_water`, so the JSON tracks arena
 //! pressure across the perf trajectory).
 //!
-//! Usage: `e14_workload_matrix [--smoke] [--soak] [--algos a,b,c]`
+//! Usage: `e14_workload_matrix [--smoke] [--soak] [--algos a,b,c] [--trace out.json]`
 //!   --smoke : CI-sized matrix (1–2 threads, tiny attempt counts, short
 //!             timed budget) so the real-threads harness path cannot rot.
 //!             The smoke matrix runs the **extended roster** — the five
@@ -21,6 +21,9 @@
 //!             safety-checked on every workload in CI.
 //!   --algos : narrow the roster to the named algorithms (any
 //!             [`AlgoKind::all_extended`] label).
+//!   --trace : export one recorded deterministic random-conflict wfl sim
+//!             cell as Chrome/Perfetto `trace_event` JSON (plus a
+//!             `<path>.metrics.json` sidecar; standard matrix only).
 //!   --soak  : the **multi-epoch soak** matrix instead of the standard one:
 //!             timed real cells with a deliberately small heap and short
 //!             epoch batches, so every cell crosses several quiescent
@@ -32,7 +35,6 @@
 
 use std::fmt::Write as _;
 use std::time::Duration;
-use wfl_core::GiveUp;
 use wfl_workloads::harness::{
     run_bank_mode, run_graph_mode, run_list_mode, run_philosophers_mode,
     run_random_conflict_mode, AlgoKind, ExecMode, HarnessReport, SchedKind, SimSpec,
@@ -207,52 +209,32 @@ fn cell_procs(workload: &str, threads: usize) -> usize {
 }
 
 fn json_cell(
-    json: &mut String,
-    first: &mut bool,
+    rows: &mut wfl_bench::Rows,
     workload: &str,
     algo: AlgoKind,
     threads: usize,
     mode_label: &str,
     r: &HarnessReport,
 ) {
-    if !*first {
-        json.push_str(",\n");
-    }
-    *first = false;
-    let wall = r.wall.map_or(0.0, |w| w.as_secs_f64());
     let lanes_json = r
         .compact_high_water_lanes()
         .iter()
         .map(|w| w.to_string())
         .collect::<Vec<_>>()
         .join(", ");
-    // Per-reason give-up counts keyed by the stable GiveUp labels (all
-    // zero unless the cell armed deadlines or ran under pressure).
-    let give_up_json = GiveUp::all()
-        .iter()
-        .map(|g| format!("\"{}\": {}", g.label(), r.give_up[g.index()]))
-        .collect::<Vec<_>>()
-        .join(", ");
-    let _ = write!(
-        json,
-        "    {{\"workload\": \"{workload}\", \"algo\": \"{}\", \"threads\": {threads}, \
-         \"mode\": \"{mode_label}\", \"attempts\": {}, \"wins\": {}, \"success_rate\": {:.4}, \
-         \"mean_steps\": {:.1}, \"p99_steps\": {}, \"wall_secs\": {:.6}, \
-         \"wins_per_sec\": {:.1}, \"epochs\": {}, \"heap_high_water\": {}, \
-         \"heap_high_water_lanes\": [{lanes_json}], \"aborts\": {}, \"rescues\": {}, \
-         \"give_up\": {{{give_up_json}}}, \"safety_ok\": true}}",
-        algo.label(),
-        r.attempts,
-        r.wins,
-        r.success.rate(),
-        r.steps.mean(),
-        r.steps.percentile(0.99),
-        wall,
-        r.wins_per_sec().unwrap_or(0.0),
-        r.epochs,
-        r.heap_high_water,
-        r.aborts,
-        r.rescues,
+    rows.push(
+        &[
+            ("workload", workload.to_string()),
+            ("algo", algo.label().to_string()),
+            ("mode", mode_label.to_string()),
+        ],
+        &[
+            ("threads", threads.to_string()),
+            ("heap_high_water", r.heap_high_water.to_string()),
+            ("heap_high_water_lanes", format!("[{lanes_json}]")),
+            ("safety_ok", "true".to_string()),
+        ],
+        &r.metrics(),
     );
 }
 
@@ -266,7 +248,7 @@ fn run_matrix(p: &MatrixParams, smoke: bool) {
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"e14_workload_matrix\",");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
-    json.push_str("  \"cells\": [\n");
+    let mut rows = wfl_bench::Rows::new();
 
     let shape = CellShape {
         conflict_attempts: p.conflict_attempts,
@@ -278,7 +260,6 @@ fn run_matrix(p: &MatrixParams, smoke: bool) {
     };
 
     let mut cells = 0u64;
-    let mut first = true;
     for workload in WORKLOADS {
         wfl_bench::header(&["cell", "mode", "attempts", "wins", "success", "p99 steps", "wall (s)", "safety"]);
         for &row_threads in p.thread_counts {
@@ -312,19 +293,40 @@ fn run_matrix(p: &MatrixParams, smoke: bool) {
                         format!("{wall:.4}"),
                         "ok".to_string(),
                     ]);
-                    json_cell(&mut json, &mut first, workload, algo, threads, mode.label(), &r);
+                    json_cell(&mut rows, workload, algo, threads, mode.label(), &r);
                 }
             }
         }
         println!();
     }
-    json.push_str("\n  ],\n");
+    json.push_str("  \"cells\": ");
+    json.push_str(&rows.finish());
+    json.push_str(",\n");
     let _ = writeln!(json, "  \"cells_total\": {cells}");
     json.push_str("}\n");
 
     std::fs::write("BENCH_workloads.json", &json).expect("write BENCH_workloads.json");
     println!("all {cells} cells passed their safety checks");
     println!("wrote BENCH_workloads.json");
+
+    // --trace: export one recorded deterministic cell (random-conflict,
+    // wfl, top of the thread sweep, sim backend).
+    if let Some(path) = wfl_bench::parse_trace(&std::env::args().collect::<Vec<_>>()) {
+        let threads = *p.thread_counts.last().unwrap();
+        let algo = AlgoKind::Wfl { kappa: threads.max(2), delays: false, helping: true };
+        let mode = ExecMode::sim(SchedKind::Random, p.sim_steps).with_recorder();
+        let r = run_cell("random_conflict", algo, threads, &shape, &mode);
+        assert!(r.safety_ok, "traced cell failed its safety check");
+        let meta = [
+            ("bench", "e14_workload_matrix".to_string()),
+            ("workload", "random_conflict".to_string()),
+            ("algo", algo.label().to_string()),
+            ("mode", "sim".to_string()),
+            ("threads", threads.to_string()),
+        ];
+        let snap = r.trace.as_ref().expect("recorded run carries a trace");
+        wfl_bench::write_trace(&path, snap, &r.metrics(), &meta);
+    }
 }
 
 fn run_soak(p: &SoakParams, smoke: bool) {
@@ -343,7 +345,7 @@ fn run_soak(p: &SoakParams, smoke: bool) {
     let _ = writeln!(json, "  \"heap_words\": {},", p.heap_words);
     let _ = writeln!(json, "  \"epoch_rounds\": {},", p.epoch_rounds);
     let _ = writeln!(json, "  \"real_budget_secs\": {:.3},", p.real_budget.as_secs_f64());
-    json.push_str("  \"cells\": [\n");
+    let mut rows = wfl_bench::Rows::new();
 
     // In soak cells the per-workload round counts are the *epoch* batch
     // size; timed real cells keep opening epochs until the deadline.
@@ -367,7 +369,6 @@ fn run_soak(p: &SoakParams, smoke: bool) {
     };
 
     let mut cells = 0u64;
-    let mut first = true;
     for workload in WORKLOADS {
         wfl_bench::header(&["cell", "mode", "attempts", "wins", "epochs", "high water", "wall (s)", "safety"]);
         for &row_threads in p.thread_counts {
@@ -427,13 +428,15 @@ fn run_soak(p: &SoakParams, smoke: bool) {
                         format!("{wall:.4}"),
                         "ok".to_string(),
                     ]);
-                    json_cell(&mut json, &mut first, workload, algo, threads, mode.label(), &r);
+                    json_cell(&mut rows, workload, algo, threads, mode.label(), &r);
                 }
             }
         }
         println!();
     }
-    json.push_str("\n  ],\n");
+    json.push_str("  \"cells\": ");
+    json.push_str(&rows.finish());
+    json.push_str(",\n");
     let _ = writeln!(json, "  \"cells_total\": {cells}");
     json.push_str("}\n");
 

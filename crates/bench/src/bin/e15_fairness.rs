@@ -19,7 +19,10 @@
 //! stretch blows up), exactly the failure the paper's helping + delay
 //! mechanism removes.
 //!
-//! Emits `BENCH_fairness.json`. Usage: `e15_fairness [--smoke]`
+//! Emits `BENCH_fairness.json`. Usage: `e15_fairness [--smoke] [--trace out.json]`
+//!   --trace : export a recorded deterministic targeted-adversary wfl sim
+//!             cell as Chrome/Perfetto `trace_event` JSON (plus a
+//!             `<path>.metrics.json` sidecar).
 //!   --smoke : CI-sized cells, and the run **gates**:
 //!     (a) real backend, each thread count: wfl victim success lower bound
 //!         stays above the paper bound minus tolerance;
@@ -93,45 +96,61 @@ fn run_sim_cell(algo: AlgoKind, nprocs: usize) -> Cell {
     Cell { report, threads: nprocs, bound: 1.0 / nprocs as f64 }
 }
 
+/// The uniform metrics fold of a fairness cell. [`FairnessReport`] has no
+/// retry give-up tallies or per-attempt step summary, so the uniform
+/// block carries the per-process acquisition-latency histogram (steps to
+/// win, all processes merged) as its step distribution, and the give-up
+/// object stays empty.
+fn metrics_of(r: &FairnessReport) -> wfl_obs::MetricsSnapshot {
+    let mut steps = wfl_obs::FixedHistogram::default();
+    for t in &r.per_proc {
+        steps.merge(&t.latency);
+    }
+    let wall_secs = r.wall.map(|w| w.as_secs_f64().max(1e-12));
+    wfl_obs::MetricsSnapshot {
+        attempts: r.attempts(),
+        wins: r.wins(),
+        aborts: r.per_proc.iter().map(|t| t.aborts).sum(),
+        epochs: r.epochs,
+        steps,
+        wall_secs,
+        wins_per_sec: wall_secs.map(|w| r.wins() as f64 / w),
+        ..Default::default()
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn json_cell(
-    json: &mut String,
-    first: &mut bool,
+    rows: &mut wfl_bench::Rows,
     backend: &str,
     algo: &str,
     strength: &str,
     cell: &Cell,
 ) {
-    if !*first {
-        json.push_str(",\n");
-    }
-    *first = false;
     let r = &cell.report;
     let v = r.victim_success();
     let vt = r.victim();
-    let _ = write!(
-        json,
-        "    {{\"backend\": \"{backend}\", \"algo\": \"{algo}\", \"strength\": \"{strength}\", \
-         \"threads\": {}, \"bound\": {:.6}, \"victim_rate\": {:.6}, \"victim_lb\": {:.6}, \
-         \"victim_wins\": {}, \"victim_attempts\": {}, \"jain_index\": {:.6}, \
-         \"victim_max_stretch\": {}, \"victim_latency_p50\": {}, \"victim_latency_p99\": {}, \
-         \"competitor_attempts\": {}, \"contested\": {}, \"total_wins\": {}, \"epochs\": {}, \
-         \"wall_secs\": {:.6}}}",
-        cell.threads,
-        cell.bound,
-        v.rate(),
-        cell.victim_lb(),
-        v.successes,
-        v.trials,
-        r.jain_rates(),
-        vt.max_stretch,
-        vt.latency.percentile(0.5),
-        vt.latency.percentile(0.99),
-        r.attempts() - v.trials,
-        r.attempts() > v.trials,
-        r.wins(),
-        r.epochs,
-        r.wall.map(|w| w.as_secs_f64()).unwrap_or(0.0),
+    rows.push(
+        &[
+            ("backend", backend.to_string()),
+            ("algo", algo.to_string()),
+            ("strength", strength.to_string()),
+        ],
+        &[
+            ("threads", cell.threads.to_string()),
+            ("bound", format!("{:.6}", cell.bound)),
+            ("victim_rate", format!("{:.6}", v.rate())),
+            ("victim_lb", format!("{:.6}", cell.victim_lb())),
+            ("victim_wins", v.successes.to_string()),
+            ("victim_attempts", v.trials.to_string()),
+            ("jain_index", format!("{:.6}", r.jain_rates())),
+            ("victim_max_stretch", vt.max_stretch.to_string()),
+            ("victim_latency_p50", vt.latency.percentile(0.5).to_string()),
+            ("victim_latency_p99", vt.latency.percentile(0.99).to_string()),
+            ("competitor_attempts", (r.attempts() - v.trials).to_string()),
+            ("contested", (r.attempts() > v.trials).to_string()),
+        ],
+        &metrics_of(r),
     );
 }
 
@@ -195,8 +214,7 @@ fn main() {
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(json, "  \"bound_model\": \"1/(kappa*L), kappa = threads, L = 1\",");
     let _ = writeln!(json, "  \"rounds_per_epoch\": {ROUNDS},");
-    json.push_str("  \"results\": [\n");
-    let mut first = true;
+    let mut rows = wfl_bench::Rows::new();
 
     // --- real backend: algorithms x threads x strength ---
     println!("## real threads");
@@ -215,7 +233,7 @@ fn main() {
                 if algo_name == "wfl" {
                     wfl_bound_ok &= cell.victim_lb() >= cell.bound * 0.6;
                 }
-                json_cell(&mut json, &mut first, "real", algo_name, strength.label(), &cell);
+                json_cell(&mut rows, "real", algo_name, strength.label(), &cell);
             }
         }
     }
@@ -231,8 +249,8 @@ fn main() {
     let sim_naive = run_sim_cell(algo_of("naive", 4), 4);
     print_cell("wfl", "targeted", &sim_wfl);
     print_cell("naive", "targeted", &sim_naive);
-    json_cell(&mut json, &mut first, "sim", "wfl", "targeted", &sim_wfl);
-    json_cell(&mut json, &mut first, "sim", "naive", "targeted", &sim_naive);
+    json_cell(&mut rows, "sim", "wfl", "targeted", &sim_wfl);
+    json_cell(&mut rows, "sim", "naive", "targeted", &sim_naive);
     println!();
 
     // Gate (b): deterministic — identical numbers on every machine. The
@@ -285,7 +303,27 @@ fn main() {
         naive_worst_stretch
     );
 
-    json.push_str("\n  ],\n");
+    // --trace: the adversary driver bypasses the harness's epoch loop, so
+    // the binary cycles the global recorder around one deterministic sim
+    // cell itself (the sim arm is quiescent when `run_adversary` returns).
+    if let Some(path) = wfl_bench::parse_trace(&std::env::args().collect::<Vec<_>>()) {
+        wfl_obs::rec::enable();
+        let cell = run_sim_cell(algo_of("wfl", 4), 4);
+        wfl_obs::rec::disable();
+        let snap = wfl_obs::rec::snapshot();
+        let meta = [
+            ("bench", "e15_fairness".to_string()),
+            ("backend", "sim".to_string()),
+            ("algo", "wfl".to_string()),
+            ("strength", "targeted".to_string()),
+            ("threads", "4".to_string()),
+        ];
+        wfl_bench::write_trace(&path, &snap, &metrics_of(&cell.report), &meta);
+    }
+
+    json.push_str("  \"results\": ");
+    json.push_str(&rows.finish());
+    json.push_str(",\n");
     let _ = writeln!(json, "  \"gates\": {{");
     let _ = writeln!(json, "    \"wfl_bound_real\": {wfl_bound_ok},");
     let _ = writeln!(json, "    \"wfl_bound_sim\": {sim_wfl_holds},");

@@ -34,10 +34,15 @@
 //! ([`FaultSpec`]) as an end-to-end check of the same path on hardware.
 //!
 //! Emits `BENCH_overload.json`.
-//! Usage: `e16_overload [--smoke] [--algos a,b,c]`
+//! Usage: `e16_overload [--smoke] [--algos a,b,c] [--trace out.json]`
 //!   --algos : narrow the matrix to the named algorithms (any
 //!             [`AlgoKind::all_extended`] label); gates that compare
 //!             against a filtered-out algorithm are skipped.
+//!   --trace : export the recorded faulted deadline-armed wfl replay cell
+//!             as Chrome/Perfetto `trace_event` JSON at the given path
+//!             (openable in ui.perfetto.dev), with a
+//!             `<path>.metrics.json` sidecar; the document is
+//!             parse-validated before it is written.
 //!   --smoke : CI-sized cells, and the run **gates**:
 //!     (a) wfl goodput under faults stays ≥ 0.8× its fault-free goodput
 //!         at the SLO deadline;
@@ -52,7 +57,6 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 use wfl_bench::{header, row, verdict};
-use wfl_core::GiveUp;
 use wfl_runtime::clamp_threads;
 use wfl_runtime::real::{FaultSpec, RealConfig};
 use wfl_workloads::harness::{
@@ -182,6 +186,7 @@ fn run_sim_cell(
     attempts: usize,
     deadline: Option<u64>,
     faulted: bool,
+    record: bool,
 ) -> Cell {
     let spec = conflict_spec(threads, attempts);
     let (p, q) = fault_window(threads);
@@ -193,6 +198,9 @@ fn run_sim_cell(
     let mut mode = ExecMode::sim(sched, 2_000_000_000);
     if let Some(d) = deadline {
         mode = mode.with_deadline_steps(d);
+    }
+    if record {
+        mode = mode.with_recorder();
     }
     let r = run_random_conflict_mode(&spec, algo, &mode);
     assert!(
@@ -220,6 +228,7 @@ fn run_real_cell(algo: AlgoKind, threads: usize, attempts: usize, deadline: u64,
         cfg,
         epoch_rounds: None,
         deadline_steps: None,
+        recorder: false,
     }
     .with_deadline_steps(deadline);
     let r = run_random_conflict_mode(&spec, algo, &mode);
@@ -231,10 +240,13 @@ fn run_real_cell(algo: AlgoKind, threads: usize, attempts: usize, deadline: u64,
     Cell::from_report(r)
 }
 
+/// One JSON row: experiment-specific fields (the exact-percentile abort
+/// latencies keep their own `abort_p50`/`abort_p99` keys — the uniform
+/// block's `abort_p99_steps` is the fixed-bucket fold), then the
+/// uniform metrics block.
 #[allow(clippy::too_many_arguments)]
 fn json_cell(
-    json: &mut String,
-    first: &mut bool,
+    rows: &mut wfl_bench::Rows,
     backend: &str,
     algo: &str,
     threads: usize,
@@ -242,33 +254,18 @@ fn json_cell(
     faulted: bool,
     c: &Cell,
 ) {
-    if !*first {
-        json.push_str(",\n");
-    }
-    *first = false;
-    let r = &c.report;
-    let give_up: Vec<String> = GiveUp::all()
-        .iter()
-        .map(|g| format!("\"{}\": {}", g.label(), r.give_up[g.index()]))
-        .collect();
-    let deadline_str = deadline.map_or("null".to_string(), |d| d.to_string());
-    let _ = write!(
-        json,
-        "    {{\"backend\": \"{backend}\", \"algo\": \"{algo}\", \"threads\": {threads}, \
-         \"deadline_steps\": {deadline_str}, \"faulted\": {faulted}, \
-         \"attempts\": {}, \"wins\": {}, \"aborts\": {}, \"rescues\": {}, \
-         \"goodput_wins_per_kstep\": {:.4}, \"abort_p50_steps\": {}, \"abort_p99_steps\": {}, \
-         \"help_rate\": {:.4}, \"steps_p99\": {}, \"give_up\": {{{}}}}}",
-        r.attempts,
-        r.wins,
-        r.aborts,
-        r.rescues,
-        c.goodput,
-        c.abort_p50,
-        c.abort_p99,
-        c.help_rate,
-        r.steps.percentile(0.99),
-        give_up.join(", ")
+    rows.push(
+        &[("backend", backend.to_string()), ("algo", algo.to_string())],
+        &[
+            ("threads", threads.to_string()),
+            ("deadline_steps", deadline.map_or("null".to_string(), |d| d.to_string())),
+            ("faulted", faulted.to_string()),
+            ("goodput_wins_per_kstep", format!("{:.4}", c.goodput)),
+            ("abort_p50", c.abort_p50.to_string()),
+            ("abort_p99", c.abort_p99.to_string()),
+            ("help_rate", format!("{:.4}", c.help_rate)),
+        ],
+        &c.report.metrics(),
     );
 }
 
@@ -294,8 +291,7 @@ fn main() {
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"e16_overload\",");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
-    json.push_str("  \"results\": [\n");
-    let mut first = true;
+    let mut rows = wfl_bench::Rows::new();
 
     // --- sim block: the deterministic overload matrix, and the gates ---
     let mut gates_ok = true;
@@ -317,8 +313,9 @@ fn main() {
             let mut slo_pair = [0.0f64; 2];
             for deadline in deadlines {
                 for faulted in [false, true] {
-                    let c =
-                        run_sim_cell(algo, threads, rounds_for(algo, smoke), deadline, faulted);
+                    let c = run_sim_cell(
+                        algo, threads, rounds_for(algo, smoke), deadline, faulted, false,
+                    );
                     if deadline == Some(slo_d) {
                         slo_pair[faulted as usize] = c.goodput;
                     }
@@ -332,9 +329,7 @@ fn main() {
                         format!("{}/{}", c.abort_p50, c.abort_p99),
                         format!("{:.2}", c.help_rate),
                     ]);
-                    json_cell(
-                        &mut json, &mut first, "sim", algo.label(), threads, deadline, faulted, &c,
-                    );
+                    json_cell(&mut rows, "sim", algo.label(), threads, deadline, faulted, &c);
                     // Gate (b): the SLO is honored — aborts bail out within
                     // 2x the armed budget. Gated at the SLO only: a budget
                     // below one attempt's mandatory reveal stall (the TIGHT
@@ -394,17 +389,47 @@ fn main() {
     }
 
     // Gate (d): a faulted, deadline-armed wfl cell is deterministic —
-    // byte-identical outcome books on replay.
+    // byte-identical outcome books on replay. Both replays run with the
+    // flight recorder on, so the gate also covers the full event
+    // sequence: same seed, bit-identical trace.
     let t0 = thread_counts[0];
     let replay_algo = AlgoKind::Wfl { kappa: t0.max(2), delays: true, helping: true };
-    let a = run_sim_cell(replay_algo, t0, 60, Some(tight(t0)), true);
-    let b = run_sim_cell(replay_algo, t0, 60, Some(tight(t0)), true);
+    let a = run_sim_cell(replay_algo, t0, 60, Some(tight(t0)), true, true);
+    let b = run_sim_cell(replay_algo, t0, 60, Some(tight(t0)), true, true);
     let replay_ok = a.report.wins == b.report.wins
         && a.report.aborts == b.report.aborts
         && a.report.rescues == b.report.rescues
         && a.report.give_up == b.report.give_up;
     println!("faulted deadline replay determinism: {}", verdict(replay_ok));
     gates_ok &= replay_ok;
+    let trace_a = a.report.trace.as_ref().expect("recorded replay cell carries a trace");
+    let trace_ok = a.report.trace == b.report.trace && trace_a.total_events() > 0;
+    println!(
+        "faulted trace replay determinism ({} events): {}",
+        trace_a.total_events(),
+        verdict(trace_ok)
+    );
+    gates_ok &= trace_ok;
+
+    // --trace: export the recorded faulted cell as a Chrome/Perfetto
+    // trace_event document (plus a metrics sidecar), and parse-validate
+    // it before writing — spans must nest, and a faulted deadline-armed
+    // cell must show attempts, aborts and fault windows.
+    if let Some(path) = wfl_bench::parse_trace(&args) {
+        let meta = [
+            ("bench", "e16_overload".to_string()),
+            ("backend", "sim".to_string()),
+            ("algo", replay_algo.label().to_string()),
+            ("threads", t0.to_string()),
+            ("deadline_steps", tight(t0).to_string()),
+            ("faulted", "true".to_string()),
+            ("seed", SEED.to_string()),
+        ];
+        let stats = wfl_bench::write_trace(&path, trace_a, &a.report.metrics(), &meta);
+        assert!(stats.attempts > 0, "traced cell shows no attempt spans");
+        assert!(stats.aborts > 0, "traced deadline-armed cell shows no aborts");
+        assert!(stats.fault_windows > 0, "traced faulted cell shows no fault windows");
+    }
 
     // --- real block: same path on hardware (safety-gated only; timing
     // ratios on a shared machine are reported, not asserted) ---
@@ -428,8 +453,7 @@ fn main() {
                 format!("{:.1}", c.report.wall.expect("real run").as_secs_f64() * 1e3),
             ]);
             json_cell(
-                &mut json,
-                &mut first,
+                &mut rows,
                 "real",
                 algo.label(),
                 real_threads,
@@ -441,7 +465,9 @@ fn main() {
     }
     println!();
 
-    json.push_str("\n  ],\n");
+    json.push_str("  \"results\": ");
+    json.push_str(&rows.finish());
+    json.push_str(",\n");
     let _ = writeln!(json, "  \"gates_ok\": {gates_ok}");
     json.push_str("}\n");
     std::fs::write("BENCH_overload.json", &json).expect("write BENCH_overload.json");

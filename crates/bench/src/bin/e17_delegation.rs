@@ -33,8 +33,11 @@
 //!   combining never traded away wait-freedom.
 //!
 //! Emits `BENCH_delegation.json`.
-//! Usage: `e17_delegation [--smoke] [--algos a,b,c]`
+//! Usage: `e17_delegation [--smoke] [--algos a,b,c] [--trace out.json]`
 //!   --algos : narrow the roster to the named algorithms.
+//!   --trace : export the recorded faulted wfl+combine sim cell as
+//!             Chrome/Perfetto `trace_event` JSON (plus a
+//!             `<path>.metrics.json` sidecar).
 //!   --smoke : CI-sized cells, and the run **gates**:
 //!     (a) wfl+combine actually combines under sim contention (nonempty
 //!         batch histogram) and stays safe doing it;
@@ -175,10 +178,19 @@ fn overload_spec(threads: usize, attempts: usize) -> SimSpec {
     spec
 }
 
-fn run_sim_overload(algo: AlgoKind, threads: usize, attempts: usize, faulted: bool) -> Cell {
+fn run_sim_overload(
+    algo: AlgoKind,
+    threads: usize,
+    attempts: usize,
+    faulted: bool,
+    record: bool,
+) -> Cell {
     let spec = overload_spec(threads, attempts);
-    let mode = ExecMode::sim(sched_for(algo, faulted, threads), 2_000_000_000)
+    let mut mode = ExecMode::sim(sched_for(algo, faulted, threads), 2_000_000_000)
         .with_deadline_steps(slo(threads));
+    if record {
+        mode = mode.with_recorder();
+    }
     let r = run_random_conflict_mode(&spec, algo, &mode);
     assert!(
         r.safety_ok,
@@ -214,7 +226,7 @@ fn run_real_fault(algo: AlgoKind, threads: usize, attempts: usize, faulted: bool
     } else {
         RealConfig::fast()
     };
-    let mode = ExecMode::Real { threads, run_for: None, cfg, epoch_rounds: None, deadline_steps: None }
+    let mode = ExecMode::Real { threads, run_for: None, cfg, epoch_rounds: None, deadline_steps: None, recorder: false }
         .with_deadline_steps(slo(threads));
     let r = run_random_conflict_mode(&spec, algo, &mode);
     assert!(
@@ -245,10 +257,13 @@ fn batch_hist_json(r: &HarnessReport) -> String {
     format!("{{{}}}", body.join(", "))
 }
 
+/// One JSON row: experiment-specific fields (the exact-percentile abort
+/// latency keeps its own `abort_p99` key — the uniform block's
+/// `abort_p99_steps` is the fixed-bucket fold), then the uniform
+/// metrics block.
 #[allow(clippy::too_many_arguments)]
 fn json_cell(
-    json: &mut String,
-    first: &mut bool,
+    rows: &mut wfl_bench::Rows,
     block: &str,
     backend: &str,
     algo: &str,
@@ -256,35 +271,26 @@ fn json_cell(
     faulted: bool,
     c: &Cell,
 ) {
-    if !*first {
-        json.push_str(",\n");
-    }
-    *first = false;
     let r = &c.report;
-    let _ = write!(
-        json,
-        "    {{\"block\": \"{block}\", \"backend\": \"{backend}\", \"algo\": \"{algo}\", \
-         \"threads\": {threads}, \"faulted\": {faulted}, \
-         \"attempts\": {}, \"wins\": {}, \"aborts\": {}, \"rescues\": {}, \
-         \"combined_wins\": {}, \"combined_share\": {:.4}, \
-         \"combine_batches\": {}, \"combine_batch_mean\": {:.3}, \"combine_batch_max\": {}, \
-         \"combine_batch_hist\": {}, \
-         \"goodput_wins_per_kstep\": {:.4}, \"wins_per_sec\": {:.1}, \"jain\": {:.4}, \
-         \"abort_p99_steps\": {}}}",
-        r.attempts,
-        r.wins,
-        r.aborts,
-        r.rescues,
-        r.combined_wins,
-        c.combined_share,
-        r.combine_batch.len(),
-        r.combine_batch.mean(),
-        r.combine_batch.max(),
-        batch_hist_json(r),
-        c.goodput,
-        c.wins_per_sec,
-        c.jain,
-        c.abort_p99,
+    rows.push(
+        &[
+            ("block", block.to_string()),
+            ("backend", backend.to_string()),
+            ("algo", algo.to_string()),
+        ],
+        &[
+            ("threads", threads.to_string()),
+            ("faulted", faulted.to_string()),
+            ("combined_share", format!("{:.4}", c.combined_share)),
+            ("combine_batches", r.combine_batch.len().to_string()),
+            ("combine_batch_mean", format!("{:.3}", r.combine_batch.mean())),
+            ("combine_batch_max", r.combine_batch.max().to_string()),
+            ("combine_batch_hist", batch_hist_json(r)),
+            ("goodput_wins_per_kstep", format!("{:.4}", c.goodput)),
+            ("jain", format!("{:.4}", c.jain)),
+            ("abort_p99", c.abort_p99.to_string()),
+        ],
+        &r.metrics(),
     );
 }
 
@@ -318,8 +324,7 @@ fn main() {
     let _ = writeln!(json, "  \"bench\": \"e17_delegation\",");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(json, "  \"available_parallelism\": {avail},");
-    json.push_str("  \"results\": [\n");
-    let mut first = true;
+    let mut rows = wfl_bench::Rows::new();
     let mut gates_ok = true;
 
     // --- gate (a): combining fires under deterministic sim contention ---
@@ -344,7 +349,7 @@ fn main() {
             verdict(!c.report.combine_batch.is_empty())
         );
         gates_ok &= !c.report.combine_batch.is_empty();
-        json_cell(&mut json, &mut first, "contention", "sim", "wfl+combine", 4, false, &c);
+        json_cell(&mut rows, "contention", "sim", "wfl+combine", 4, false, &c);
     }
     println!();
 
@@ -383,7 +388,8 @@ fn main() {
         let mut faulted_aborts = 0u64;
         let mut faulted_p99 = 0u64;
         for faulted in [false, true] {
-            let c = run_sim_overload(algo, fault_threads, overload_rounds(algo, smoke), faulted);
+            let c =
+                run_sim_overload(algo, fault_threads, overload_rounds(algo, smoke), faulted, false);
             pair[faulted as usize] = c.goodput;
             if faulted {
                 faulted_aborts = c.report.aborts;
@@ -410,9 +416,7 @@ fn main() {
                 }
                 gates_ok &= ok;
             }
-            json_cell(
-                &mut json, &mut first, "overload", "sim", algo.label(), fault_threads, faulted, &c,
-            );
+            json_cell(&mut rows, "overload", "sim", algo.label(), fault_threads, faulted, &c);
         }
         let ratio = if pair[0] > 0.0 { pair[1] / pair[0] } else { 0.0 };
         if matches!(algo, AlgoKind::WflCombine { .. }) {
@@ -459,17 +463,39 @@ fn main() {
         }
     }
 
-    // Gate (b), second half: a faulted combining cell replays exactly.
+    // Gate (b), second half: a faulted combining cell replays exactly —
+    // including its full flight-recorder event sequence (both replays run
+    // with the recorder on).
     {
-        let a = run_sim_overload(AlgoKind::WflCombine { kappa: fault_threads.max(2) }, fault_threads, 60, true);
-        let b = run_sim_overload(AlgoKind::WflCombine { kappa: fault_threads.max(2) }, fault_threads, 60, true);
+        let combine = AlgoKind::WflCombine { kappa: fault_threads.max(2) };
+        let a = run_sim_overload(combine, fault_threads, 60, true, true);
+        let b = run_sim_overload(combine, fault_threads, 60, true, true);
         let replay_ok = a.report.wins == b.report.wins
             && a.report.aborts == b.report.aborts
             && a.report.rescues == b.report.rescues
             && a.report.combined_wins == b.report.combined_wins
-            && a.report.give_up == b.report.give_up;
-        println!("faulted combining replay determinism: {}", verdict(replay_ok));
+            && a.report.give_up == b.report.give_up
+            && a.report.trace == b.report.trace
+            && a.report.trace.as_ref().is_some_and(|t| t.total_events() > 0);
+        println!("faulted combining replay determinism (incl. trace): {}", verdict(replay_ok));
         gates_ok &= replay_ok;
+
+        // --trace: export the recorded faulted combining cell.
+        if let Some(path) = wfl_bench::parse_trace(&args) {
+            let meta = [
+                ("bench", "e17_delegation".to_string()),
+                ("block", "overload".to_string()),
+                ("backend", "sim".to_string()),
+                ("algo", combine.label().to_string()),
+                ("threads", fault_threads.to_string()),
+                ("faulted", "true".to_string()),
+                ("seed", SEED.to_string()),
+            ];
+            let snap = a.report.trace.as_ref().expect("recorded run carries a trace");
+            let stats = wfl_bench::write_trace(&path, snap, &a.report.metrics(), &meta);
+            assert!(stats.attempts > 0, "traced cell shows no attempt spans");
+            assert!(stats.fault_windows > 0, "traced faulted cell shows no fault windows");
+        }
     }
 
     // --- closed-loop block: the throughput sweep, and gate (e) ---
@@ -496,9 +522,7 @@ fn main() {
                 format!("{}", c.report.combine_batch.len()),
                 format!("{:.3}", c.jain),
             ]);
-            json_cell(
-                &mut json, &mut first, "closed_loop", "real", algo.label(), threads, false, &c,
-            );
+            json_cell(&mut rows, "closed_loop", "real", algo.label(), threads, false, &c);
         }
     }
     println!();
@@ -534,14 +558,14 @@ fn main() {
                 format!("{}", c.report.combined_wins),
                 format!("{:.1}", c.report.wall.expect("real run").as_secs_f64() * 1e3),
             ]);
-            json_cell(
-                &mut json, &mut first, "overload", "real", algo.label(), real_threads, faulted, &c,
-            );
+            json_cell(&mut rows, "overload", "real", algo.label(), real_threads, faulted, &c);
         }
     }
     println!();
 
-    json.push_str("\n  ],\n");
+    json.push_str("  \"results\": ");
+    json.push_str(&rows.finish());
+    json.push_str(",\n");
     let _ = writeln!(json, "  \"gates_ok\": {gates_ok}");
     json.push_str("}\n");
     std::fs::write("BENCH_delegation.json", &json).expect("write BENCH_delegation.json");

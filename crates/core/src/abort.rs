@@ -79,6 +79,16 @@ pub enum AbortReason {
     Stop,
 }
 
+impl AbortReason {
+    /// Stable index (the flight recorder's `Abort` event argument).
+    pub fn index(self) -> usize {
+        match self {
+            AbortReason::Deadline => 0,
+            AbortReason::Stop => 1,
+        }
+    }
+}
+
 /// Why a bounded retry loop ([`crate::lock_and_run_limited`] /
 /// [`crate::lock_and_run_until`]) gave up without acquiring the locks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -174,6 +174,9 @@ pub fn lock_and_run_until(
         }
     };
     scratch.deadline = armed;
+    if let Some(g) = gave_up {
+        crate::trylock::obs(ctx, wfl_obs::EventKind::GiveUp, g.index() as u64);
+    }
     RetryMetrics { attempts, steps: ctx.steps() - t_start, gave_up }
 }
 

@@ -35,7 +35,17 @@ use crate::space::LockSpace;
 use std::cell::Cell;
 use wfl_activeset::{get_members_by, multi_insert_into, multi_remove, ActiveSet, Flag};
 use wfl_idem::{Frame, Registry, TagSource, ThunkId};
+use wfl_obs::{AttemptOutcomeBits, EventKind};
 use wfl_runtime::{Addr, Ctx};
+
+/// Emits one flight-recorder event from an algorithm hook point. Every
+/// argument read (`pid`, `now`, `steps`) is an uncounted `Cell` load, so
+/// recording never perturbs the schedule or the step accounting; when
+/// the recorder is disabled this is one relaxed load and a branch.
+#[inline]
+pub(crate) fn obs(ctx: &Ctx<'_>, kind: EventKind, arg: u64) {
+    wfl_obs::rec::record(ctx.pid(), kind, ctx.now(), ctx.steps(), arg);
+}
 
 /// A tryLock request: the lock set and the critical section to run on
 /// success.
@@ -223,6 +233,7 @@ pub fn try_locks(
     // Descriptor + thunk frame (private until inserted).
     let frame = Frame::create(ctx, registry, req.thunk, tag_base, req.args);
     let p = Desc::create(ctx, req.locks, frame);
+    obs(ctx, EventKind::AttemptStart, req.locks.len() as u64);
     wfl_runtime::trace::emit(|| format!("t={} pid={} start attempt {:?} frame={:?}", ctx.now(), ctx.pid(), p.0, frame.0));
     if let Some(cell) = scratch.probe {
         // Fairness probe: hand the adversary this attempt's descriptor the
@@ -263,6 +274,7 @@ pub fn try_locks(
     if let Some(r) = aborted {
         return abort_unrevealed(ctx, scratch, p, r, start, helped);
     }
+    obs(ctx, EventKind::HelpDone, helped);
 
     // multiInsert; the flag raise is the reveal step with the T0 delay.
     scratch.sets.clear();
@@ -273,6 +285,7 @@ pub fn try_locks(
         overrun: Cell::new(false),
     };
     multi_insert_into(ctx, &flag, p.item(), &scratch.sets, &mut scratch.slots);
+    obs(ctx, EventKind::RevealDone, 0);
     wfl_runtime::trace::emit(|| format!("t={} pid={} revealed {:?} prio={:x}", ctx.now(), ctx.pid(), p.0, ctx.heap().peek(p.prio_addr())));
 
     // Post-reveal abort poll (the `T0` reveal stall just ran, so this is
@@ -299,6 +312,15 @@ pub fn try_locks(
             ctx.write_rel(cell, 0);
         }
         wfl_runtime::trace::emit(|| format!("t={} pid={} abort({:?}) post-reveal {:?} rescued={}", ctx.now(), ctx.pid(), p.0, r, rescued));
+        obs(ctx, EventKind::Abort, r.index() as u64 | 1 << 8);
+        if rescued {
+            obs(ctx, EventKind::Rescue, 0);
+        }
+        obs(
+            ctx,
+            EventKind::AttemptEnd,
+            AttemptOutcomeBits::pack(rescued, true, rescued, false, 0),
+        );
         return AttemptMetrics {
             won: rescued,
             steps: ctx.steps() - start,
@@ -313,6 +335,11 @@ pub fn try_locks(
 
     // Compete.
     run_desc(ctx, space, registry, p, &mut scratch.members);
+    if wfl_obs::rec::is_enabled() {
+        // The status re-read for the event argument is an uncounted peek:
+        // the counted re-read below happens identically either way.
+        obs(ctx, EventKind::SettleDone, is_won(ctx.heap().peek(p.status_addr())) as u64);
+    }
 
     // Combining fast path (E17, `cfg.combine`): having won by our own
     // `decide` — own thunk complete, descriptor still in every active set
@@ -403,6 +430,7 @@ pub fn try_locks(
                 break;
             }
             wfl_runtime::trace::emit(|| format!("t={} pid={} combine({:?}) claims {:?}", ctx.now(), ctx.pid(), p.0, q.0));
+            obs(ctx, EventKind::CombineClaim, qm);
             celebrate_if_won(ctx, registry, q);
             combined_peers += 1;
         }
@@ -424,6 +452,17 @@ pub fn try_locks(
     }
 
     let status = p.status(ctx);
+    obs(
+        ctx,
+        EventKind::AttemptEnd,
+        AttemptOutcomeBits::pack(
+            is_won(status),
+            false,
+            false,
+            status == ST_COMBINED,
+            combined_peers,
+        ),
+    );
     AttemptMetrics {
         won: is_won(status),
         steps: ctx.steps() - start,
@@ -457,6 +496,8 @@ pub(crate) fn abort_unrevealed(
         ctx.write_rel(cell, 0);
     }
     wfl_runtime::trace::emit(|| format!("t={} pid={} abort({:?}) pre-reveal {:?}", ctx.now(), ctx.pid(), p.0, reason));
+    obs(ctx, EventKind::Abort, reason.index() as u64);
+    obs(ctx, EventKind::AttemptEnd, AttemptOutcomeBits::pack(false, true, false, false, 0));
     AttemptMetrics {
         won: false,
         steps: ctx.steps() - start,

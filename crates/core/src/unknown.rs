@@ -29,8 +29,9 @@ use crate::descriptor::{is_won, make_priority, Desc, PRIO_TBD, PRIO_UNSET, ST_AC
 use crate::metrics::AttemptMetrics;
 use crate::scratch::Scratch;
 use crate::space::LockSpace;
-use crate::trylock::{abort_unrevealed, celebrate_if_won, run_desc, validate, TryLockRequest};
+use crate::trylock::{abort_unrevealed, celebrate_if_won, obs, run_desc, validate, TryLockRequest};
 use wfl_activeset::{get_members_by, multi_insert_into, multi_remove, Flag};
+use wfl_obs::{AttemptOutcomeBits, EventKind};
 use wfl_idem::{Frame, Registry, TagSource};
 use wfl_runtime::Ctx;
 
@@ -119,6 +120,7 @@ pub fn try_locks_unknown(
 
     let frame = Frame::create(ctx, registry, req.thunk, tag_base, req.args);
     let p = Desc::create(ctx, req.locks, frame);
+    obs(ctx, EventKind::AttemptStart, req.locks.len() as u64);
     if let Some(cell) = scratch.probe {
         // Fairness probe (see `try_locks`): expose the in-flight descriptor
         // to the adaptive adversary for the whole attempt.
@@ -152,6 +154,7 @@ pub fn try_locks_unknown(
     if let Some(r) = aborted {
         return abort_unrevealed(ctx, scratch, p, r, start, helped);
     }
+    obs(ctx, EventKind::HelpDone, helped);
 
     // multiInsert; the flag raise is the PARTICIPATION reveal (TBD).
     scratch.sets.clear();
@@ -172,6 +175,8 @@ pub fn try_locks_unknown(
         if let Some(cell) = scratch.probe {
             ctx.write_rel(cell, 0);
         }
+        obs(ctx, EventKind::Abort, r.index() as u64);
+        obs(ctx, EventKind::AttemptEnd, AttemptOutcomeBits::pack(false, true, false, false, 0));
         return AttemptMetrics {
             won: false,
             steps: ctx.steps() - start,
@@ -225,6 +230,7 @@ pub fn try_locks_unknown(
     let r = ctx.rand_u64();
     ctx.write_rel(p.prio_addr(), make_priority(r, tag_base));
     ctx.publication_fence();
+    obs(ctx, EventKind::RevealDone, 0);
 
     // Post-priority-reveal abort poll: from here competitors can help the
     // descriptor to completion, so abandonment is the eliminate-vs-decide
@@ -241,6 +247,15 @@ pub fn try_locks_unknown(
         if let Some(cell) = scratch.probe {
             ctx.write_rel(cell, 0);
         }
+        obs(ctx, EventKind::Abort, reason.index() as u64 | 1 << 8);
+        if rescued {
+            obs(ctx, EventKind::Rescue, 0);
+        }
+        obs(
+            ctx,
+            EventKind::AttemptEnd,
+            AttemptOutcomeBits::pack(rescued, true, rescued, false, 0),
+        );
         return AttemptMetrics {
             won: rescued,
             steps: ctx.steps() - start,
@@ -255,6 +270,10 @@ pub fn try_locks_unknown(
 
     // Compete over the frozen snapshot.
     run_desc(ctx, space, registry, p, &mut scratch.members);
+    if wfl_obs::rec::is_enabled() {
+        // Uncounted peek for the event argument (see `try_locks`).
+        obs(ctx, EventKind::SettleDone, is_won(ctx.heap().peek(p.status_addr())) as u64);
+    }
 
     // Clean up; pad the attempt end to a power-of-two length (the probe
     // clear stays inside the padding so probing never changes it).
@@ -266,8 +285,10 @@ pub fn try_locks_unknown(
         stall_to_pow2(ctx, start);
     }
 
+    let won = is_won(p.status(ctx));
+    obs(ctx, EventKind::AttemptEnd, AttemptOutcomeBits::pack(won, false, false, false, 0));
     AttemptMetrics {
-        won: is_won(p.status(ctx)),
+        won,
         steps: ctx.steps() - start,
         helped,
         delay_overrun: false,

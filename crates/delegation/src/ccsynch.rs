@@ -21,9 +21,11 @@
 //! exchange), making arrival lock-free rather than wait-free — fine for
 //! a baseline whose whole family is blocking under a frozen combiner.
 
+use crate::obs;
 use wfl_baselines::{AttemptOutcome, LockAlgo};
 use wfl_core::{Scratch, TryLockRequest};
 use wfl_idem::{Frame, Registry, TagSource};
+use wfl_obs::EventKind;
 use wfl_runtime::{Addr, Ctx, Heap, Placement, LINE_WORDS};
 
 const W_WAIT: u32 = 0;
@@ -111,6 +113,7 @@ impl<'a> CcSynch<'a> {
     /// `(others_applied, self_applied)` — `self` meaning `cur`'s own
     /// request.
     fn combine(&self, ctx: &Ctx<'_>, cur: Addr) -> (u64, bool) {
+        obs(ctx, EventKind::CombinerEnter, 0);
         let mut others = 0u64;
         let mut self_applied = false;
         let mut tmp = cur;
@@ -129,6 +132,7 @@ impl<'a> CcSynch<'a> {
                 && req != REQ_TAKEN
                 && ctx.cas_bool_sync(tmp.off(W_REQ), req, REQ_TAKEN)
             {
+                obs(ctx, EventKind::CombinerApply, tmp.to_word());
                 Frame(Addr::from_word(req)).run_raw(ctx, self.registry);
                 if tmp == cur {
                     self_applied = true;
@@ -145,6 +149,7 @@ impl<'a> CcSynch<'a> {
         // Handoff: wait=0 with done=0 makes tmp's owner (or the next
         // arriver displacing the dummy) the next combiner.
         ctx.write_rel(tmp.off(W_WAIT), 0);
+        obs(ctx, EventKind::CombinerExit, others + self_applied as u64);
         (others, self_applied)
     }
 }

@@ -20,9 +20,11 @@
 //! `PENDING` owner spinning — flat combining trades wait-freedom for
 //! throughput, which is exactly what E17's fault arms measure.
 
+use crate::obs;
 use wfl_baselines::{AttemptOutcome, LockAlgo};
 use wfl_core::{Scratch, TryLockRequest};
 use wfl_idem::{Frame, Registry, TagSource};
+use wfl_obs::EventKind;
 use wfl_runtime::{Addr, Ctx, Heap, Placement, LINE_WORDS};
 
 /// Record state: free for the owner to publish into.
@@ -92,6 +94,7 @@ impl<'a> FcLock<'a> {
     /// [`SCAN_PASSES`] times, claiming and executing every `PENDING`
     /// record. Returns `(others_applied, self_applied)`.
     fn combine(&self, ctx: &Ctx<'_>, me: usize) -> (u64, bool) {
+        obs(ctx, EventKind::CombinerEnter, 0);
         let mut others = 0u64;
         let mut self_applied = false;
         for _ in 0..SCAN_PASSES {
@@ -102,6 +105,7 @@ impl<'a> FcLock<'a> {
                     && ctx.cas_bool_sync(rec.off(W_STATE), REC_PENDING, REC_TAKEN)
                 {
                     let frame = Frame(Addr::from_word(ctx.read_acq(rec.off(W_FRAME))));
+                    obs(ctx, EventKind::CombinerApply, p as u64);
                     frame.run_raw(ctx, self.registry);
                     ctx.write_rel(rec.off(W_STATE), REC_DONE);
                     if p == me {
@@ -116,6 +120,7 @@ impl<'a> FcLock<'a> {
                 break;
             }
         }
+        obs(ctx, EventKind::CombinerExit, others + self_applied as u64);
         (others, self_applied)
     }
 }

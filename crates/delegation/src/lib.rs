@@ -35,3 +35,10 @@ mod fc;
 
 pub use ccsynch::CcSynch;
 pub use fc::FcLock;
+
+/// Emits one flight-recorder event from a combiner hook point (uncounted
+/// `Cell` reads only — see `wfl_core`'s twin helper).
+#[inline]
+pub(crate) fn obs(ctx: &wfl_runtime::Ctx<'_>, kind: wfl_obs::EventKind, arg: u64) {
+    wfl_obs::rec::record(ctx.pid(), kind, ctx.now(), ctx.steps(), arg);
+}

@@ -5,11 +5,10 @@
 //! [`wfl_runtime::stats::Summary`] would put an allocation on the hot path
 //! and unbounded memory on a soak. Everything here is fixed-size:
 //!
-//! * [`FixedHistogram`] — power-of-two buckets over `u64` samples. Bucket
-//!   edges are monotone and recording is O(1) with no allocation; two
-//!   histograms [`FixedHistogram::merge`] by adding counts (the same
-//!   fold-at-the-epoch-boundary pattern as `Summary::merge`), which
-//!   conserves both the sample count and the bucket totals exactly.
+//! * [`FixedHistogram`] — power-of-two buckets over `u64` samples,
+//!   re-exported from `wfl_obs` (one implementation shared with the
+//!   flight recorder's metric snapshots). Recording is O(1) with no
+//!   allocation and merging conserves counts exactly.
 //! * [`ProcTelemetry`] — one process's fairness view: attempts, wins, a
 //!   try-count histogram (attempts needed per successful acquisition), an
 //!   acquisition-latency histogram (own steps from the first try of an
@@ -21,138 +20,10 @@
 
 use wfl_runtime::stats::Bernoulli;
 
-/// Number of histogram buckets: bucket 0 holds the value 0, bucket `i ≥ 1`
-/// holds values in `[2^(i-1), 2^i)`; the last bucket absorbs everything
-/// above `2^(BUCKETS-2)`.
-pub const BUCKETS: usize = 33;
-
-/// A fixed-bucket power-of-two histogram over `u64` samples (see module
-/// docs). `Copy`-free but fixed-size: safe to keep per-process and merge
-/// at epoch boundaries.
-#[derive(Debug, Clone)]
-pub struct FixedHistogram {
-    counts: [u64; BUCKETS],
-    count: u64,
-    sum: u64,
-    max: u64,
-}
-
-impl Default for FixedHistogram {
-    fn default() -> Self {
-        FixedHistogram { counts: [0; BUCKETS], count: 0, sum: 0, max: 0 }
-    }
-}
-
-impl FixedHistogram {
-    /// An empty histogram.
-    pub fn new() -> FixedHistogram {
-        FixedHistogram::default()
-    }
-
-    /// The bucket index a value lands in.
-    #[inline]
-    pub fn bucket_of(v: u64) -> usize {
-        if v == 0 {
-            0
-        } else {
-            ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
-        }
-    }
-
-    /// Inclusive lower edge of bucket `i`.
-    pub fn bucket_lo(i: usize) -> u64 {
-        if i == 0 {
-            0
-        } else {
-            1u64 << (i - 1)
-        }
-    }
-
-    /// Inclusive upper edge of bucket `i` (saturating for the last bucket).
-    pub fn bucket_hi(i: usize) -> u64 {
-        if i == 0 {
-            0
-        } else if i >= BUCKETS - 1 {
-            u64::MAX
-        } else {
-            (1u64 << i) - 1
-        }
-    }
-
-    /// Records one sample (O(1), allocation-free).
-    #[inline]
-    pub fn record(&mut self, v: u64) {
-        self.counts[Self::bucket_of(v)] += 1;
-        self.count += 1;
-        self.sum = self.sum.saturating_add(v);
-        self.max = self.max.max(v);
-    }
-
-    /// Folds `other` into `self` by adding bucket counts — the epoch
-    /// boundary fold. Conserves counts: afterwards every bucket (and the
-    /// total) equals the sum of the two inputs'.
-    pub fn merge(&mut self, other: &FixedHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum = self.sum.saturating_add(other.sum);
-        self.max = self.max.max(other.max);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Whether nothing was recorded.
-    pub fn is_empty(&self) -> bool {
-        self.count == 0
-    }
-
-    /// Sum of all samples (saturating).
-    pub fn sum(&self) -> u64 {
-        self.sum
-    }
-
-    /// Largest recorded sample (0 if empty).
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Arithmetic mean (0 if empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// The count in bucket `i`.
-    pub fn bucket_count(&self, i: usize) -> u64 {
-        self.counts[i]
-    }
-
-    /// Nearest-rank `q`-quantile **upper bound**: the upper edge of the
-    /// bucket holding the rank, clamped to the recorded maximum (so `q =
-    /// 1` returns a value `>=` the true max's bucket resolution, never
-    /// `u64::MAX` noise). 0 if empty.
-    pub fn percentile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((self.count - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen > rank {
-                return Self::bucket_hi(i).min(self.max);
-            }
-        }
-        self.max
-    }
-}
+/// The shared fixed-bucket histogram, now owned by `wfl_obs` so the
+/// flight recorder's metric snapshots and the fairness telemetry use one
+/// implementation. Re-exported here unchanged for existing callers.
+pub use wfl_obs::{FixedHistogram, BUCKETS};
 
 /// One process's fairness telemetry (see module docs). Recording is
 /// allocation-free; fold per-epoch instances into a cumulative one with
@@ -263,52 +134,6 @@ pub fn jain_index(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn bucket_edges_are_monotone_and_cover() {
-        for i in 1..BUCKETS {
-            assert!(FixedHistogram::bucket_lo(i) > FixedHistogram::bucket_hi(i - 1));
-            assert!(FixedHistogram::bucket_lo(i) <= FixedHistogram::bucket_hi(i));
-        }
-        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
-            let b = FixedHistogram::bucket_of(v);
-            assert!(FixedHistogram::bucket_lo(b) <= v && v <= FixedHistogram::bucket_hi(b), "{v}");
-        }
-    }
-
-    #[test]
-    fn histogram_records_and_summarizes() {
-        let mut h = FixedHistogram::new();
-        for v in [0u64, 1, 1, 2, 5, 100] {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 6);
-        assert_eq!(h.sum(), 109);
-        assert_eq!(h.max(), 100);
-        assert_eq!(h.bucket_count(0), 1);
-        assert_eq!(h.bucket_count(1), 2);
-        assert!(h.percentile(0.0) <= h.percentile(0.5));
-        assert!(h.percentile(0.5) <= h.percentile(1.0));
-        assert_eq!(h.percentile(1.0), 100, "p100 clamps to the recorded max");
-    }
-
-    #[test]
-    fn merge_conserves_counts() {
-        let mut a = FixedHistogram::new();
-        let mut b = FixedHistogram::new();
-        for v in 0..50u64 {
-            a.record(v * 3);
-            b.record(v * 7);
-        }
-        let (ca, cb) = (a.count(), b.count());
-        let per_bucket: Vec<u64> =
-            (0..BUCKETS).map(|i| a.bucket_count(i) + b.bucket_count(i)).collect();
-        a.merge(&b);
-        assert_eq!(a.count(), ca + cb);
-        for (i, &want) in per_bucket.iter().enumerate() {
-            assert_eq!(a.bucket_count(i), want, "bucket {i}");
-        }
-    }
 
     #[test]
     fn telemetry_tracks_streaks() {

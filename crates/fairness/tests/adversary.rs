@@ -221,6 +221,7 @@ fn real_mode_holder_sequences_pass_the_lincheck_audit() {
         cfg: RealConfig::precise(),
         epoch_rounds: Some(8),
         deadline_steps: None,
+        recorder: false,
     };
     let r = run_adversary(&spec, wfl(3), &mode);
     assert!(r.safety_ok);

@@ -1,0 +1,269 @@
+//! A minimal JSON reader, just enough to parse-validate the traces and
+//! snapshots this workspace emits (no external dependencies — the
+//! workspace bakes in only vendored crates, none of which is a JSON
+//! library). Full RFC 8259 input grammar except that numbers are read as
+//! `f64` and `\u` escapes outside the BMP are not paired.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage is an error).
+    pub fn parse(s: &str) -> Result<JsonValue, String> {
+        let b = s.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Object member lookup (first match; `None` for non-objects).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", JsonValue::Null),
+        Some(_) => parse_num(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(JsonValue::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
+                        *pos += 4;
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape '\\{}'", other as char)),
+                }
+            }
+            Some(&c) => {
+                // Multibyte UTF-8 passes through byte by byte; the input
+                // is a &str so the bytes are valid.
+                let ch_len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let chunk = b.get(*pos..*pos + ch_len).ok_or("truncated utf-8")?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                *pos += ch_len;
+            }
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(members));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let val = parse_value(b, pos)?;
+        members.push((key, val));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+/// Escapes a string for embedding in emitted JSON.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\nyA"}, "d": true, "e": null}"#;
+        let v = JsonValue::parse(doc).unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[1].as_num(), Some(2.5));
+        assert_eq!(arr[2].as_num(), Some(-300.0));
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\nyA"));
+        assert_eq!(v.get("d"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("e"), Some(&JsonValue::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{", "[1,", "{\"a\" 1}", "tru", "\"unterminated", "{} extra", "[1 2]"] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn escape_roundtrips_through_parse() {
+        let nasty = "a\"b\\c\nd\te\u{1}f";
+        let doc = format!("{{\"k\": \"{}\"}}", escape(nasty));
+        let v = JsonValue::parse(&doc).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some(nasty));
+    }
+}

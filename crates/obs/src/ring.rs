@@ -1,0 +1,194 @@
+//! The fixed-capacity single-writer event ring.
+//!
+//! One ring belongs to one writer (a process, or the driver's control
+//! machinery). The writer pushes with plain relaxed stores into its own
+//! cache-line-aligned region — the same single-writer discipline as the
+//! heap's allocation lanes (DESIGN.md §1.1.2) — and publishes each
+//! record with one release store of the cursor. Readers are expected to
+//! drain only at quiescence (after the run, or at an epoch barrier while
+//! workers are parked), which the release/acquire cursor handshake makes
+//! sound without any locks.
+//!
+//! Capacity is fixed at construction: when the ring is full, new events
+//! overwrite the oldest — a flight recorder keeps the *end* of the
+//! story, which is the part a postmortem needs.
+
+use crate::event::{Event, EventKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Words per stored event: kind, now, steps, arg.
+const EVENT_WORDS: usize = 4;
+
+/// A fixed-capacity single-writer ring of [`Event`] records.
+#[repr(align(64))]
+pub struct EventRing {
+    /// Total events ever pushed (monotone; `% capacity` is the write
+    /// index). Written only by the owner, with `Release` so a quiescent
+    /// reader that `Acquire`-loads it sees every published word.
+    cursor: AtomicU64,
+    words: Box<[AtomicU64]>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventRing")
+            .field("capacity", &self.capacity)
+            .field("total", &self.total())
+            .finish()
+    }
+}
+
+impl EventRing {
+    /// A ring holding the last `capacity` events. Capacity is rounded up
+    /// to a power of two (so the write index is a mask, not a division).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> EventRing {
+        assert!(capacity > 0, "an event ring needs at least one slot");
+        let capacity = capacity.next_power_of_two();
+        let mut words = Vec::with_capacity(capacity * EVENT_WORDS);
+        words.resize_with(capacity * EVENT_WORDS, || AtomicU64::new(0));
+        EventRing { cursor: AtomicU64::new(0), words: words.into_boxed_slice(), capacity }
+    }
+
+    /// The ring's slot count (power of two).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever pushed (including overwritten ones).
+    pub fn total(&self) -> u64 {
+        self.cursor.load(Ordering::Acquire)
+    }
+
+    /// Events retained right now: `min(total, capacity)`.
+    pub fn len(&self) -> usize {
+        (self.total() as usize).min(self.capacity)
+    }
+
+    /// Whether nothing has ever been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Events overwritten (lost to wraparound): `total - len`.
+    pub fn dropped(&self) -> u64 {
+        self.total() - self.len() as u64
+    }
+
+    /// Owner-only: records one event. Plain relaxed stores of the four
+    /// words, then a release publish of the cursor. Never allocates.
+    #[inline]
+    pub fn push(&self, ev: Event) {
+        let total = self.cursor.load(Ordering::Relaxed);
+        let base = (total as usize & (self.capacity - 1)) * EVENT_WORDS;
+        self.words[base].store(ev.kind as u64, Ordering::Relaxed);
+        self.words[base + 1].store(ev.now, Ordering::Relaxed);
+        self.words[base + 2].store(ev.steps, Ordering::Relaxed);
+        self.words[base + 3].store(ev.arg, Ordering::Relaxed);
+        self.cursor.store(total + 1, Ordering::Release);
+    }
+
+    /// Owner-only (or quiescent): forgets everything.
+    pub fn clear(&self) {
+        // The words need no wipe: `events` only decodes slots below the
+        // cursor, and every slot is fully re-stored before it is
+        // republished.
+        self.cursor.store(0, Ordering::Release);
+    }
+
+    /// Quiescent read: the retained events, oldest to newest.
+    pub fn events(&self) -> Vec<Event> {
+        let total = self.total();
+        let len = (total as usize).min(self.capacity);
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            let slot = (total as usize - len + i) & (self.capacity - 1);
+            let base = slot * EVENT_WORDS;
+            let kind_word = self.words[base].load(Ordering::Relaxed);
+            // An undecodable kind word can only mean a torn/foreign slot;
+            // skip it rather than invent an event.
+            if let Some(kind) = EventKind::from_u64(kind_word) {
+                out.push(Event {
+                    kind,
+                    now: self.words[base + 1].load(Ordering::Relaxed),
+                    steps: self.words[base + 2].load(Ordering::Relaxed),
+                    arg: self.words[base + 3].load(Ordering::Relaxed),
+                });
+            }
+        }
+        out
+    }
+
+    /// Quiescent read: the last `n` retained events, oldest to newest.
+    pub fn last_n(&self, n: usize) -> Vec<Event> {
+        let mut evs = self.events();
+        let keep = evs.len().min(n);
+        evs.split_off(evs.len() - keep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, n: u64) -> Event {
+        Event { kind, now: n, steps: n * 2, arg: n * 3 }
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(EventRing::new(1).capacity(), 1);
+        assert_eq!(EventRing::new(3).capacity(), 4);
+        assert_eq!(EventRing::new(1000).capacity(), 1024);
+    }
+
+    #[test]
+    fn push_and_read_in_order() {
+        let r = EventRing::new(8);
+        for i in 0..5 {
+            r.push(ev(EventKind::AttemptStart, i));
+        }
+        let evs = r.events();
+        assert_eq!(evs.len(), 5);
+        assert_eq!(r.total(), 5);
+        assert_eq!(r.dropped(), 0);
+        for (i, e) in evs.iter().enumerate() {
+            assert_eq!(e.now, i as u64);
+            assert_eq!(e.steps, 2 * i as u64);
+            assert_eq!(e.arg, 3 * i as u64);
+        }
+    }
+
+    #[test]
+    fn wraparound_keeps_the_newest_events() {
+        let r = EventRing::new(4);
+        for i in 0..11 {
+            r.push(ev(EventKind::AttemptEnd, i));
+        }
+        assert_eq!(r.total(), 11);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 7);
+        let nows: Vec<u64> = r.events().iter().map(|e| e.now).collect();
+        assert_eq!(nows, vec![7, 8, 9, 10]);
+        let last2: Vec<u64> = r.last_n(2).iter().map(|e| e.now).collect();
+        assert_eq!(last2, vec![9, 10]);
+    }
+
+    #[test]
+    fn clear_resets_counters() {
+        let r = EventRing::new(4);
+        for i in 0..9 {
+            r.push(ev(EventKind::Abort, i));
+        }
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        assert!(r.events().is_empty());
+        r.push(ev(EventKind::Rescue, 42));
+        assert_eq!(r.events().len(), 1);
+        assert_eq!(r.events()[0].now, 42);
+    }
+}

@@ -1,0 +1,116 @@
+//! A bounded text ring for human-readable trace lines.
+//!
+//! Replaces the unbounded `Mutex<Vec<String>>` sink that
+//! `wfl_runtime::trace` grew in the early PRs: same lock-per-emit
+//! discipline (emits are rare, debug-only), but fixed capacity — a
+//! runaway trace loop overwrites its own oldest lines instead of eating
+//! the heap — and the drop count is reported so a drained log says when
+//! it is a suffix rather than the whole story.
+
+use std::sync::Mutex;
+
+struct TextState {
+    slots: Vec<Option<String>>,
+    /// Next slot to write (total pushed modulo capacity tracks it).
+    total: u64,
+}
+
+/// A fixed-capacity overwrite-oldest ring of strings. Interior-mutable
+/// (suitable for a `static`); all operations take the one internal lock.
+pub struct TextRing {
+    state: Mutex<TextState>,
+    capacity: usize,
+}
+
+impl TextRing {
+    /// A ring holding at most `capacity` lines (minimum 1).
+    pub fn new(capacity: usize) -> TextRing {
+        let capacity = capacity.max(1);
+        TextRing {
+            state: Mutex::new(TextState { slots: vec![None; capacity], total: 0 }),
+            capacity,
+        }
+    }
+
+    /// Appends a line, overwriting the oldest once full.
+    pub fn push(&self, line: String) {
+        let mut st = self.state.lock().unwrap();
+        let idx = (st.total % self.capacity as u64) as usize;
+        st.slots[idx] = Some(line);
+        st.total += 1;
+    }
+
+    /// Lines ever pushed (including overwritten ones).
+    pub fn total(&self) -> u64 {
+        self.state.lock().unwrap().total
+    }
+
+    /// Lines lost to overwriting.
+    pub fn dropped(&self) -> u64 {
+        let st = self.state.lock().unwrap();
+        st.total.saturating_sub(self.capacity as u64)
+    }
+
+    /// Removes and returns the retained lines, oldest first.
+    pub fn drain(&self) -> Vec<String> {
+        let mut st = self.state.lock().unwrap();
+        let total = st.total;
+        let start = total.saturating_sub(self.capacity as u64);
+        let mut out = Vec::with_capacity((total - start) as usize);
+        for i in start..total {
+            let idx = (i % self.capacity as u64) as usize;
+            if let Some(line) = st.slots[idx].take() {
+                out.push(line);
+            }
+        }
+        st.total = 0;
+        out
+    }
+
+    /// Discards all retained lines.
+    pub fn clear(&self) {
+        let mut st = self.state.lock().unwrap();
+        for s in st.slots.iter_mut() {
+            *s = None;
+        }
+        st.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_returns_lines_in_order() {
+        let r = TextRing::new(8);
+        for i in 0..5 {
+            r.push(format!("line {i}"));
+        }
+        assert_eq!(r.total(), 5);
+        assert_eq!(r.dropped(), 0);
+        let lines = r.drain();
+        assert_eq!(lines, vec!["line 0", "line 1", "line 2", "line 3", "line 4"]);
+        assert_eq!(r.total(), 0, "drain resets the ring");
+        assert!(r.drain().is_empty());
+    }
+
+    #[test]
+    fn overflow_keeps_newest_and_counts_drops() {
+        let r = TextRing::new(4);
+        for i in 0..11 {
+            r.push(format!("{i}"));
+        }
+        assert_eq!(r.dropped(), 7);
+        assert_eq!(r.drain(), vec!["7", "8", "9", "10"]);
+    }
+
+    #[test]
+    fn clear_discards_everything() {
+        let r = TextRing::new(4);
+        r.push("x".into());
+        r.clear();
+        assert_eq!(r.total(), 0);
+        assert!(r.drain().is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the flight-recorder event ring: wraparound keeps
+//! exactly the newest `capacity` events, and retained + dropped always
+//! conserves the pushed total.
+
+use proptest::prelude::*;
+use wfl_obs::{Event, EventKind, EventRing};
+
+fn ev(i: u64) -> Event {
+    Event {
+        kind: if i.is_multiple_of(2) { EventKind::AttemptStart } else { EventKind::AttemptEnd },
+        now: i,
+        steps: i * 3,
+        arg: i ^ 0xabcd,
+    }
+}
+
+proptest! {
+    #[test]
+    fn retained_plus_dropped_conserves_total(
+        cap in 1usize..64,
+        pushes in 0usize..300,
+    ) {
+        let r = EventRing::new(cap);
+        for i in 0..pushes as u64 {
+            r.push(ev(i));
+        }
+        prop_assert_eq!(r.total(), pushes as u64);
+        prop_assert_eq!(r.len() as u64 + r.dropped(), pushes as u64);
+        prop_assert_eq!(r.events().len(), r.len());
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_suffix_in_order(
+        cap in 1usize..64,
+        pushes in 0usize..300,
+    ) {
+        let r = EventRing::new(cap);
+        for i in 0..pushes as u64 {
+            r.push(ev(i));
+        }
+        let got = r.events();
+        // The retained window is exactly the newest min(total, capacity)
+        // events, oldest-to-newest, bit-identical to what was pushed.
+        let start = (pushes as u64).saturating_sub(r.capacity() as u64);
+        let want: Vec<Event> = (start..pushes as u64).map(ev).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn clear_resets_then_ring_fills_again(
+        cap in 1usize..32,
+        first in 0usize..100,
+        second in 0usize..100,
+    ) {
+        let r = EventRing::new(cap);
+        for i in 0..first as u64 {
+            r.push(ev(i));
+        }
+        r.clear();
+        prop_assert_eq!(r.total(), 0);
+        prop_assert!(r.events().is_empty());
+        for i in 0..second as u64 {
+            r.push(ev(1000 + i));
+        }
+        prop_assert_eq!(r.total(), second as u64);
+        let got = r.events();
+        let start = (second as u64).saturating_sub(r.capacity() as u64);
+        let want: Vec<Event> = (start..second as u64).map(|i| ev(1000 + i)).collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -259,7 +259,7 @@ where
             // before re-checking the exit conditions, so no body can be
             // left suspended when the run winds down (the scope join would
             // otherwise deadlock on a spinning victim).
-            let (pauser, stop, finished) = (&pauser.0, &stop.0, &finished);
+            let (pauser, stop, finished, clock) = (&pauser.0, &stop.0, &finished, &clock.0);
             scope.spawn(move || {
                 let mut rng = crate::rng::Pcg::new(f.seed, 0xFA);
                 loop {
@@ -268,9 +268,22 @@ where
                         break;
                     }
                     let victim = rng.below(nprocs as u64);
+                    // Fault-window events land on the control ring; the
+                    // injector has no Ctx, so `now` is the shared clock's
+                    // current reading (lease-granular under Leased mode).
+                    wfl_obs::rec::record_ctrl(
+                        wfl_obs::EventKind::FaultStart,
+                        clock.load(Ordering::Relaxed),
+                        victim,
+                    );
                     pauser.store(victim + 1, Ordering::Release);
                     std::thread::sleep(f.quantum);
                     pauser.store(0, Ordering::Release);
+                    wfl_obs::rec::record_ctrl(
+                        wfl_obs::EventKind::FaultEnd,
+                        clock.load(Ordering::Relaxed),
+                        victim,
+                    );
                 }
             });
         }

@@ -246,8 +246,29 @@ impl<S: Schedule> PeriodicFaults<S> {
 
 impl<S: Schedule> Schedule for PeriodicFaults<S> {
     fn next(&mut self, t: u64) -> Option<usize> {
+        // Flight-recorder fault windows: the scheduled-phase loop calls
+        // `next` exactly once per slot `t`, so the control ring stays
+        // single-writer and the emitted window sequence is a pure
+        // function of the seed (bit-identical across replays). The close
+        // event is skipped when `quantum == period` (back-to-back
+        // windows never close; the exporter renders the open as an
+        // instant).
+        let phase = t % self.period;
+        if phase == 0 && self.quantum > 0 {
+            wfl_obs::rec::record_ctrl(
+                wfl_obs::EventKind::FaultStart,
+                t,
+                self.victim_of_window(t / self.period) as u64,
+            );
+        } else if phase == self.quantum {
+            wfl_obs::rec::record_ctrl(
+                wfl_obs::EventKind::FaultEnd,
+                t,
+                self.victim_of_window(t / self.period) as u64,
+            );
+        }
         let pid = self.inner.next(t)?;
-        if t % self.period < self.quantum && self.victim_of_window(t / self.period) == pid {
+        if phase < self.quantum && self.victim_of_window(t / self.period) == pid {
             None
         } else {
             Some(pid)

@@ -6,36 +6,55 @@
 //! (reveals, comparisons, eliminations, decides, celebrations).
 //!
 //! Tracing is process-wide and intended for single-test debugging; the
-//! fast path when disabled is one relaxed atomic load.
+//! fast path when disabled is one relaxed atomic load. The sink is a
+//! bounded [`wfl_obs::TextRing`] rather than an unbounded `Vec` — a
+//! trace left enabled across a soak overwrites its own oldest lines
+//! instead of growing without limit, and [`disable`] reports how many
+//! lines were lost that way.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::OnceLock;
+use wfl_obs::TextRing;
+
+/// Retained lines; older ones are overwritten once the ring is full.
+pub const TRACE_CAPACITY: usize = 4096;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
-static LOG: Mutex<Vec<String>> = Mutex::new(Vec::new());
+static RING: OnceLock<TextRing> = OnceLock::new();
+
+fn ring() -> &'static TextRing {
+    RING.get_or_init(|| TextRing::new(TRACE_CAPACITY))
+}
 
 /// Starts capturing trace events (clears any previous log).
 pub fn enable() {
-    LOG.lock().unwrap().clear();
+    ring().clear();
     ENABLED.store(true, Ordering::SeqCst);
 }
 
-/// Stops capturing and returns the captured events.
+/// Stops capturing and returns the captured events (the newest
+/// [`TRACE_CAPACITY`]; older lines were overwritten).
 pub fn disable() -> Vec<String> {
     ENABLED.store(false, Ordering::SeqCst);
-    std::mem::take(&mut *LOG.lock().unwrap())
+    ring().drain()
+}
+
+/// Lines lost to the ring's bound since [`enable`] (0 unless the trace
+/// outgrew [`TRACE_CAPACITY`]).
+pub fn dropped() -> u64 {
+    RING.get().map_or(0, TextRing::dropped)
 }
 
 /// Records an event; the closure runs only when tracing is enabled.
 ///
-/// The closure is evaluated *before* the log lock is taken: trace closures
+/// The closure is evaluated *before* the ring lock is taken: trace closures
 /// may perform gated simulator steps (e.g. reading a status word), and
-/// holding the log lock across a step gate would deadlock the scheduler.
+/// holding the lock across a step gate would deadlock the scheduler.
 #[inline]
 pub fn emit(f: impl FnOnce() -> String) {
     if ENABLED.load(Ordering::Relaxed) {
         let line = f();
-        LOG.lock().unwrap().push(line);
+        ring().push(line);
     }
 }
 
@@ -48,6 +67,7 @@ mod tests {
         emit(|| "dropped".to_string());
         enable();
         emit(|| "kept".to_string());
+        assert_eq!(dropped(), 0);
         let log = disable();
         assert_eq!(log, vec!["kept".to_string()]);
         emit(|| "dropped again".to_string());

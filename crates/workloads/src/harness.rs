@@ -194,6 +194,9 @@ pub enum ExecMode {
         /// [`Scratch::deadline`] (`None` = attempts run to a decision, the
         /// historical behavior). See [`ExecMode::with_deadline_steps`].
         deadline_steps: Option<u64>,
+        /// Capture a flight-recorder trace of the run (see
+        /// [`ExecMode::with_recorder`]).
+        recorder: bool,
     },
     /// Free-running OS threads. `threads` must equal the workload's process
     /// count (it is spelled out so a matrix sweep reads naturally). With
@@ -214,13 +217,22 @@ pub enum ExecMode {
         epoch_rounds: Option<usize>,
         /// Per-round own-step deadline budget (see the `Sim` variant).
         deadline_steps: Option<u64>,
+        /// Capture a flight-recorder trace of the run (see
+        /// [`ExecMode::with_recorder`]).
+        recorder: bool,
     },
 }
 
 impl ExecMode {
     /// A simulator mode (single epoch).
     pub fn sim(sched: SchedKind, max_steps: u64) -> ExecMode {
-        ExecMode::Sim { sched, max_steps, epoch_rounds: None, deadline_steps: None }
+        ExecMode::Sim {
+            sched,
+            max_steps,
+            epoch_rounds: None,
+            deadline_steps: None,
+            recorder: false,
+        }
     }
 
     /// An untimed real-threads mode with the contention-free hot path.
@@ -231,6 +243,7 @@ impl ExecMode {
             cfg: RealConfig::fast(),
             epoch_rounds: None,
             deadline_steps: None,
+            recorder: false,
         }
     }
 
@@ -242,6 +255,7 @@ impl ExecMode {
             cfg: RealConfig::fast(),
             epoch_rounds: None,
             deadline_steps: None,
+            recorder: false,
         }
     }
 
@@ -269,6 +283,27 @@ impl ExecMode {
             ExecMode::Real { deadline_steps, .. } => *deadline_steps = d,
         }
         self
+    }
+
+    /// Turns on the flight recorder for the run: the driver enables
+    /// `wfl_obs::rec` before spawning the processes, the epoch leader
+    /// stamps an `EpochBarrier` control event at every boundary, and the
+    /// drained [`wfl_obs::TraceSnapshot`] rides back on
+    /// [`HarnessReport::trace`]. The recorder is process-global, so traced
+    /// runs must not overlap other traced runs in the same process.
+    pub fn with_recorder(mut self) -> ExecMode {
+        match &mut self {
+            ExecMode::Sim { recorder, .. } => *recorder = true,
+            ExecMode::Real { recorder, .. } => *recorder = true,
+        }
+        self
+    }
+
+    /// Whether the run captures a flight-recorder trace.
+    pub fn recorder(&self) -> bool {
+        match self {
+            ExecMode::Sim { recorder, .. } | ExecMode::Real { recorder, .. } => *recorder,
+        }
     }
 
     /// The configured epoch length, if any.
@@ -357,6 +392,9 @@ pub struct HarnessReport {
     /// Recorded invoke/respond history (empty unless the workload records
     /// one, e.g. [`run_bank_mode_recorded`]).
     pub history: History,
+    /// The drained flight-recorder trace ([`ExecMode::with_recorder`]
+    /// runs only).
+    pub trace: Option<wfl_obs::TraceSnapshot>,
 }
 
 impl HarnessReport {
@@ -377,6 +415,42 @@ impl HarnessReport {
         let mut v = self.heap_high_water_lanes[..threads].to_vec();
         v.push(*self.heap_high_water_lanes.last().expect("non-empty lane vector"));
         v
+    }
+
+    /// Folds the report into the uniform [`wfl_obs::MetricsSnapshot`] the
+    /// shared `wfl_bench` row writer serializes: counters, per-reason
+    /// give-up tallies under their stable labels, the step summaries
+    /// rebucketed into fixed power-of-two histograms, and the calibrated
+    /// wall-clock rates (real runs only; `steps_per_sec` is total own
+    /// steps over the wall, the number that converts step-denominated
+    /// deadlines into time).
+    pub fn metrics(&self) -> wfl_obs::MetricsSnapshot {
+        let fold = |s: &Summary| {
+            let mut h = wfl_obs::FixedHistogram::default();
+            for &v in s.samples() {
+                h.record(v);
+            }
+            h
+        };
+        let wall_secs = self.wall.map(|w| w.as_secs_f64().max(1e-12));
+        let total_steps: u64 = self.steps.samples().iter().sum();
+        wfl_obs::MetricsSnapshot {
+            attempts: self.attempts,
+            wins: self.wins,
+            aborts: self.aborts,
+            rescues: self.rescues,
+            combined_wins: self.combined_wins,
+            epochs: self.epochs,
+            steps: fold(&self.steps),
+            abort_steps: fold(&self.abort_steps),
+            give_up: GiveUp::all()
+                .iter()
+                .map(|g| (g.label(), self.give_up[g.index()]))
+                .collect(),
+            wall_secs,
+            steps_per_sec: wall_secs.map(|w| total_steps as f64 / w),
+            wins_per_sec: self.wins_per_sec(),
+        }
     }
 }
 
@@ -572,6 +646,7 @@ impl Outcomes {
             heap_high_water: 0,
             heap_high_water_lanes: Vec::new(),
             history: History::default(),
+            trace: None,
         }
     }
 }
@@ -653,6 +728,7 @@ impl Totals {
             heap_high_water: state.high_water(),
             heap_high_water_lanes: state.high_water_lanes(),
             history,
+            trace: None,
         }
     }
 }
@@ -1051,6 +1127,14 @@ fn drive_epochs<WL: EpochWorkload>(
     let state = EpochState::new(heap);
     let epoch_len = mode.epoch_len(total_rounds);
     let deadline_steps = mode.deadline_steps();
+    // The flight recorder is enabled at quiescence, before any process
+    // spawns, and drained after the last join — the single points where
+    // every ring is guaranteed writer-free. The recorder is global, so a
+    // traced run owns it for its whole duration.
+    let recording = mode.recorder();
+    if recording {
+        wfl_obs::rec::enable();
+    }
     // Combining is masked in the simulator unless the schedule family opts
     // in: a combining winner takes extra counted steps, so recordings made
     // under the plain families must keep replaying bit-identically
@@ -1065,7 +1149,7 @@ fn drive_epochs<WL: EpochWorkload>(
         rec: Outcomes::create_root(heap, nprocs, epoch_len, epoch * epoch_len),
     };
 
-    match *mode {
+    let mut report = match *mode {
         ExecMode::Sim { sched, max_steps, .. } => {
             let mut totals = Totals::new(nprocs);
             let mut events: Vec<Event> = Vec::new();
@@ -1103,7 +1187,12 @@ fn drive_epochs<WL: EpochWorkload>(
                 );
                 events.extend(report.history.events);
                 let (erep, safe) = wl.check(heap, &world.roots, &world.rec);
+                postmortem_on_failure(epoch, safe);
                 totals.merge(&erep, safe);
+                // The sim host owns the quiescent gap between epoch runs,
+                // so the control ring is writer-free here (the host has no
+                // pid or clock of its own — `now` is 0 by convention).
+                wfl_obs::rec::record_ctrl(wfl_obs::EventKind::EpochBarrier, 0, epoch as u64);
                 epoch += 1;
                 if epoch * epoch_len >= total_rounds {
                     state.finish(heap);
@@ -1158,7 +1247,20 @@ fn drive_epochs<WL: EpochWorkload>(
                             let heap = ctx.heap();
                             let mut world = world_ref.write().unwrap();
                             let (erep, safe) = wl.check(heap, &world.roots, &world.rec);
+                            postmortem_on_failure(epoch as usize, safe);
                             totals_ref.lock().unwrap().merge(&erep, safe);
+                            // The barrier stamp goes on the leader's *own*
+                            // ring, not the control ring: the fault
+                            // injector thread may be writing control
+                            // events concurrently, and pid rings are the
+                            // single-writer-safe home for worker emissions.
+                            wfl_obs::rec::record(
+                                ctx.pid(),
+                                wfl_obs::EventKind::EpochBarrier,
+                                ctx.now(),
+                                ctx.steps(),
+                                epoch,
+                            );
                             let next_base = (epoch as usize + 1) * epoch_len;
                             let done = ctx.stop_requested()
                                 || (!unbounded && next_base >= total_rounds);
@@ -1185,6 +1287,23 @@ fn drive_epochs<WL: EpochWorkload>(
             );
             totals.into_report(Some(report.wall), &state, report.history)
         }
+    };
+    if recording {
+        wfl_obs::rec::disable();
+        report.trace = Some(wfl_obs::rec::snapshot());
+    }
+    report
+}
+
+/// Prints the flight recorder's tail when a recorded run fails its
+/// safety check — the postmortem the recorder exists for. A no-op when
+/// the recorder is off (every untraced run).
+fn postmortem_on_failure(epoch: usize, safe: bool) {
+    if !safe && wfl_obs::rec::is_enabled() {
+        eprintln!(
+            "[wfl-obs] epoch {epoch} safety check FAILED; flight-recorder tail:\n{}",
+            wfl_obs::rec::snapshot().postmortem(16)
+        );
     }
 }
 

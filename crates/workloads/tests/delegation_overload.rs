@@ -143,6 +143,7 @@ fn real_fault_injector_keeps_roster_safe() {
             cfg,
             epoch_rounds: None,
             deadline_steps: None,
+            recorder: false,
         };
         let r = run_random_conflict_mode(&spec, algo, &mode);
         assert!(r.safety_ok, "{}: safety audit failed under the injector", algo.label());

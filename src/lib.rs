@@ -84,6 +84,7 @@ pub use wfl_delegation as delegation;
 pub use wfl_fairness as fairness;
 pub use wfl_idem as idem;
 pub use wfl_lincheck as lincheck;
+pub use wfl_obs as obs;
 pub use wfl_runtime as runtime;
 pub use wfl_workloads as workloads;
 

@@ -128,6 +128,7 @@ fn sharded_bank_real_history_is_set_regular() {
         cfg: RealConfig::precise(),
         epoch_rounds: Some(6),
         deadline_steps: None,
+        recorder: false,
     };
     let algo = AlgoKind::Wfl { kappa: 3, delays: false, helping: true };
     let (r, win_tokens) = run_bank_mode_recorded(3, ACCOUNTS, 18, 100, 23, algo, 1 << 22, &mode);
@@ -179,6 +180,7 @@ fn sharded_adversary_holder_sequences_are_exclusive() {
         cfg: RealConfig::precise(),
         epoch_rounds: Some(8),
         deadline_steps: None,
+        recorder: false,
     };
     let r = run_adversary(&spec, AlgoKind::Wfl { kappa: 3, delays: true, helping: true }, &mode);
     assert!(r.safety_ok, "per-epoch win counters diverged on the sharded layout");

@@ -131,6 +131,7 @@ fn bank_real_history_first_epoch_is_set_regular() {
         cfg: RealConfig::precise(), // globally ordered event timestamps
         epoch_rounds: Some(8),
         deadline_steps: None,
+        recorder: false,
     };
     let (r, win_tokens) =
         run_bank_mode_recorded(3, 4, 16, 100, 61, AlgoKind::Wfl {
